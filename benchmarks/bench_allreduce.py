@@ -1,0 +1,122 @@
+"""Topology study: parameter server vs. ring all-reduce, with compression.
+
+The paper's §1 cites in-datacenter studies whose frameworks typically use
+all-reduce rather than parameter servers. This bench quantifies the two
+claims that make 3LC's server-centric design coherent:
+
+1. An uncompressed ring moves less data *per link* than a parameter
+   server's hot uplink — the setting where compression matters less.
+2. Compressing per-hop on a ring chains N-1 lossy stages and degrades the
+   reduced value, whereas the PS topology quantizes exactly once per
+   direction (§3's point-to-point argument).
+
+Rows printed: per-link bytes and reduction fidelity for each transport.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import ThreeLCCompressor, make_compressor
+from repro.distributed.allreduce import RingAllReduce
+from repro.utils.format import format_table, human_bytes
+
+from benchmarks.conftest import emit
+
+NODES = 8
+SIZE = 65536
+
+
+def _inputs():
+    rng = np.random.default_rng(7)
+    return [
+        rng.normal(0, 0.01, size=SIZE).astype(np.float32) for _ in range(NODES)
+    ]
+
+
+def _ps_exchange(tensors, compressor):
+    """One PS round: every worker pushes once, server averages."""
+    wire = 0
+    decoded = []
+    for i, t in enumerate(tensors):
+        res = compressor.make_context(t.shape, key=("push", i)).compress(t)
+        wire += res.wire_size
+        decoded.append(compressor.decompress(res.message))
+    mean = np.mean(decoded, axis=0)
+    # Shared compressed pull (3LC's §3 optimization): compress once,
+    # fan out to every worker.
+    pull = compressor.make_context(mean.shape, key=("pull",)).compress(mean)
+    uplink = wire + len(tensors) * pull.wire_size  # server's link carries all
+    return np.asarray(compressor.decompress(pull.message)), uplink
+
+
+def test_topology_comparison(benchmark):
+    tensors = _inputs()
+    expected = np.mean(tensors, axis=0)
+
+    def run():
+        rows = []
+        # Uncompressed ring vs. uncompressed PS: per-link volume.
+        ring = RingAllReduce(NODES, (SIZE,)).reduce(tensors)
+        ps_uplink = 2 * NODES * SIZE * 4
+        rows.append(("ring / raw float32", ring.max_link_bytes, 0.0))
+        rows.append(("PS / raw float32", ps_uplink, 0.0))
+        # Compressed variants.
+        ring3lc = RingAllReduce(NODES, (SIZE,), ThreeLCCompressor(1.0)).reduce(
+            tensors
+        )
+        err_ring = float(np.linalg.norm(ring3lc.outputs[0] - expected))
+        rows.append(("ring / 3LC per hop", ring3lc.max_link_bytes, err_ring))
+        ps_out, ps_link = _ps_exchange(tensors, ThreeLCCompressor(1.0))
+        err_ps = float(np.linalg.norm(ps_out - expected))
+        rows.append(("PS / 3LC point-to-point", ps_link, err_ps))
+        ring8 = RingAllReduce(NODES, (SIZE,), make_compressor("8-bit int")).reduce(
+            tensors
+        )
+        rows.append(
+            (
+                "ring / 8-bit per hop",
+                ring8.max_link_bytes,
+                float(np.linalg.norm(ring8.outputs[0] - expected)),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Topology comparison (8 nodes, 64k values)",
+        format_table(
+            ["Transport", "Hot-link bytes", "L2 error of mean"],
+            [[n, human_bytes(b), f"{e:.4f}"] for n, b, e in rows],
+        ),
+    )
+    by_name = {n: (b, e) for n, b, e in rows}
+
+    # Claim 1: the raw ring's hottest link carries a small fraction of the
+    # raw PS uplink (2(N-1)/N per node vs 2N at the server).
+    assert by_name["ring / raw float32"][0] < by_name["PS / raw float32"][0] / 3
+
+    # Claim 2: chained per-hop ternary quantization is far less faithful
+    # than one point-to-point quantization per direction.
+    assert by_name["PS / 3LC point-to-point"][1] < by_name["ring / 3LC per hop"][1]
+
+    # Fine-grained per-hop compression keeps fidelity (compounding is mild
+    # at 8 bits) while still shrinking the link.
+    assert by_name["ring / 8-bit per hop"][1] < by_name["ring / 3LC per hop"][1]
+    assert by_name["ring / 8-bit per hop"][0] < by_name["ring / raw float32"][0]
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 8, 16])
+def test_ring_link_volume_scales(benchmark, nodes):
+    """Per-node ring traffic approaches 2x tensor size as N grows."""
+    rng = np.random.default_rng(0)
+    tensors = [rng.normal(size=4096).astype(np.float32) for _ in range(nodes)]
+    result = benchmark.pedantic(
+        lambda: RingAllReduce(nodes, (4096,)).reduce(tensors),
+        rounds=1,
+        iterations=1,
+    )
+    expected_per_node = 2 * (nodes - 1) / nodes * 4096 * 4
+    assert result.max_link_bytes == pytest.approx(expected_per_node, rel=0.05)
+    np.testing.assert_allclose(
+        result.outputs[0], np.mean(tensors, axis=0), rtol=1e-4, atol=1e-5
+    )

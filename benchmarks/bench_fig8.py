@@ -1,0 +1,39 @@
+"""Regenerates Figure 8: the sparsity-multiplier sensitivity sweep.
+
+Paper's finding (§5.4): "In general, a high sparsity multiplier reduces
+training time, but it can also lower convergence speed with fewer training
+steps. Most s values lead to high accuracy when using 100% of standard
+training steps, but s = 1.90 exhibits lower accuracy than others."
+"""
+
+from repro.harness.figures import BUDGET_FRACTIONS, FIGURE8_SCHEMES, figure8_sparsity
+
+from benchmarks.conftest import emit
+
+
+def test_figure8(runner, benchmark):
+    fig = benchmark.pedantic(
+        lambda: figure8_sparsity(runner, "10Mbps", FIGURE8_SCHEMES, BUDGET_FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 8 (sparsity sweep @ 10Mbps)", fig.text)
+    series = {s.label: s.points for s in fig.series}
+
+    # Higher s -> less traffic -> less total time at every budget.
+    full_times = {
+        label: points[-1][0] for label, points in series.items()
+    }
+    ordered = [full_times[f"3LC (s={s})"] for s in ("1.00", "1.50", "1.75", "1.90")]
+    assert ordered == sorted(ordered, reverse=True)
+
+    # With the full budget, accuracy is high for moderate s ...
+    full_accs = {label: points[-1][1] for label, points in series.items()}
+    assert full_accs["3LC (s=1.00)"] > 80.0
+    # ... and the most aggressive setting is not the best.
+    assert full_accs["3LC (s=1.90)"] <= max(full_accs.values())
+
+    # Convergence-speed effect: at the smallest budget, s=1.00 beats
+    # s=1.90 (the paper's "lower convergence speed with fewer steps").
+    quarter_accs = {label: points[0][1] for label, points in series.items()}
+    assert quarter_accs["3LC (s=1.00)"] >= quarter_accs["3LC (s=1.90)"] - 1.0

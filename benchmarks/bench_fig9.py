@@ -1,0 +1,67 @@
+"""Regenerates Figure 9: per-step compressed size, pushes vs. pulls.
+
+Paper's findings: with ZRE the compressed size stays well under the fixed
+1.6-bit quartic floor; compressed pushes are smaller than compressed pulls
+early in training (pull deltas aggregate many workers' gradients, so they
+have lower variance/sparsity), and 3LC transmits *more* bits per value late
+in training as gradients gain variance — the design "does not forcefully
+limit how many state changes can be transmitted".
+"""
+
+import numpy as np
+
+from repro.harness.figures import figure9_compressed_size
+
+from benchmarks.conftest import emit
+
+
+def _mean_bits(points, lo=0.0, hi=1.0):
+    ys = [y for _, y in points]
+    n = len(ys)
+    return float(np.mean(ys[int(lo * n) : max(int(hi * n), int(lo * n) + 1)]))
+
+
+def test_figure9_s100(traffic_runner, benchmark):
+    fig = benchmark.pedantic(
+        lambda: figure9_compressed_size(traffic_runner, "3LC (s=1.00)"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 9 (s=1.00)", fig.text)
+    no_zre, push, pull = fig.series
+
+    # The reference line is the quartic constant.
+    assert all(y == 1.6 for _, y in no_zre.points)
+
+    # ZRE keeps traffic below the fixed-length floor on average.
+    assert _mean_bits(push.points) < 1.6
+    assert _mean_bits(pull.points) < 1.6
+
+    # Early in training, pushes compress better than pulls (pull deltas
+    # aggregate all workers and have fewer zeros).
+    assert _mean_bits(push.points, 0.0, 0.3) <= _mean_bits(pull.points, 0.0, 0.3) + 0.05
+
+
+def test_figure9_s175(traffic_runner, benchmark):
+    fig = benchmark.pedantic(
+        lambda: figure9_compressed_size(traffic_runner, "3LC (s=1.75)"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 9 (s=1.75)", fig.text)
+    _, push, pull = fig.series
+
+    # The higher multiplier compresses much harder than s=1.00 everywhere.
+    assert _mean_bits(push.points) < 1.0
+    assert _mean_bits(pull.points) < 1.0
+
+
+def test_compressed_size_grows_late_in_training(traffic_runner):
+    """Late-training pushes carry at least as many bits as early ones for
+    s=1.75 (gradients gain variance as the LR decays; paper Fig. 9 right
+    shows the push curve rising after ~70% of training)."""
+    fig = figure9_compressed_size(traffic_runner, "3LC (s=1.75)")
+    _, push, _ = fig.series
+    early = _mean_bits(push.points, 0.05, 0.3)
+    late = _mean_bits(push.points, 0.7, 1.0)
+    assert late >= 0.8 * early

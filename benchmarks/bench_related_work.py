@@ -1,0 +1,72 @@
+"""Extended comparison: the §6 related-work designs under Table 1's protocol.
+
+The paper positions 3LC against QSGD, Deep Gradient Compression, Gaia, and
+sufficient-factor broadcasting qualitatively (§6). This bench measures
+those designs — plus this repo's 3LC extensions (adaptive sparsity control,
+local-steps composition) — with the same runner, workload, and time model
+as Table 1, making the claimed trade-offs checkable:
+
+* QSGD needs more bits than 3LC for the same protocol (no error feedback,
+  gamma-coded multi-level output vs. sub-1-bit ZRE output).
+* DGC compresses far harder than 3LC but pays in convergence at equal
+  steps — the generality-vs-aggressiveness trade §6 describes.
+* Composing local steps with 3LC multiplies the traffic saving.
+* The adaptive controller holds the measured bits/value near its budget
+  without manual tuning.
+"""
+
+from repro.harness.tables import related_work_table
+
+from benchmarks.conftest import emit
+
+
+def test_related_work(runner, benchmark):
+    rows, text = benchmark.pedantic(
+        lambda: related_work_table(runner), rounds=1, iterations=1
+    )
+    emit("Related work (§6) under Table 1 protocol", text)
+    by_name = {r.scheme: r for r in rows}
+    threelc = by_name["3LC (s=1.00)"]
+
+    # 3LC's wire format is tighter than QSGD's at either resolution: error
+    # feedback + ZRE beat stochastic multi-level + gamma coding.
+    assert threelc.bits_per_value < by_name["QSGD (2-bit)"].bits_per_value
+    assert threelc.bits_per_value < by_name["QSGD (4-bit)"].bits_per_value
+    # ... and unbiased-but-noisy QSGD converges no better (paper §3.1's
+    # error-accumulation-vs-stochastic argument, here at 2 bits).
+    assert threelc.accuracy >= by_name["QSGD (2-bit)"].accuracy - 0.005
+
+    # DGC's 0.1% selection compresses (much) harder than 3LC — once its
+    # dense warmup phase stops dominating the average (standard-length
+    # runs; short REPRO_BENCH_STEPS smoke passes only check it compresses).
+    if runner.config.standard_steps >= 100:
+        assert by_name["DGC (0.10%)"].compression_ratio > threelc.compression_ratio
+        assert by_name["DGC (0.10%)"].speedup_10mbps > threelc.speedup_10mbps
+    else:
+        assert by_name["DGC (0.10%)"].compression_ratio > 2.0
+
+    # Low-rank factors reduce traffic but cannot compress 1-D tensors at
+    # all (§6's generality critique), so they trail 3LC end to end.
+    assert 1.0 < by_name["sufficient factors (rank 4)"].compression_ratio
+    assert (
+        by_name["sufficient factors (rank 4)"].compression_ratio
+        < threelc.compression_ratio
+    )
+
+    # Composition multiplies savings: halved frequency x 3LC encoding.
+    assert (
+        by_name["2 local steps + 3LC (s=1.00)"].compression_ratio
+        > 1.5 * threelc.compression_ratio
+    )
+
+    # The adaptive controller's 0.5-bit budget sits below 3LC (s=1.00)'s
+    # natural ~0.8 bits, so its end-to-end traffic must come in tighter.
+    # (The absolute bits/value here also carries bypass traffic and frame
+    # headers, which is why the row is compared, not bounded; the precise
+    # budget-tracking check lives in bench_adaptive.py on the raw stream.)
+    adaptive = by_name["3LC (adaptive, 0.5 bits)"]
+    assert adaptive.bits_per_value < threelc.bits_per_value
+    assert adaptive.compression_ratio > threelc.compression_ratio
+
+    # Gaia's decaying threshold still reduces traffic overall.
+    assert by_name["Gaia"].compression_ratio > 2.0

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Codec lab: capture a gradient trace once, rank every codec offline.
+
+The expensive part of evaluating a compression scheme is the training run
+behind it. This example shows the trace workflow that decouples the two:
+
+1. Train a small ResNet for a few steps with plain SGD, recording every
+   gradient tensor into a :class:`repro.trace.TraceRecorder`.
+2. Save the trace to disk (a portable ``.npz``).
+3. Replay the *same* captured stream through every registered codec with
+   live-equivalent per-tensor contexts (error feedback included) and rank
+   them by measured wire cost — no retraining per scheme.
+
+This is how Figure 9-style analyses (bits/value over steps) or a new
+codec prototype can be iterated in seconds.
+
+Run:  python examples/codec_lab.py [--steps N] [--trace PATH]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.compression import available_schemes, make_compressor
+from repro.data import DatasetSpec, SyntheticImageDataset
+from repro.nn import CosineDecay, MomentumSGD, SoftmaxCrossEntropy, build_resnet
+from repro.trace import TraceRecorder, TraceReader, replay
+from repro.utils.format import format_table, human_bytes
+from repro.utils.seeding import derive_rng
+
+
+def capture_trace(steps: int, path: Path) -> Path:
+    """Single-node training loop that archives every gradient tensor."""
+    model = build_resnet(8, base_width=8, seed=42)
+    dataset = SyntheticImageDataset(DatasetSpec(image_size=16, seed=0))
+    images, labels = dataset.train_shard(0, 512)
+    loss_fn = SoftmaxCrossEntropy()
+    optimizer = MomentumSGD(momentum=0.9, weight_decay=1e-4)
+    schedule = CosineDecay(0.05, steps)
+    rng = derive_rng(0, "codec-lab", "batches")
+    recorder = TraceRecorder()
+
+    batch = 32
+    for step in range(steps):
+        idx = rng.choice(images.shape[0], size=batch, replace=False)
+        logits = model.forward(images[idx], training=True)
+        loss = loss_fn.forward(logits, labels[idx])
+        model.backward(loss_fn.backward())
+        for param in model.parameters():
+            recorder.record(step, "push", param.name, param.grad)
+        optimizer.step(model.parameters(), schedule(step))
+        if step % max(1, steps // 4) == 0:
+            print(f"  step {step:3d}  loss {loss:.3f}  ({len(recorder)} records)")
+    saved = recorder.save(path)
+    print(f"captured {len(recorder)} state-change tensors -> {saved}")
+    return saved
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=12)
+    parser.add_argument("--trace", type=Path, default=None)
+    args = parser.parse_args()
+
+    trace_path = args.trace or Path(tempfile.mkdtemp()) / "gradients.npz"
+    print(f"[1/2] capturing {args.steps} steps of real ResNet gradients")
+    saved = capture_trace(args.steps, trace_path)
+
+    print("\n[2/2] replaying the trace through every registered codec")
+    rows = []
+    for name in available_schemes():
+        stats = replay(TraceReader(saved), make_compressor(name, seed=0))
+        rows.append(
+            (
+                name,
+                stats.compression_ratio,
+                stats.bits_per_value,
+                stats.wire_bytes,
+                stats.deferred,
+            )
+        )
+    rows.sort(key=lambda r: -r[1])
+    print(
+        format_table(
+            ["Scheme", "Ratio", "bits/value", "Wire", "Deferred"],
+            [
+                [name, f"{ratio:.1f}x", f"{bits:.3f}", human_bytes(wire), deferred]
+                for name, ratio, bits, wire, deferred in rows
+            ],
+            title="Offline codec ranking on one captured gradient stream",
+        )
+    )
+    print(
+        "\nEvery scheme saw the identical stream with live-equivalent error"
+        "\nfeedback — the ranking is what a full training re-run would measure,"
+        "\nobtained without one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Topology study: does point-to-point compression survive all-reduce?
+
+The paper's §3 design is explicitly point-to-point: one lossy stage per
+direction, no coordination among nodes. Modern in-datacenter frameworks
+instead use ring all-reduce, where every value is re-encoded at each of
+the N-1 hops. This example demonstrates, on real tensors, why 3LC targets
+the parameter-server exchange:
+
+* an uncompressed ring already balances links (no server hotspot), so
+  there is less for compression to win;
+* chaining ternary quantization across hops compounds error badly, while
+  a single point-to-point quantization stays faithful;
+* fine-grained codecs (8-bit) do compose with the ring — the niche where
+  per-hop compression is safe.
+
+Run:  python examples/topology_study.py [--nodes N] [--size S]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.compression import ThreeLCCompressor, make_compressor
+from repro.distributed import RingAllReduce
+from repro.utils.format import format_table, human_bytes
+
+
+def ps_round(tensors, compressor):
+    """One parameter-server exchange with shared compressed pulls."""
+    wire = 0
+    decoded = []
+    for i, t in enumerate(tensors):
+        result = compressor.make_context(t.shape, key=("push", i)).compress(t)
+        wire += result.wire_size
+        decoded.append(compressor.decompress(result.message))
+    mean = np.mean(decoded, axis=0).astype(np.float32)
+    pull = compressor.make_context(mean.shape, key=("pull",)).compress(mean)
+    hot_link = wire + len(tensors) * pull.wire_size
+    return np.asarray(compressor.decompress(pull.message)), hot_link
+
+
+def relative_error(result: np.ndarray, expected: np.ndarray) -> float:
+    return float(np.linalg.norm(result - expected) / np.linalg.norm(expected))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--size", type=int, default=65536)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(7)
+    tensors = [
+        rng.normal(0, 0.01, size=args.size).astype(np.float32)
+        for _ in range(args.nodes)
+    ]
+    expected = np.mean(tensors, axis=0)
+
+    rows = []
+
+    raw_ring = RingAllReduce(args.nodes, (args.size,)).reduce(tensors)
+    rows.append(
+        ["ring", "none", raw_ring.max_link_bytes,
+         relative_error(raw_ring.outputs[0], expected)]
+    )
+    rows.append(["param server", "none", 2 * args.nodes * args.size * 4, 0.0])
+
+    ring_3lc = RingAllReduce(
+        args.nodes, (args.size,), ThreeLCCompressor(1.0)
+    ).reduce(tensors)
+    rows.append(
+        ["ring", "3LC per hop", ring_3lc.max_link_bytes,
+         relative_error(ring_3lc.outputs[0], expected)]
+    )
+
+    ps_out, ps_link = ps_round(tensors, ThreeLCCompressor(1.0))
+    rows.append(
+        ["param server", "3LC point-to-point", ps_link,
+         relative_error(ps_out, expected)]
+    )
+
+    ring_8bit = RingAllReduce(
+        args.nodes, (args.size,), make_compressor("8-bit int")
+    ).reduce(tensors)
+    rows.append(
+        ["ring", "8-bit per hop", ring_8bit.max_link_bytes,
+         relative_error(ring_8bit.outputs[0], expected)]
+    )
+
+    print(
+        format_table(
+            ["Topology", "Compression", "Hot-link bytes", "Rel. error of mean"],
+            [
+                [topo, scheme, human_bytes(link), f"{err:.3f}"]
+                for topo, scheme, link, err in rows
+            ],
+            title=(
+                f"Averaging one {args.size}-value gradient across "
+                f"{args.nodes} nodes"
+            ),
+        )
+    )
+    print(
+        "\nReading: the raw ring's hottest link already carries"
+        f" {raw_ring.max_link_bytes / (2 * args.nodes * args.size * 4):.0%}"
+        " of the parameter server's — compression has less to save there."
+        "\nTernary quantization is coarse either way in a single exchange"
+        "\n(error feedback across training steps is what recovers accuracy,"
+        "\n§3.1), but chaining it over N-1 ring hops compounds the loss"
+        "\nbeyond the single point-to-point stage — compare the two 3LC"
+        "\nrows. 8-bit per hop is the safe mix for all-reduce fabrics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs PEP 660 editable-wheel support, which the
+pinned setuptools in the offline evaluation environment lacks. Running
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+where wheel is available) installs the same editable package.
+"""
+
+from setuptools import setup
+
+setup()

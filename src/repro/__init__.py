@@ -1,0 +1,26 @@
+"""repro — reproduction of *3LC: Lightweight and Effective Traffic
+Compression for Distributed Machine Learning* (Lim, Andersen, Kaminsky,
+MLSys 2019).
+
+Package layout:
+
+* :mod:`repro.core` — the 3LC codec (3-value quantization with sparsity
+  multiplication, quartic encoding, zero-run encoding) and error feedback.
+* :mod:`repro.compression` — the baseline schemes of the paper's evaluation
+  behind a common :class:`~repro.compression.base.Compressor` interface.
+* :mod:`repro.nn` — pure-NumPy neural-network substrate (conv, batch norm,
+  residual networks, SGD with momentum, LR schedules).
+* :mod:`repro.data` — deterministic synthetic CIFAR-like dataset with
+  crop/flip augmentation.
+* :mod:`repro.distributed` — in-process parameter-server training simulator
+  (BSP, async/SSP, and ring all-reduce topologies).
+* :mod:`repro.network` — link bandwidth / step-time model, traffic meter,
+  and geo-distributed WAN topology.
+* :mod:`repro.trace` — state-change trace capture and offline codec replay.
+* :mod:`repro.harness` — experiment runner and table/figure regeneration.
+"""
+
+from repro.core import CompressionContext, ThreeLCCodec
+from repro.version import __version__
+
+__all__ = ["ThreeLCCodec", "CompressionContext", "__version__"]

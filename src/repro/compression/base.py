@@ -1,0 +1,134 @@
+"""Common interface for all state-change compression schemes.
+
+Every compared design in the paper's evaluation (§5.1) is implemented as a
+:class:`Compressor` — a stateless scheme descriptor — that manufactures
+per-tensor, per-direction :class:`CompressorContext` objects holding any
+cross-step state (error accumulation buffers, RNG streams, local-step
+counters). This mirrors 3LC's "one compression context per tensor per
+direction" architecture and lets the parameter-server simulator treat every
+scheme uniformly.
+
+Contexts may return ``None`` from :meth:`CompressorContext.compress` to
+signal "nothing transmitted this step" (used by the N-local-steps design);
+the cluster then skips the wire entirely for that tensor.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.codec import CompressionResult
+from repro.core.packets import WireMessage
+
+__all__ = ["Compressor", "CompressorContext", "CompressionResult"]
+
+
+class CompressorContext(abc.ABC):
+    """Cross-step state for one tensor travelling in one direction."""
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.shape = tuple(int(d) for d in shape)
+
+    @abc.abstractmethod
+    def compress(self, tensor: np.ndarray) -> CompressionResult | None:
+        """Compress one step's state change.
+
+        Returns ``None`` when the scheme defers transmission this step
+        (the deferred update must then be folded into a later step).
+        """
+
+    def residual_norm(self) -> float:
+        """L2 norm of any untransmitted residual (0 for lossless schemes)."""
+        return 0.0
+
+    def state_dict(self) -> dict:
+        """Cross-step state for checkpointing.
+
+        Error buffers, momentum accumulators, step counters, and RNG
+        states are *training state*: dropping them on restart silently
+        loses every deferred update. Contexts with such state override
+        this pair; stateless contexts return ``{}``. The returned dict
+        holds only arrays, numbers, and nested dicts (``numpy.savez`` /
+        JSON friendly).
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into a fresh context."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but got state keys "
+                f"{sorted(state)}"
+            )
+
+    def _checked_residual(self, state: dict, key: str = "residual") -> np.ndarray:
+        """Validate and return a residual array from checkpoint state."""
+        arr = np.asarray(state[key], dtype=np.float32)
+        if arr.shape != self.shape:
+            raise ValueError(
+                f"checkpoint residual shape {arr.shape} != context {self.shape}"
+            )
+        return arr
+
+    def _check_shape(self, tensor: np.ndarray) -> np.ndarray:
+        arr = np.asarray(tensor, dtype=np.float32)
+        if arr.shape != self.shape:
+            raise ValueError(f"context shape {self.shape}, tensor {arr.shape}")
+        return arr
+
+
+class Compressor(abc.ABC):
+    """A compression scheme: factory for contexts plus a stateless decoder.
+
+    Attributes
+    ----------
+    name:
+        Scheme label as it appears in the paper's tables (e.g.
+        ``"3LC (s=1.75)"``).
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def make_context(
+        self, shape: tuple[int, ...], *, key: tuple[object, ...] = ()
+    ) -> CompressorContext:
+        """Create per-tensor sender state.
+
+        Parameters
+        ----------
+        shape:
+            Tensor shape the context will transmit.
+        key:
+            Stream key for stochastic schemes (e.g. ``("push", worker, name)``)
+            so that every context draws reproducible, independent randomness.
+        """
+
+    @abc.abstractmethod
+    def decompress(self, message: WireMessage) -> np.ndarray:
+        """Decode a wire message. Receivers carry no cross-step state."""
+
+    def make_bypass_context(
+        self, shape: tuple[int, ...], *, key: tuple[object, ...] = ()
+    ) -> CompressorContext:
+        """Context for small tensors excluded from lossy compression.
+
+        The small-layer bypass (paper §5.1) skips the *codec*, not the
+        transmission schedule: by default small tensors travel as raw
+        float32 every step, but schemes that change *when* data is sent
+        (N-local-steps) override this so deferral applies to every tensor.
+        """
+        from repro.compression.float32 import Float32Compressor
+
+        return Float32Compressor().make_context(shape, key=key)
+
+    def decompress_bypass(self, message: WireMessage) -> np.ndarray:
+        """Decode a bypass message (raw float32 for every scheme)."""
+        from repro.compression.float32 import Float32Compressor
+
+        return Float32Compressor().decompress(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}({self.name!r})"

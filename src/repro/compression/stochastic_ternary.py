@@ -1,0 +1,123 @@
+"""Stochastic 3-value quantization + quartic encoding (``Stoch 3-value + QE``).
+
+The TernGrad-like baseline of §5.1: unbiased stochastic ternary quantization
+(without gradient clipping) followed by *our* quartic encoding, so it
+transmits 1.6 bits per value — tighter than TernGrad's own 2-bit encoding.
+
+Deliberately **no error feedback**: the paper reports that combining error
+accumulation buffers with stochastic quantization made training fail to
+converge (§3.1, "Alternative quantization techniques"), and evaluates this
+design without them. Also no ZRE, matching the compared design's name.
+
+Each context derives its own PCG64 stream from the context key so that the
+randomness is reproducible and independent across tensors/workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Compressor, CompressorContext, CompressionResult
+from repro.core.packets import CodecId, WireMessage
+from repro.core.quantization import QuantizedTensor, dequantize_3value, quantize_stochastic_ternary
+from repro.core.quartic import quartic_decode, quartic_encode
+from repro.utils.seeding import derive_rng
+
+__all__ = ["StochasticTernaryCompressor", "clip_gradient"]
+
+
+def clip_gradient(
+    tensor: np.ndarray, clip_factor: float
+) -> np.ndarray:
+    """TernGrad's layer-wise gradient clipping (Wen et al. §4.1).
+
+    Clamps each value to ``clip_factor`` standard deviations of the tensor.
+    Ternary quantization's scale is ``max|T|``; one outlier therefore
+    collapses every other value's quantization resolution, and clipping
+    restores it. The §5.1 baseline omits this ("without gradient
+    clipping") — the ablation in ``benchmarks/bench_ablation.py`` measures
+    what that omission costs.
+    """
+    if clip_factor <= 0:
+        raise ValueError(f"clip_factor must be > 0, got {clip_factor!r}")
+    arr = np.asarray(tensor, dtype=np.float32)
+    sigma = float(np.std(arr))
+    if sigma == 0.0:
+        return arr
+    bound = np.float32(clip_factor * sigma)
+    return np.clip(arr, -bound, bound)
+
+
+class _StochTernaryContext(CompressorContext):
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+        clip_factor: float | None,
+    ):
+        super().__init__(shape)
+        self.rng = rng
+        self.clip_factor = clip_factor
+
+    def compress(self, tensor: np.ndarray) -> CompressionResult:
+        arr = self._check_shape(tensor)
+        if self.clip_factor is not None:
+            arr = clip_gradient(arr, self.clip_factor)
+        quantized = quantize_stochastic_ternary(arr, self.rng)
+        encoded = quartic_encode(quantized.values)
+        message = WireMessage(
+            codec_id=CodecId.STOCHASTIC_TERNARY_QE,
+            shape=arr.shape,
+            payload=encoded.tobytes(),
+            scalars=(quantized.scale,),
+            dtype=np.float32,
+        )
+        return CompressionResult(message, dequantize_3value(quantized))
+
+    def state_dict(self) -> dict:
+        return {"rng": self.rng.bit_generator.state}
+
+    def load_state(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+
+
+class StochasticTernaryCompressor(Compressor):
+    """``Stoch 3-value + QE``: unbiased ternary quantization, 1.6 bits/value.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for per-context stochastic rounding streams.
+    clip_factor:
+        ``None`` (default) reproduces the paper's §5.1 baseline, which
+        omits TernGrad's gradient clipping; a positive value (TernGrad
+        uses 2.5) enables layer-wise sigma clipping before quantization.
+    """
+
+    def __init__(self, seed: int = 0, *, clip_factor: float | None = None):
+        self.seed = int(seed)
+        if clip_factor is not None and clip_factor <= 0:
+            raise ValueError(f"clip_factor must be > 0, got {clip_factor!r}")
+        self.clip_factor = clip_factor
+        self.name = (
+            "Stoch 3-value + QE"
+            if clip_factor is None
+            else f"Stoch 3-value + QE (clip {clip_factor:g})"
+        )
+
+    def make_context(
+        self, shape: tuple[int, ...], *, key: tuple[object, ...] = ()
+    ) -> CompressorContext:
+        return _StochTernaryContext(
+            shape, derive_rng(self.seed, "stoch-ternary", *key), self.clip_factor
+        )
+
+    def decompress(self, message: WireMessage) -> np.ndarray:
+        if message.codec_id is not CodecId.STOCHASTIC_TERNARY_QE:
+            raise ValueError(
+                f"not a stochastic-ternary message: {message.codec_id!r}"
+            )
+        encoded = np.frombuffer(message.payload, dtype=np.uint8)
+        values = quartic_decode(encoded, message.element_count, message.shape)
+        (scale,) = message.scalars
+        return dequantize_3value(QuantizedTensor(values, scale))

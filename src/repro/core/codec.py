@@ -1,0 +1,205 @@
+"""The 3LC codec: quantization + quartic encoding + zero-run encoding.
+
+:class:`ThreeLCCodec` chains the three transforms of the paper (§3) into a
+tensor → :class:`~repro.core.packets.WireMessage` pipeline and back.
+:class:`CompressionContext` binds a codec to the per-tensor
+:class:`~repro.core.error_feedback.ErrorAccumulationBuffer` that corrects
+quantization errors across training steps — one context per tensor per
+direction, mirroring the paper's point-to-point design (Figure 2).
+
+The codec is stateless; all cross-step state lives in the context. This
+separation lets the parameter server share one compressed pull message
+among all workers (paper §3, "sharing compression") while each worker keeps
+its own push context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.error_feedback import ErrorAccumulationBuffer
+from repro.core.packets import CodecId, WireMessage
+from repro.core.quantization import (
+    QuantizedTensor,
+    dequantize_3value,
+    quantize_3value,
+)
+from repro.core.quartic import quartic_decode, quartic_encode
+from repro.core.zre import zre_decode, zre_encode
+
+__all__ = ["ThreeLCCodec", "CompressionContext", "CompressionResult"]
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Output of one compression call.
+
+    Attributes
+    ----------
+    message:
+        The framed wire message to transmit.
+    reconstruction:
+        What the receiver will decode — the sender uses this to update its
+        error accumulation buffer without a decode round-trip.
+    """
+
+    message: WireMessage
+    reconstruction: np.ndarray
+
+    @property
+    def wire_size(self) -> int:
+        return self.message.wire_size
+
+    def bits_per_value(self) -> float:
+        """Wire bits spent per tensor element (header included)."""
+        count = self.message.element_count
+        if count == 0:
+            return 0.0
+        return 8.0 * self.message.wire_size / count
+
+
+class ThreeLCCodec:
+    """3LC tensor codec (paper §3.1–3.3).
+
+    Parameters
+    ----------
+    sparsity_multiplier:
+        The knob ``s`` with ``1 <= s < 2``. Default 1.0 preserves the
+        maximum input magnitude exactly; larger values emit more zeros for
+        zero-run encoding to exploit.
+    use_zre:
+        If False, stop after quartic encoding (the "No ZRE" row of
+        Table 2). Wire payload is then exactly 1.6 bits/value.
+    dtype:
+        Dtype used for dequantized tensors.
+    """
+
+    def __init__(
+        self,
+        sparsity_multiplier: float = 1.0,
+        *,
+        use_zre: bool = True,
+        dtype: np.dtype | type = np.float32,
+    ):
+        # Validate eagerly so misconfiguration fails at construction.
+        quantize_3value(np.zeros(1, dtype=np.float32), sparsity_multiplier)
+        self.sparsity_multiplier = float(sparsity_multiplier)
+        self.use_zre = bool(use_zre)
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def codec_id(self) -> CodecId:
+        return CodecId.THREELC if self.use_zre else CodecId.THREELC_NO_ZRE
+
+    def quantize(self, tensor: np.ndarray) -> QuantizedTensor:
+        """Run only the lossy stage (exposed for tests and diagnostics)."""
+        return quantize_3value(tensor, self.sparsity_multiplier)
+
+    def compress(self, tensor: np.ndarray) -> CompressionResult:
+        """Compress a tensor into a wire message.
+
+        The returned reconstruction equals ``decompress(message)`` exactly;
+        tests assert this identity.
+        """
+        arr = np.asarray(tensor, dtype=self.dtype)
+        quantized = self.quantize(arr)
+        encoded = quartic_encode(quantized.values)
+        if self.use_zre:
+            encoded = zre_encode(encoded)
+        message = WireMessage(
+            codec_id=self.codec_id,
+            shape=arr.shape,
+            payload=encoded.tobytes(),
+            scalars=(quantized.scale,),
+            dtype=self.dtype,
+        )
+        return CompressionResult(message, dequantize_3value(quantized, self.dtype))
+
+    def decompress(self, message: WireMessage) -> np.ndarray:
+        """Decode a wire message back to a dense tensor (``M · Q``)."""
+        if message.codec_id not in (CodecId.THREELC, CodecId.THREELC_NO_ZRE):
+            raise ValueError(f"not a 3LC message: {message.codec_id!r}")
+        encoded = np.frombuffer(message.payload, dtype=np.uint8)
+        if message.codec_id is CodecId.THREELC:
+            encoded = zre_decode(encoded)
+        count = message.element_count
+        values = quartic_decode(encoded, count, message.shape)
+        (scale,) = message.scalars
+        quantized = QuantizedTensor(values, scale)
+        return dequantize_3value(quantized, message.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ThreeLCCodec(s={self.sparsity_multiplier}, "
+            f"use_zre={self.use_zre}, dtype={self.dtype})"
+        )
+
+
+class CompressionContext:
+    """Per-tensor, per-direction compression state (paper Figure 2/3).
+
+    Owns the error accumulation buffer and runs the full transmit cycle:
+    accumulate → quantize/encode → locally dequantize → store residual.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the tensor this context transmits.
+    codec:
+        The codec to apply. Contexts with ``error_feedback=False`` (used by
+        the stochastic-quantization baseline, where feedback harms
+        convergence per the paper) compress the raw input each step.
+    error_feedback:
+        Whether to maintain the accumulation buffer.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        codec: ThreeLCCodec,
+        *,
+        error_feedback: bool = True,
+    ):
+        self.shape = tuple(int(d) for d in shape)
+        self.codec = codec
+        self.buffer: ErrorAccumulationBuffer | None = (
+            ErrorAccumulationBuffer(self.shape, dtype=codec.dtype)
+            if error_feedback
+            else None
+        )
+
+    def compress(self, tensor: np.ndarray) -> CompressionResult:
+        """Compress one step's state change, applying error feedback."""
+        arr = np.asarray(tensor, dtype=self.codec.dtype)
+        if arr.shape != self.shape:
+            raise ValueError(f"context shape {self.shape}, tensor {arr.shape}")
+        if self.buffer is None:
+            return self.codec.compress(arr)
+        corrected = self.buffer.add(arr)
+        result = self.codec.compress(corrected)
+        self.buffer.subtract(result.reconstruction)
+        return result
+
+    def decompress(self, message: WireMessage) -> np.ndarray:
+        """Decode a received message (receive side carries no state)."""
+        return self.codec.decompress(message)
+
+    def residual_norm(self) -> float:
+        """L2 norm of the accumulated error (0 when feedback is off)."""
+        return self.buffer.l2_norm() if self.buffer is not None else 0.0
+
+    def state_dict(self) -> dict:
+        """Checkpointable cross-step state (the error residual)."""
+        if self.buffer is None:
+            return {}
+        return {"residual": self.buffer.residual.copy()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into a fresh context."""
+        if self.buffer is None:
+            if state:
+                raise ValueError("context has no error buffer to restore")
+            return
+        self.buffer.load_residual(state["residual"])

@@ -1,0 +1,163 @@
+"""Canonical Huffman coding over quartic bytes (comparator for ZRE).
+
+The paper positions zero-run encoding against "general-purpose compression
+algorithms or entropy coding schemes" (§3.3, §6): entropy coders reach
+similar or better ratios but need bit-level operations and lookup tables,
+costing more CPU. This module provides that comparator so the ablation
+benchmark can measure both sides of the trade on real quantized traffic.
+
+Format of the encoded buffer::
+
+    offset  size  field
+    0       4     number of symbols (uint32 LE)
+    4       256   canonical code length per byte value (uint8; 0 = unused)
+    260     n     bit-packed canonical codes (MSB first within each byte)
+
+Encoding is vectorized (bit-matrix gather + ``np.packbits``); decoding is
+a canonical first-code walk, intentionally reference-quality — the paper's
+point is precisely that decoders like this are slower than ZRE's byte-level
+scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+
+import numpy as np
+
+__all__ = ["huffman_encode", "huffman_decode", "build_code_lengths", "canonical_codes"]
+
+_HEADER = struct.Struct("<I")
+_ALPHABET = 256
+
+
+def build_code_lengths(frequencies: np.ndarray) -> np.ndarray:
+    """Huffman code length per symbol (0 for absent symbols).
+
+    Standard heap construction; ties broken deterministically by symbol
+    value so encoders and decoders agree without transmitting the tree.
+    """
+    freqs = np.asarray(frequencies, dtype=np.int64)
+    if freqs.shape != (_ALPHABET,):
+        raise ValueError("frequencies must have shape (256,)")
+    present = np.flatnonzero(freqs > 0)
+    lengths = np.zeros(_ALPHABET, dtype=np.uint8)
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+    # Heap of (frequency, tiebreak, symbols-in-subtree).
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freqs[s]), int(s), [int(s)]) for s in present
+    ]
+    heapq.heapify(heap)
+    tiebreak = _ALPHABET
+    while len(heap) > 1:
+        fa, _, sa = heapq.heappop(heap)
+        fb, _, sb = heapq.heappop(heap)
+        for symbol in sa + sb:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (fa + fb, tiebreak, sa + sb))
+        tiebreak += 1
+    return lengths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical code values (as uint64) for the given code lengths."""
+    lengths = np.asarray(lengths, dtype=np.uint8)
+    codes = np.zeros(_ALPHABET, dtype=np.uint64)
+    code = 0
+    previous_length = 0
+    # Canonical order: by (length, symbol).
+    order = sorted(np.flatnonzero(lengths > 0), key=lambda s: (lengths[s], s))
+    for symbol in order:
+        length = int(lengths[symbol])
+        code <<= length - previous_length
+        codes[symbol] = code
+        code += 1
+        previous_length = length
+    return codes
+
+
+def huffman_encode(data: np.ndarray) -> bytes:
+    """Encode a uint8 array to the self-describing Huffman format."""
+    arr = np.asarray(data, dtype=np.uint8).reshape(-1)
+    freqs = np.bincount(arr, minlength=_ALPHABET)
+    lengths = build_code_lengths(freqs)
+    codes = canonical_codes(lengths)
+    header = _HEADER.pack(arr.size) + lengths.tobytes()
+    if arr.size == 0:
+        return header
+    max_len = int(lengths.max())
+    # Bit matrix: row s holds code(s) MSB-first, left-aligned in max_len.
+    shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
+    # Right-align each code within its own length, then place at the left.
+    aligned = codes[:, None] << (shifts - np.uint64(0))[None, :] * np.uint64(0)
+    # Compute bit b of code s at position p < lengths[s]:
+    # bit index from MSB: p, so extract (lengths[s]-1-p)-th bit.
+    pos = np.arange(max_len)
+    bit_index = lengths.astype(np.int64)[:, None] - 1 - pos[None, :]
+    valid_lut = bit_index >= 0
+    safe_index = np.maximum(bit_index, 0).astype(np.uint64)
+    bits_lut = ((codes[:, None] >> safe_index) & np.uint64(1)).astype(np.uint8)
+    bits_lut[~valid_lut] = 0
+    # Gather per-symbol rows and select valid bits in order.
+    rows = bits_lut[arr]  # (n, max_len)
+    mask = valid_lut[arr]  # (n, max_len)
+    stream = rows[mask]  # flattens C-order: symbol by symbol, MSB first
+    return header + np.packbits(stream).tobytes()
+
+
+def huffman_decode(payload: bytes) -> np.ndarray:
+    """Decode :func:`huffman_encode` output (canonical first-code walk)."""
+    if len(payload) < _HEADER.size + _ALPHABET:
+        raise ValueError("truncated Huffman buffer")
+    (count,) = _HEADER.unpack_from(payload, 0)
+    lengths = np.frombuffer(
+        payload, dtype=np.uint8, count=_ALPHABET, offset=_HEADER.size
+    )
+    if count == 0:
+        return np.zeros(0, dtype=np.uint8)
+    bits = np.unpackbits(
+        np.frombuffer(payload, dtype=np.uint8, offset=_HEADER.size + _ALPHABET)
+    )
+    # Canonical decoding tables: for each length, the first code value and
+    # the symbols of that length in canonical order.
+    order = sorted(np.flatnonzero(lengths > 0), key=lambda s: (lengths[s], s))
+    symbols_by_length: dict[int, list[int]] = {}
+    first_code: dict[int, int] = {}
+    code = 0
+    previous_length = 0
+    for symbol in order:
+        length = int(lengths[symbol])
+        code <<= length - previous_length
+        if length not in first_code:
+            first_code[length] = code
+        symbols_by_length.setdefault(length, []).append(int(symbol))
+        code += 1
+        previous_length = length
+
+    out = np.empty(count, dtype=np.uint8)
+    bit_list = bits.tolist()  # Python ints walk faster than ndarray scalars
+    cursor = 0
+    total_bits = len(bit_list)
+    for i in range(count):
+        value = 0
+        length = 0
+        while True:
+            if cursor >= total_bits:
+                raise ValueError("bitstream exhausted mid-symbol")
+            value = (value << 1) | bit_list[cursor]
+            cursor += 1
+            length += 1
+            row = symbols_by_length.get(length)
+            if row is not None:
+                offset = value - first_code[length]
+                if 0 <= offset < len(row):
+                    out[i] = row[offset]
+                    break
+            if length > 64:
+                raise ValueError("invalid Huffman stream")
+    return out

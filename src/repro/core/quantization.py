@@ -1,0 +1,160 @@
+"""3-value quantization with sparsity multiplication (paper §3.1).
+
+The lossy stage of 3LC. Given an input tensor ``T`` and a sparsity
+multiplier ``s`` with ``1 <= s < 2``:
+
+.. math::
+
+    M = \\max(|T|) \\cdot s, \\qquad
+    Q = \\mathrm{round}(T / M) \\in \\{-1, 0, 1\\}, \\qquad
+    T_{out} = M \\cdot Q.
+
+Because ``|T / M| <= 1/s <= 1``, rounding yields only the three values
+``{-1, 0, 1}``. Raising ``s`` above 1 shrinks ``|T/M|`` so that more entries
+round to zero — the *sparsity multiplication* knob that trades information
+for compressibility — while dequantization with the larger ``M`` preserves
+the magnitude of the surviving values.
+
+The paper's convergence argument (§3.1 "Convergence") follows from the error
+bound enforced here: ``max|T - M·Q| <= M/2 < max|T|`` for ``1 <= s < 2``.
+
+This module also provides the *stochastic* ternary quantizer used by the
+``Stoch 3-value + QE`` baseline (TernGrad-like, §5.1): each entry is mapped
+to ``sign(t)`` with probability ``|t|/M`` and to 0 otherwise, making the
+quantized tensor an unbiased estimator of the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_3value",
+    "dequantize_3value",
+    "quantize_stochastic_ternary",
+    "MIN_SPARSITY_MULTIPLIER",
+    "MAX_SPARSITY_MULTIPLIER",
+]
+
+MIN_SPARSITY_MULTIPLIER = 1.0
+MAX_SPARSITY_MULTIPLIER = 2.0  # exclusive
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Result of 3-value quantization.
+
+    Attributes
+    ----------
+    values:
+        ``int8`` array with entries in ``{-1, 0, 1}``, same shape as input.
+    scale:
+        The scalar ``M`` (max magnitude times sparsity multiplier). Zero
+        if and only if the input tensor was entirely zero.
+    """
+
+    values: np.ndarray
+    scale: float
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.values.shape
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero entries in the quantized values."""
+        if self.values.size == 0:
+            return 1.0
+        return float(np.count_nonzero(self.values == 0)) / self.values.size
+
+    def dequantize(self, dtype: np.dtype | type = np.float32) -> np.ndarray:
+        """Reconstruct ``M * Q`` as a floating-point tensor."""
+        return dequantize_3value(self, dtype=dtype)
+
+
+def _validate_multiplier(s: float) -> float:
+    s = float(s)
+    if not (MIN_SPARSITY_MULTIPLIER <= s < MAX_SPARSITY_MULTIPLIER):
+        raise ValueError(
+            f"sparsity multiplier must satisfy 1 <= s < 2, got {s!r}"
+        )
+    return s
+
+
+def quantize_3value(tensor: np.ndarray, s: float = 1.0) -> QuantizedTensor:
+    """Quantize a real tensor onto ``{-1, 0, 1}`` (Equations 1–2).
+
+    Parameters
+    ----------
+    tensor:
+        Any-shape floating-point array. Must be finite.
+    s:
+        Sparsity multiplier, ``1 <= s < 2``. Larger values emit more zeros.
+
+    Returns
+    -------
+    QuantizedTensor
+        Ternary values plus the dequantization scale ``M``.
+
+    Notes
+    -----
+    Uses plain ``np.rint`` (round-half-to-even), the vectorizable
+    ``round()`` the paper chooses over custom rounding functions. The half
+    case ``|t| = M/2`` is measure-zero for real gradients and either
+    rounding direction keeps the ``M/2`` error bound.
+    """
+    s = _validate_multiplier(s)
+    arr = np.asarray(tensor)
+    if arr.size == 0:
+        return QuantizedTensor(np.zeros(arr.shape, dtype=np.int8), 0.0)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("cannot quantize non-finite tensor")
+    max_mag = float(np.max(np.abs(arr)))
+    scale = max_mag * s
+    if scale == 0.0:
+        return QuantizedTensor(np.zeros(arr.shape, dtype=np.int8), 0.0)
+    values = np.rint(arr / scale).astype(np.int8)
+    return QuantizedTensor(values, scale)
+
+
+def dequantize_3value(
+    quantized: QuantizedTensor, dtype: np.dtype | type = np.float32
+) -> np.ndarray:
+    """Reconstruct the tensor as ``M * Q`` (Equation 3)."""
+    return (quantized.scale * quantized.values.astype(dtype, copy=False)).astype(
+        dtype, copy=False
+    )
+
+
+def quantize_stochastic_ternary(
+    tensor: np.ndarray, rng: np.random.Generator
+) -> QuantizedTensor:
+    """TernGrad-style stochastic ternary quantization (baseline, §5.1).
+
+    Each entry ``t`` becomes ``sign(t)`` with probability ``|t| / M`` where
+    ``M = max(|T|)``, else 0, so ``E[M·Q] = T`` (unbiased). No sparsity
+    multiplier: TernGrad has no compression-level knob (paper §6).
+
+    Parameters
+    ----------
+    tensor:
+        Input array.
+    rng:
+        Source of randomness; callers pass a derived, per-context generator
+        so runs are reproducible.
+    """
+    arr = np.asarray(tensor)
+    if arr.size == 0:
+        return QuantizedTensor(np.zeros(arr.shape, dtype=np.int8), 0.0)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("cannot quantize non-finite tensor")
+    scale = float(np.max(np.abs(arr)))
+    if scale == 0.0:
+        return QuantizedTensor(np.zeros(arr.shape, dtype=np.int8), 0.0)
+    prob = np.abs(arr) / scale
+    keep = rng.random(arr.shape) < prob
+    values = (np.sign(arr) * keep).astype(np.int8)
+    return QuantizedTensor(values, scale)

@@ -1,0 +1,162 @@
+"""Quartic encoding: five base-3 digits per byte (paper §3.2).
+
+A 3-value quantized tensor has entries in ``{-1, 0, 1}``. After adding 1,
+each entry is a base-3 digit in ``{0, 1, 2}``. Packing five digits into the
+quartic-form expression
+
+.. math::
+
+    a \\cdot 3^4 + b \\cdot 3^3 + c \\cdot 3^2 + d \\cdot 3 + e
+
+uses one byte per five values (``3^5 = 243 <= 256``), i.e. 1.6 bits per
+value — within 0.95% of the entropy bound ``log2(3) ≈ 1.585`` and 20%
+smaller than the naive 2-bit encoding.
+
+Two useful structural facts exploited downstream by zero-run encoding:
+
+* output bytes lie in ``[0, 242]``, leaving ``243–255`` free as escape
+  codes, and
+* a group of five zeros encodes to the byte ``121`` (``1·81+1·27+1·9+1·3+1``).
+
+Both the vectorized NumPy implementation and a digit-at-a-time reference
+implementation are provided; tests cross-check them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "quartic_encode",
+    "quartic_decode",
+    "quartic_encode_reference",
+    "quartic_decode_reference",
+    "ZERO_GROUP_BYTE",
+    "MAX_QUARTIC_BYTE",
+    "GROUP_SIZE",
+    "padded_length",
+]
+
+GROUP_SIZE = 5
+#: Byte value produced by a group of five quantized zeros.
+ZERO_GROUP_BYTE = 121
+#: Largest byte value quartic encoding can produce (= 3**5 - 1).
+MAX_QUARTIC_BYTE = 242
+
+# Powers of 3 for the five digit positions, most-significant first.
+_POWERS = np.array([81, 27, 9, 3, 1], dtype=np.uint8)
+
+
+def padded_length(n: int) -> int:
+    """Number of values after padding ``n`` up to a multiple of 5."""
+    return -(-n // GROUP_SIZE) * GROUP_SIZE
+
+
+def quartic_encode(values: np.ndarray) -> np.ndarray:
+    """Pack a ternary tensor into quartic bytes.
+
+    Parameters
+    ----------
+    values:
+        Integer array (any shape) with entries in ``{-1, 0, 1}``.
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D ``uint8`` array of length ``ceil(values.size / 5)`` with entries
+        in ``[0, 242]``. The trailing group is zero-padded, i.e. padded with
+        digit value ``1`` after the +1 shift — callers must remember the
+        original element count to decode (the 3LC wire header stores the
+        shape).
+
+    Raises
+    ------
+    ValueError
+        If any entry lies outside ``{-1, 0, 1}``.
+    """
+    arr = np.asarray(values)
+    flat = arr.reshape(-1)
+    if flat.size and (flat.min() < -1 or flat.max() > 1):
+        raise ValueError("quartic encoding requires values in {-1, 0, 1}")
+    # Steps 1-4 of the paper: +1, cast to uint8, flatten, pad to multiple of 5.
+    digits = (flat.astype(np.int16) + 1).astype(np.uint8)
+    pad = padded_length(flat.size) - flat.size
+    if pad:
+        # Padding with 1 (the digit for quantized zero) keeps padded groups
+        # eligible for zero-run encoding.
+        digits = np.concatenate([digits, np.ones(pad, dtype=np.uint8)])
+    # Step 5-6: partition into 5 columns and evaluate the quartic form.
+    groups = digits.reshape(-1, GROUP_SIZE)
+    # uint8 arithmetic would overflow (max 2*81=162 fits, but the sum 242
+    # also fits); still, accumulate in uint16 for clarity and safety.
+    packed = (groups.astype(np.uint16) * _POWERS.astype(np.uint16)).sum(axis=1)
+    return packed.astype(np.uint8)
+
+
+def quartic_decode(
+    encoded: np.ndarray, count: int, shape: tuple[int, ...] | None = None
+) -> np.ndarray:
+    """Unpack quartic bytes back to a ternary tensor.
+
+    Parameters
+    ----------
+    encoded:
+        1-D ``uint8`` array produced by :func:`quartic_encode`.
+    count:
+        Number of original (un-padded) values.
+    shape:
+        Optional output shape; must have ``prod(shape) == count``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int8`` array with entries in ``{-1, 0, 1}``.
+    """
+    arr = np.asarray(encoded, dtype=np.uint8).reshape(-1)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if arr.size != (padded_length(count) // GROUP_SIZE):
+        raise ValueError(
+            f"encoded length {arr.size} inconsistent with count {count}"
+        )
+    if arr.size and arr.max() > MAX_QUARTIC_BYTE:
+        raise ValueError("byte outside quartic range [0, 242]")
+    # Base-3 digit extraction: divide by powers of 3, take remainder mod 3.
+    a = arr.astype(np.uint16)
+    digits = (a[:, None] // _POWERS.astype(np.uint16)) % 3
+    flat = digits.reshape(-1)[:count].astype(np.int8) - 1
+    if shape is not None:
+        expected = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if expected != count:
+            raise ValueError(f"shape {shape} incompatible with count {count}")
+        return flat.reshape(shape)
+    return flat
+
+
+def quartic_encode_reference(values: np.ndarray) -> np.ndarray:
+    """Digit-at-a-time reference encoder (gold standard for tests)."""
+    flat = [int(v) + 1 for v in np.asarray(values).reshape(-1)]
+    for v in flat:
+        if v not in (0, 1, 2):
+            raise ValueError("quartic encoding requires values in {-1, 0, 1}")
+    while len(flat) % GROUP_SIZE:
+        flat.append(1)
+    out = []
+    for i in range(0, len(flat), GROUP_SIZE):
+        a, b, c, d, e = flat[i : i + GROUP_SIZE]
+        out.append(a * 81 + b * 27 + c * 9 + d * 3 + e)
+    return np.array(out, dtype=np.uint8)
+
+
+def quartic_decode_reference(encoded: np.ndarray, count: int) -> np.ndarray:
+    """Digit-at-a-time reference decoder (gold standard for tests)."""
+    digits: list[int] = []
+    for byte in np.asarray(encoded, dtype=np.uint8).reshape(-1):
+        b = int(byte)
+        if b > MAX_QUARTIC_BYTE:
+            raise ValueError("byte outside quartic range [0, 242]")
+        group = []
+        for power in (81, 27, 9, 3, 1):
+            group.append(b // power % 3)
+        digits.extend(group)
+    return np.array(digits[:count], dtype=np.int8) - 1

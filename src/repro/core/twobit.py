@@ -1,0 +1,50 @@
+"""Naive 2-bit packing of ternary values (ablation baseline, paper §3.2).
+
+TernGrad and the strawman the paper compares quartic encoding against store
+each value of ``{-1, 0, 1}`` in 2 bits (four values per byte). Quartic
+encoding is 20% smaller (1.6 vs 2 bits per value). This module exists so
+the encoding ablation benchmark can measure that gap on real tensors.
+
+Digit mapping: value + 1 ∈ {0, 1, 2} in each 2-bit lane, most-significant
+lane first within a byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["twobit_encode", "twobit_decode", "TWOBIT_GROUP"]
+
+TWOBIT_GROUP = 4
+
+
+def twobit_encode(values: np.ndarray) -> np.ndarray:
+    """Pack ternary values into 2-bit lanes, four per byte."""
+    flat = np.asarray(values).reshape(-1)
+    if flat.size and (flat.min() < -1 or flat.max() > 1):
+        raise ValueError("2-bit encoding requires values in {-1, 0, 1}")
+    digits = (flat.astype(np.int16) + 1).astype(np.uint8)
+    pad = (-flat.size) % TWOBIT_GROUP
+    if pad:
+        digits = np.concatenate([digits, np.ones(pad, dtype=np.uint8)])
+    lanes = digits.reshape(-1, TWOBIT_GROUP)
+    return (
+        (lanes[:, 0] << 6) | (lanes[:, 1] << 4) | (lanes[:, 2] << 2) | lanes[:, 3]
+    ).astype(np.uint8)
+
+
+def twobit_decode(encoded: np.ndarray, count: int) -> np.ndarray:
+    """Unpack 2-bit lanes back to ternary values."""
+    arr = np.asarray(encoded, dtype=np.uint8).reshape(-1)
+    expected = -(-count // TWOBIT_GROUP) if count else 0
+    if arr.size != expected:
+        raise ValueError(f"encoded length {arr.size} inconsistent with count {count}")
+    lanes = np.empty((arr.size, TWOBIT_GROUP), dtype=np.uint8)
+    lanes[:, 0] = (arr >> 6) & 0b11
+    lanes[:, 1] = (arr >> 4) & 0b11
+    lanes[:, 2] = (arr >> 2) & 0b11
+    lanes[:, 3] = arr & 0b11
+    flat = lanes.reshape(-1)[:count]
+    if flat.size and flat.max() > 2:
+        raise ValueError("2-bit lane outside ternary digit range")
+    return flat.astype(np.int8) - 1

@@ -1,0 +1,49 @@
+"""Per-worker minibatch iteration over a materialized shard.
+
+Each worker owns a disjoint, deterministic shard of the training data
+(paper: "Workers keep a local copy of the model and training dataset") and
+iterates minibatches in a reshuffled order each epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ShardBatcher"]
+
+
+class ShardBatcher:
+    """Infinite shuffled minibatch stream over one worker's shard."""
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ):
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError("images/labels length mismatch")
+        if batch_size < 1 or batch_size > images.shape[0]:
+            raise ValueError(
+                f"batch_size {batch_size} invalid for shard of {images.shape[0]}"
+            )
+        self.images = images
+        self.labels = labels
+        self.batch_size = int(batch_size)
+        self.rng = rng
+        self._order = np.arange(images.shape[0])
+        self._cursor = images.shape[0]  # force initial shuffle
+
+    @property
+    def shard_size(self) -> int:
+        return int(self.images.shape[0])
+
+    def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the next ``(images, labels)`` minibatch."""
+        if self._cursor + self.batch_size > self._order.size:
+            self.rng.shuffle(self._order)
+            self._cursor = 0
+        idx = self._order[self._cursor : self._cursor + self.batch_size]
+        self._cursor += self.batch_size
+        return self.images[idx], self.labels[idx]

@@ -1,0 +1,40 @@
+"""Distributed substrate: in-process parameter-server training simulator."""
+
+from repro.distributed.allreduce import ReduceResult, RingAllReduce, chunk_bounds
+from repro.distributed.async_cluster import AsyncCluster, AsyncConfig
+from repro.distributed.barriers import (
+    BackupWorkerBarrier,
+    BarrierDecision,
+    FullBarrier,
+    StragglerSpec,
+)
+from repro.distributed.cluster import Cluster, ClusterConfig, EvalResult
+from repro.distributed.server import ParameterServer, PullBatch
+from repro.distributed.sharding import (
+    ShardedParameterService,
+    ShardLoad,
+    partition_parameters,
+)
+from repro.distributed.worker import GradientBatch, Worker
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "EvalResult",
+    "ParameterServer",
+    "PullBatch",
+    "Worker",
+    "GradientBatch",
+    "StragglerSpec",
+    "FullBarrier",
+    "BackupWorkerBarrier",
+    "BarrierDecision",
+    "AsyncCluster",
+    "AsyncConfig",
+    "ShardedParameterService",
+    "ShardLoad",
+    "partition_parameters",
+    "RingAllReduce",
+    "ReduceResult",
+    "chunk_bounds",
+]

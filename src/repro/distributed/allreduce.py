@@ -1,0 +1,228 @@
+"""Ring all-reduce topology with per-hop tensor compression.
+
+The paper's parameter-server architecture (§2, Figure 1) is one of two
+dominant gradient-exchange topologies; the other — bandwidth-optimal ring
+all-reduce — is what the in-datacenter frameworks the paper cites in §1
+(performance studies [3, 25, 39, 41]) typically use. This module implements
+the ring so the repository can answer the natural follow-up question the
+paper leaves open: *does point-to-point compression compose with
+all-reduce?*
+
+A ring all-reduce over ``N`` nodes splits each tensor into ``N`` chunks
+and runs two phases of ``N-1`` hops each:
+
+* **reduce-scatter** — hop ``t`` sends chunk ``(rank - t) mod N`` to the
+  right neighbour, which adds it to its local copy; after ``N-1`` hops
+  node ``r`` holds the full sum of chunk ``(r+1) mod N``.
+* **all-gather** — the completed chunks circulate unreduced so every node
+  ends with the whole reduced tensor.
+
+Each node transmits ``2 (N-1)/N`` of the tensor per reduction versus the
+parameter server's ``2×`` per *worker* plus ``2N×`` at the server — the
+ring has no bandwidth hotspot, which is exactly why compression matters
+less there and why the paper's server-centric setting is where 3LC shines
+(the comparison ``benchmarks/bench_allreduce.py`` quantifies this).
+
+Compression composes per-hop: every (sender, chunk) pair owns a persistent
+compression context, so error feedback corrects each link's quantization
+error across *training steps*. Lossy re-encoding of partial sums at every
+hop compounds (N-1 lossy stages versus 3LC's one), which the tests and
+bench surface as a reduced-fidelity sum — the quantitative argument for
+the paper's point-to-point design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.base import Compressor, CompressorContext
+
+__all__ = ["RingAllReduce", "ReduceResult", "chunk_bounds"]
+
+
+def chunk_bounds(size: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``size`` elements into ``parts`` contiguous chunks.
+
+    Sizes differ by at most one element (the first ``size % parts`` chunks
+    are one longer), matching the standard ring-allreduce partitioning.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if size < 0:
+        raise ValueError(f"size must be >= 0, got {size}")
+    base, extra = divmod(size, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        length = base + (1 if i < extra else 0)
+        bounds.append((start, start + length))
+        start += length
+    return bounds
+
+
+@dataclass
+class ReduceResult:
+    """Outcome of one all-reduce invocation.
+
+    Attributes
+    ----------
+    outputs:
+        Per-node reduced tensors (averaged when ``average=True``). With a
+        lossless compressor all entries are identical; lossy per-hop
+        compression makes them *approximately* equal — the divergence is
+        part of what the topology comparison measures.
+    wire_bytes:
+        Total bytes transmitted around the ring, all hops and nodes.
+    baseline_bytes:
+        Bytes an uncompressed float32 ring would have moved.
+    max_link_bytes:
+        The largest per-link volume — the quantity that sets step time on
+        a bandwidth-bound network (every ring link carries roughly this).
+    """
+
+    outputs: list[np.ndarray]
+    wire_bytes: int
+    baseline_bytes: int
+    max_link_bytes: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Baseline bytes over wire bytes (1.0 when uncompressed)."""
+        if self.wire_bytes == 0:
+            return float("inf") if self.baseline_bytes else 1.0
+        return self.baseline_bytes / self.wire_bytes
+
+
+class RingAllReduce:
+    """Simulated ring all-reduce with optional per-hop compression.
+
+    Parameters
+    ----------
+    num_nodes:
+        Ring size (the paper's cluster would be 10).
+    shape:
+        Shape of the tensor each node contributes.
+    compressor:
+        Scheme applied to every hop's payload; ``None`` transmits raw
+        float32 chunks. Contexts persist across calls, so error feedback
+        works exactly as in the parameter-server cluster.
+
+    Notes
+    -----
+    Deferred transmission (``compress`` returning ``None``, as the
+    N-local-steps scheme does) cannot be modelled on a ring — a hop must
+    carry *something* for the reduction to proceed — so such schemes are
+    rejected at the first deferral.
+
+    Error feedback's contract is *integral*: residual left on a link at
+    step ``t`` is transmitted at ``t+1``, which corrects consumers that
+    accumulate outputs over time (SGD does: parameter updates integrate
+    state changes). Repeated *standalone* reductions through one ring
+    instance do not satisfy that assumption — leftover residual from one
+    call leaks into the next, independent result — so build a fresh ring
+    per reduction in that usage, or use a fine-grained codec.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        shape: tuple[int, ...],
+        compressor: Compressor | None = None,
+    ):
+        if num_nodes < 2:
+            raise ValueError(f"a ring needs >= 2 nodes, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.shape = tuple(int(d) for d in shape)
+        self.compressor = compressor
+        size = int(np.prod(self.shape)) if self.shape else 1
+        self.bounds = chunk_bounds(size, self.num_nodes)
+        # One persistent context per (sender, phase, chunk): reduce-scatter
+        # payloads and all-gather payloads have different statistics.
+        self._contexts: dict[tuple[int, str, int], CompressorContext] = {}
+
+    def _transmit(
+        self, sender: int, phase: str, chunk: int, payload: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Send one chunk across one link; returns (received, wire_bytes)."""
+        if self.compressor is None:
+            return payload.copy(), payload.size * 4
+        key = (sender, phase, chunk)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            ctx = self.compressor.make_context(
+                payload.shape, key=("ring", phase, sender, chunk)
+            )
+            self._contexts[key] = ctx
+        result = ctx.compress(payload)
+        if result is None:
+            raise ValueError(
+                f"{self.compressor.name!r} deferred a hop transmission; "
+                "schedule-changing schemes cannot run on a ring"
+            )
+        return (
+            np.asarray(self.compressor.decompress(result.message), dtype=np.float32),
+            result.wire_size,
+        )
+
+    def reduce(
+        self, tensors: list[np.ndarray], *, average: bool = True
+    ) -> ReduceResult:
+        """All-reduce one tensor per node around the ring."""
+        if len(tensors) != self.num_nodes:
+            raise ValueError(
+                f"expected {self.num_nodes} tensors, got {len(tensors)}"
+            )
+        flats = []
+        for t in tensors:
+            arr = np.asarray(t, dtype=np.float32)
+            if arr.shape != self.shape:
+                raise ValueError(f"tensor shape {arr.shape} != ring {self.shape}")
+            flats.append(arr.reshape(-1).copy())
+
+        n = self.num_nodes
+        wire = 0
+        link_bytes = [0] * n  # link i: node i -> node (i+1) % n
+        # Phase 1: reduce-scatter.
+        for hop in range(n - 1):
+            updates = []
+            for rank in range(n):
+                chunk = (rank - hop) % n
+                lo, hi = self.bounds[chunk]
+                received, nbytes = self._transmit(
+                    rank, "reduce", chunk, flats[rank][lo:hi]
+                )
+                wire += nbytes
+                link_bytes[rank] += nbytes
+                updates.append(((rank + 1) % n, chunk, received))
+            for dest, chunk, received in updates:
+                lo, hi = self.bounds[chunk]
+                flats[dest][lo:hi] += received
+        # Phase 2: all-gather the completed chunks.
+        for hop in range(n - 1):
+            updates = []
+            for rank in range(n):
+                chunk = (rank + 1 - hop) % n
+                lo, hi = self.bounds[chunk]
+                received, nbytes = self._transmit(
+                    rank, "gather", chunk, flats[rank][lo:hi]
+                )
+                wire += nbytes
+                link_bytes[rank] += nbytes
+                updates.append(((rank + 1) % n, chunk, received))
+            for dest, chunk, received in updates:
+                lo, hi = self.bounds[chunk]
+                flats[dest][lo:hi] = received
+
+        if average:
+            for flat in flats:
+                flat /= np.float32(n)
+        size = flats[0].size
+        baseline = 2 * (n - 1) * size * 4  # sum of per-node chunk traffic
+        return ReduceResult(
+            outputs=[flat.reshape(self.shape) for flat in flats],
+            wire_bytes=wire,
+            baseline_bytes=baseline,
+            max_link_bytes=max(link_bytes) if link_bytes else 0,
+        )

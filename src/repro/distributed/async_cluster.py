@@ -1,0 +1,232 @@
+"""Asynchronous and stale-synchronous training (paper §2.1).
+
+The paper's background section contrasts synchronous training with two
+relaxations it chooses *not* to use, because "asynchronous state change
+transmission generally requires more training steps than BSP to train a
+model to similar test accuracy":
+
+* **fully asynchronous** (Hogwild-style via a parameter server): a worker
+  pushes a gradient computed against whatever model version it last
+  pulled, with unbounded staleness;
+* **stale synchronous parallel** (SSP, Ho et al.): asynchrony bounded by a
+  staleness threshold — a worker may run at most ``staleness`` steps ahead
+  of the slowest worker.
+
+:class:`AsyncCluster` reproduces both in the simulator so that the §2.1
+claim is measurable (see ``tests/distributed/test_async.py`` and the
+barrier benchmark). The event model: each worker has a virtual clock that
+advances by its (straggler-scaled) compute time per local step; the
+cluster repeatedly picks the *eligible* worker with the earliest finish
+time, applies its (compressed) gradient to the global model immediately,
+and hands back compressed deltas of everything that changed since that
+worker's last pull. SSP eligibility blocks workers that are
+``staleness + 1`` local steps ahead of the slowest worker.
+
+Unlike the BSP cluster there is no shared pull: each worker's delta stream
+is individual (their local models legitimately diverge), which is exactly
+why the paper notes that loosely-synchronized systems "may require
+multiple copies of compressed model deltas" (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.data.augment import Augmenter
+from repro.data.batcher import ShardBatcher
+from repro.data.synthetic import SyntheticImageDataset
+from repro.distributed.barriers import StragglerSpec
+from repro.distributed.server import ParameterServer
+from repro.distributed.worker import Worker
+from repro.network.traffic import StepTraffic, TrafficMeter
+from repro.nn.loss import SoftmaxCrossEntropy, accuracy
+from repro.nn.optimizer import MomentumSGD
+from repro.nn.schedule import Schedule
+from repro.utils.seeding import SeedSequenceFactory
+
+__all__ = ["AsyncConfig", "AsyncCluster"]
+
+
+@dataclass(frozen=True)
+class AsyncConfig:
+    """Configuration of an asynchronous/SSP cluster.
+
+    ``staleness=None`` means fully asynchronous; ``staleness=k`` bounds a
+    worker to at most ``k`` local steps ahead of the slowest worker
+    (``k=0`` degenerates to lock-step execution).
+    """
+
+    num_workers: int = 4
+    batch_size: int = 16
+    shard_size: int = 256
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    small_tensor_threshold: int = 256
+    augment_pad: int = 2
+    seed: int = 0
+    staleness: int | None = None
+    straggler: StragglerSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.staleness is not None and self.staleness < 0:
+            raise ValueError("staleness must be >= 0 or None")
+
+
+class AsyncCluster:
+    """Event-driven asynchronous parameter-server trainer."""
+
+    def __init__(
+        self,
+        model_factory,
+        dataset: SyntheticImageDataset,
+        scheme: Compressor,
+        schedule: Schedule,
+        config: AsyncConfig | None = None,
+    ):
+        self.config = config or AsyncConfig()
+        self.dataset = dataset
+        self.scheme = scheme
+        seeds = SeedSequenceFactory(self.config.seed)
+
+        reference = model_factory()
+        self.workers: list[Worker] = []
+        for worker_id in range(self.config.num_workers):
+            model = model_factory()
+            model.load_state_dict(reference.state_dict())
+            images, labels = dataset.train_shard(worker_id, self.config.shard_size)
+            self.workers.append(
+                Worker(
+                    worker_id,
+                    model,
+                    ShardBatcher(
+                        images, labels, self.config.batch_size, seeds.rng("b", worker_id)
+                    ),
+                    Augmenter(seeds.rng("a", worker_id), pad=self.config.augment_pad),
+                    scheme,
+                    small_tensor_threshold=self.config.small_tensor_threshold,
+                )
+            )
+        # The server aggregates one worker's push at a time (divisor 1).
+        self.server = ParameterServer(
+            reference.parameters(),
+            MomentumSGD(self.config.momentum, self.config.weight_decay),
+            schedule,
+            scheme,
+            num_workers=1,
+            small_tensor_threshold=self.config.small_tensor_threshold,
+        )
+        # Per-worker pull contexts: loosely-synchronized replicas need an
+        # individual compressed delta stream each (paper §3).
+        self._pull_contexts = {
+            worker.worker_id: {
+                name: (
+                    scheme.make_bypass_context(param.shape, key=("apull", worker.worker_id, name))
+                    if name in self.server.bypassed
+                    else scheme.make_context(param.shape, key=("apull", worker.worker_id, name))
+                )
+                for name, param in self.server.params.items()
+            }
+            for worker in self.workers
+        }
+        # Global state at each worker's last pull: the pull context is fed
+        # only the increment since then; its own error buffer carries
+        # whatever compression deferred (same contract as the BSP cluster).
+        self._last_global = {
+            worker.worker_id: self.server.state_dict() for worker in self.workers
+        }
+        self._clock = {worker.worker_id: 0.0 for worker in self.workers}
+        self._local_steps = {worker.worker_id: 0 for worker in self.workers}
+        self._eval_model = model_factory()
+        self.traffic = TrafficMeter()
+        self.update_count = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def _eligible(self) -> list[int]:
+        staleness = self.config.staleness
+        if staleness is None:
+            return list(self._clock)
+        slowest = min(self._local_steps.values())
+        return [
+            wid
+            for wid, steps in self._local_steps.items()
+            if steps - slowest <= staleness
+        ]
+
+    def _next_worker(self) -> int:
+        eligible = self._eligible()
+        return min(eligible, key=lambda wid: (self._clock[wid], wid))
+
+    # -- training ----------------------------------------------------------
+
+    def run_updates(self, count: int) -> None:
+        """Apply ``count`` asynchronous gradient updates to the global model."""
+        for _ in range(count):
+            self._one_update()
+
+    def _one_update(self) -> None:
+        wid = self._next_worker()
+        worker = self.workers[wid]
+        batch = worker.train_step()
+
+        multiplier = (
+            self.config.straggler.multiplier(wid, self._local_steps[wid])
+            if self.config.straggler
+            else 1.0
+        )
+        self._clock[wid] += batch.compute_seconds * multiplier
+        self._local_steps[wid] += 1
+
+        # Server applies this worker's (stale) gradient immediately.
+        pull_unused = self.server.step([batch.messages], divisor=1)
+        self.update_count += 1
+
+        # Individual pull: compress (global - worker_view) deltas for this
+        # worker only, via its personal error-feedback contexts.
+        record = StepTraffic(
+            step=self.update_count - 1,
+            pull_fanout=1,
+            num_workers=1,
+            model_elements=sum(p.size for p in self.server.params.values()),
+        )
+        for result in batch.messages.values():
+            if result is None:
+                continue
+            record.push_bytes += result.message.wire_size
+            record.push_elements += result.message.element_count
+        deltas: dict[str, np.ndarray] = {}
+        last = self._last_global[wid]
+        for name, param in self.server.params.items():
+            context = self._pull_contexts[wid][name]
+            increment = param.data - last[name]
+            last[name] = param.data.copy()
+            result = context.compress(increment)
+            if result is None:  # deferred (local-steps); buffered in context
+                continue
+            deltas[name] = result.reconstruction
+            record.pull_bytes_shared += result.message.wire_size
+            record.pull_elements += result.message.element_count
+        worker.apply_pull(deltas)
+        self.traffic.record(record)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, *, test_size: int = 1000) -> float:
+        """Top-1 accuracy of the global model on the held-out set."""
+        self._eval_model.load_state_dict(self.server.state_dict())
+        from repro.distributed.cluster import Cluster
+
+        Cluster._sync_bn_stats(self.workers[0].model, self._eval_model)
+        images, labels = self.dataset.test_set(test_size)
+        logits = self._eval_model.forward(images, training=False)
+        return accuracy(logits, labels)
+
+    def max_staleness_observed(self) -> int:
+        """Largest local-step lead any worker currently holds."""
+        steps = self._local_steps.values()
+        return max(steps) - min(steps)

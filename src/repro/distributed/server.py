@@ -1,0 +1,184 @@
+"""Parameter server: aggregation, global model update, shared pull compression.
+
+The server (paper §2) stores the global model, averages decompressed
+gradient pushes from all workers, applies the update with the global
+optimizer (momentum SGD + LR schedule), and compresses the resulting model
+deltas *once*, sharing the compressed copy among all workers — 3LC's pull
+optimization (paper §3, Figure 2b): "the servers compress model deltas and
+make a shared local copy of the compressed model deltas".
+
+Pull compression uses one context per tensor whose error-accumulation
+buffer carries deltas that quantization deferred; workers therefore
+converge to the global model over time rather than instantaneously, which
+is exactly the behaviour the paper's design accepts and evaluates.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compression.base import Compressor, CompressorContext, CompressionResult
+from repro.nn.optimizer import MomentumSGD
+from repro.nn.parameter import Parameter
+from repro.nn.schedule import Schedule
+
+__all__ = ["ParameterServer", "PullBatch"]
+
+
+class PullBatch:
+    """One step's shared compressed model deltas plus server measurements."""
+
+    __slots__ = ("messages", "decompress_seconds", "compress_seconds")
+
+    def __init__(
+        self,
+        messages: dict[str, CompressionResult | None],
+        decompress_seconds: float,
+        compress_seconds: float,
+    ):
+        self.messages = messages
+        self.decompress_seconds = decompress_seconds
+        self.compress_seconds = compress_seconds
+
+
+class ParameterServer:
+    """The (single) simulated parameter-server node.
+
+    Parameters
+    ----------
+    parameters:
+        Initial global model parameters (cloned; the server owns its copy).
+    optimizer:
+        Global optimizer applied to aggregated gradients.
+    schedule:
+        Learning-rate schedule indexed by global step.
+    scheme:
+        Compression scheme for model-delta pulls (same scheme as pushes in
+        all of the paper's experiments).
+    num_workers:
+        Worker count, used for gradient averaging.
+    small_tensor_threshold:
+        Tensors below this many elements bypass compression.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        optimizer: MomentumSGD,
+        schedule: Schedule,
+        scheme: Compressor,
+        num_workers: int,
+        *,
+        small_tensor_threshold: int = 256,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers!r}")
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.scheme = scheme
+        self.num_workers = int(num_workers)
+        self.small_tensor_threshold = int(small_tensor_threshold)
+        # The server's own Parameter copies; grads are filled by aggregation.
+        self.params: dict[str, Parameter] = {
+            p.name: Parameter(p.name, p.data.copy(), weight_decay=p.weight_decay)
+            for p in parameters
+        }
+        self.pull_contexts: dict[str, CompressorContext] = {}
+        self.bypassed: set[str] = set()
+        for name, param in self.params.items():
+            key = ("pull", name)
+            if param.size < self.small_tensor_threshold:
+                self.pull_contexts[name] = scheme.make_bypass_context(
+                    param.shape, key=key
+                )
+                self.bypassed.add(name)
+            else:
+                self.pull_contexts[name] = scheme.make_context(param.shape, key=key)
+        self.global_step = 0
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot of the global model (the paper's accuracy-measurement
+        node reads exactly this)."""
+        return {name: p.data.copy() for name, p in self.params.items()}
+
+    def _decompress_push(self, name: str, message) -> np.ndarray:
+        if name in self.bypassed:
+            return self.scheme.decompress_bypass(message)
+        return self.scheme.decompress(message)
+
+    def step(
+        self,
+        pushes: list[dict[str, CompressionResult | None]],
+        divisor: int | None = None,
+    ) -> PullBatch:
+        """Run one global step: aggregate, update, compress shared pulls.
+
+        Parameters
+        ----------
+        pushes:
+            One compressed-gradient dict per *participating* worker.
+            ``None`` entries mean the worker deferred that tensor this step
+            (local-steps scheme). Under a backup-worker barrier the cluster
+            passes only the accepted subset.
+        divisor:
+            Gradient-averaging denominator. Defaults to the configured
+            worker count (vanilla BSP); the backup-worker barrier passes
+            the accepted count, matching SyncReplicasOptimizer.
+        """
+        if not (1 <= len(pushes) <= self.num_workers):
+            raise ValueError(
+                f"expected 1..{self.num_workers} pushes, got {len(pushes)}"
+            )
+        if divisor is None:
+            divisor = self.num_workers
+        if divisor < 1:
+            raise ValueError("divisor must be >= 1")
+        # -- gradient aggregation (decompression measured) ------------------
+        t0 = time.perf_counter()
+        aggregated: dict[str, np.ndarray] = {}
+        for name, param in self.params.items():
+            total: np.ndarray | None = None
+            for worker_push in pushes:
+                result = worker_push[name]
+                if result is None:
+                    continue
+                grad = self._decompress_push(name, result.message)
+                total = grad.copy() if total is None else total + grad
+            if total is not None:
+                # Average over the divisor: deferring workers contribute
+                # zero this step (their update arrives later via their
+                # error buffers).
+                aggregated[name] = total / divisor
+        decompress_seconds = time.perf_counter() - t0
+
+        # -- model update ----------------------------------------------------
+        lr = self.schedule(self.global_step)
+        previous = {name: self.params[name].data.copy() for name in aggregated}
+        if aggregated:
+            updated = [self.params[name] for name in aggregated]
+            for param in updated:
+                param.grad = aggregated[param.name]
+            self.optimizer.step(updated, lr)
+            for param in updated:
+                param.grad = None
+        self.global_step += 1
+
+        # -- shared pull compression ------------------------------------------
+        t1 = time.perf_counter()
+        messages: dict[str, CompressionResult | None] = {}
+        for name, param in self.params.items():
+            if name in aggregated:
+                delta = param.data - previous[name]
+            else:
+                delta = np.zeros(param.shape, dtype=np.float32)
+            messages[name] = self.pull_contexts[name].compress(delta)
+        compress_seconds = time.perf_counter() - t1
+        return PullBatch(messages, decompress_seconds, compress_seconds)
+
+    def decompress_pull(self, name: str, message) -> np.ndarray:
+        """Decode one shared pull message (worker side calls this)."""
+        if name in self.bypassed:
+            return self.scheme.decompress_bypass(message)
+        return self.scheme.decompress(message)

@@ -1,0 +1,198 @@
+"""Sharded parameter service: the multi-server half of Figure 1.
+
+The paper's architecture diagram shows several parameter servers, each
+storing "a partition of the global model" (§2), though its evaluation uses
+a single server machine (§5.2). This module supplies the multi-server
+generality: parameters are partitioned across ``num_shards`` independent
+:class:`~repro.distributed.server.ParameterServer` instances, each running
+its own aggregation, optimizer state, and shared pull compression for its
+subset — exactly the per-tensor independence that makes 3LC's
+point-to-point contexts shard-trivial (a compression context never spans
+servers, so sharding needs no codec changes at all).
+
+What sharding buys, and what this module measures, is *uplink load
+spreading*: the single server's hot link carries all push and pull bytes;
+K shards divide that by roughly the partition balance. The greedy
+largest-first partitioner keeps shard loads within one largest-tensor of
+each other — adequate for DNN models whose tensor-size distribution is a
+few large conv/FC tensors plus many small ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Compressor, CompressionResult
+from repro.distributed.server import ParameterServer, PullBatch
+from repro.nn.optimizer import MomentumSGD
+from repro.nn.parameter import Parameter
+from repro.nn.schedule import Schedule
+
+__all__ = ["partition_parameters", "ShardedParameterService", "ShardLoad"]
+
+
+def partition_parameters(
+    sizes: dict[str, int], num_shards: int
+) -> list[list[str]]:
+    """Greedy largest-first partition of tensors across shards.
+
+    Returns ``num_shards`` name lists (some possibly empty when there are
+    fewer tensors than shards). Deterministic: ties break on name.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    for name, size in sizes.items():
+        if size < 0:
+            raise ValueError(f"tensor {name!r} has negative size {size}")
+    loads = [0] * num_shards
+    shards: list[list[str]] = [[] for _ in range(num_shards)]
+    for name in sorted(sizes, key=lambda n: (-sizes[n], n)):
+        target = min(range(num_shards), key=lambda i: (loads[i], i))
+        shards[target].append(name)
+        loads[target] += sizes[name]
+    return shards
+
+
+class ShardLoad:
+    """Per-shard byte accounting for one training step."""
+
+    __slots__ = ("push_bytes", "pull_bytes_shared")
+
+    def __init__(self, push_bytes: int = 0, pull_bytes_shared: int = 0):
+        self.push_bytes = push_bytes
+        self.pull_bytes_shared = pull_bytes_shared
+
+    def uplink_bytes(self, pull_fanout: int) -> int:
+        """Bytes this shard's network link carries in one step."""
+        return self.push_bytes + self.pull_bytes_shared * pull_fanout
+
+
+class ShardedParameterService:
+    """``num_shards`` parameter servers behind one aggregate interface.
+
+    Drop-in equivalent of a single :class:`ParameterServer` for BSP-style
+    stepping: :meth:`step` fans each worker's pushes out to the owning
+    shards, steps every shard, and merges the pull batches. Shards step in
+    lock-step (the paper's fine-grained barriers, §2.1, permit per-layer
+    progress, which per-shard stepping models at shard granularity).
+
+    Parameters
+    ----------
+    parameters:
+        Initial global model parameters.
+    optimizer_factory:
+        Zero-argument callable producing one optimizer *per shard*
+        (optimizer slots are per-parameter, so sharding them is exact).
+    schedule / scheme / num_workers / small_tensor_threshold:
+        As for :class:`ParameterServer`.
+    num_shards:
+        Number of server nodes to partition the model across.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        optimizer_factory,
+        schedule: Schedule,
+        scheme: Compressor,
+        *,
+        num_workers: int,
+        num_shards: int = 2,
+        small_tensor_threshold: int = 256,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        by_name = {p.name: p for p in parameters}
+        if len(by_name) != len(parameters):
+            raise ValueError("duplicate parameter names")
+        self.partition = partition_parameters(
+            {p.name: p.size for p in parameters}, num_shards
+        )
+        self.num_shards = num_shards
+        self.shards: list[ParameterServer] = [
+            ParameterServer(
+                [by_name[name] for name in shard_names],
+                optimizer_factory(),
+                schedule,
+                scheme,
+                num_workers=num_workers,
+                small_tensor_threshold=small_tensor_threshold,
+            )
+            for shard_names in self.partition
+        ]
+        self._owner: dict[str, int] = {
+            name: idx
+            for idx, names in enumerate(self.partition)
+            for name in names
+        }
+        self.last_loads: list[ShardLoad] = [ShardLoad() for _ in range(num_shards)]
+
+    @property
+    def bypassed(self) -> set[str]:
+        out: set[str] = set()
+        for shard in self.shards:
+            out |= shard.bypassed
+        return out
+
+    @property
+    def global_step(self) -> int:
+        return self.shards[0].global_step if self.shards else 0
+
+    def shard_of(self, name: str) -> int:
+        """Index of the server owning ``name``."""
+        try:
+            return self._owner[name]
+        except KeyError:
+            raise KeyError(f"unknown parameter {name!r}") from None
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Merged snapshot of the partitioned global model."""
+        merged: dict[str, np.ndarray] = {}
+        for shard in self.shards:
+            merged.update(shard.state_dict())
+        return merged
+
+    def step(
+        self,
+        pushes: list[dict[str, CompressionResult | None]],
+        divisor: int | None = None,
+    ) -> PullBatch:
+        """Aggregate, update, and compress pulls across every shard."""
+        per_shard_pushes: list[list[dict[str, CompressionResult | None]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        loads = [ShardLoad() for _ in range(self.num_shards)]
+        for worker_push in pushes:
+            split: list[dict[str, CompressionResult | None]] = [
+                {} for _ in range(self.num_shards)
+            ]
+            for name, result in worker_push.items():
+                owner = self.shard_of(name)
+                split[owner][name] = result
+                if result is not None:
+                    loads[owner].push_bytes += result.wire_size
+            for idx in range(self.num_shards):
+                per_shard_pushes[idx].append(split[idx])
+
+        messages: dict[str, CompressionResult | None] = {}
+        decompress = compress = 0.0
+        for idx, shard in enumerate(self.shards):
+            if not shard.params:
+                continue
+            batch = shard.step(per_shard_pushes[idx], divisor)
+            messages.update(batch.messages)
+            decompress += batch.decompress_seconds
+            compress += batch.compress_seconds
+            loads[idx].pull_bytes_shared = sum(
+                r.wire_size for r in batch.messages.values() if r is not None
+            )
+        self.last_loads = loads
+        return PullBatch(messages, decompress, compress)
+
+    def decompress_pull(self, name: str, message) -> np.ndarray:
+        return self.shards[self.shard_of(name)].decompress_pull(name, message)
+
+    def hot_link_bytes(self, pull_fanout: int) -> int:
+        """The most-loaded server link's bytes for the last step — the
+        quantity sharding exists to divide."""
+        return max(load.uplink_bytes(pull_fanout) for load in self.last_loads)

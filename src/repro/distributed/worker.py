@@ -1,0 +1,134 @@
+"""Worker node: local model replica, gradient computation, push compression.
+
+Each worker (paper §2, Figure 1) holds a full local copy of the model and a
+disjoint training-data shard. Per step it runs the forward and backward
+passes, compresses each gradient tensor through its own per-tensor
+compression context (paper Figure 2a), and later applies the decompressed
+model deltas pulled from the server to its local replica.
+
+Small tensors (batch-norm scale/shift and similar) bypass compression via a
+float32 context, reproducing the paper's §5.1 exclusion.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compression.base import Compressor, CompressorContext, CompressionResult
+from repro.data.augment import Augmenter
+from repro.data.batcher import ShardBatcher
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.module import Module
+
+__all__ = ["Worker", "GradientBatch"]
+
+
+class GradientBatch:
+    """One step's compressed pushes plus local measurements."""
+
+    __slots__ = ("messages", "loss", "compute_seconds", "compress_seconds")
+
+    def __init__(
+        self,
+        messages: dict[str, CompressionResult | None],
+        loss: float,
+        compute_seconds: float,
+        compress_seconds: float,
+    ):
+        self.messages = messages
+        self.loss = loss
+        self.compute_seconds = compute_seconds
+        self.compress_seconds = compress_seconds
+
+
+class Worker:
+    """A simulated worker node.
+
+    Parameters
+    ----------
+    worker_id:
+        Index within the cluster (also the RNG stream key).
+    model:
+        This worker's model replica (its parameters are mutated by pulls).
+    batcher:
+        Minibatch stream over the worker's data shard.
+    augmenter:
+        Training-time augmentation pipeline.
+    scheme:
+        Compression scheme for gradient pushes.
+    small_tensor_threshold:
+        Tensors with fewer elements bypass compression (paper §5.1).
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        model: Module,
+        batcher: ShardBatcher,
+        augmenter: Augmenter,
+        scheme: Compressor,
+        *,
+        small_tensor_threshold: int = 256,
+    ):
+        self.worker_id = int(worker_id)
+        self.model = model
+        self.batcher = batcher
+        self.augmenter = augmenter
+        self.scheme = scheme
+        self.loss_fn = SoftmaxCrossEntropy()
+        self.small_tensor_threshold = int(small_tensor_threshold)
+        self._params = {p.name: p for p in model.parameters()}
+        self.push_contexts: dict[str, CompressorContext] = {}
+        self.bypassed: set[str] = set()
+        for name, param in self._params.items():
+            key = ("push", self.worker_id, name)
+            if param.size < self.small_tensor_threshold:
+                self.push_contexts[name] = scheme.make_bypass_context(
+                    param.shape, key=key
+                )
+                self.bypassed.add(name)
+            else:
+                self.push_contexts[name] = scheme.make_context(param.shape, key=key)
+
+    def train_step(self) -> GradientBatch:
+        """Forward/backward on one minibatch, then compress all gradients."""
+        images, labels = self.batcher.next_batch()
+        images = self.augmenter(images)
+
+        t0 = time.perf_counter()
+        logits = self.model.forward(images, training=True)
+        loss = self.loss_fn.forward(logits, labels)
+        self.model.zero_grad()
+        self.model.backward(self.loss_fn.backward())
+        compute_seconds = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        messages: dict[str, CompressionResult | None] = {}
+        for name, param in self._params.items():
+            if param.grad is None:
+                raise RuntimeError(f"missing gradient for {name}")
+            messages[name] = self.push_contexts[name].compress(param.grad)
+        compress_seconds = time.perf_counter() - t1
+        return GradientBatch(messages, loss, compute_seconds, compress_seconds)
+
+    def apply_pull(self, deltas: dict[str, np.ndarray]) -> float:
+        """Apply decompressed model deltas to the local replica.
+
+        Returns the wall-clock seconds spent (decompression time is
+        accounted separately by the cluster; this is the apply cost).
+        """
+        t0 = time.perf_counter()
+        for name, delta in deltas.items():
+            self._params[name].data += delta
+        return time.perf_counter() - t0
+
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(self._params)
+
+    def residual_norms(self) -> dict[str, float]:
+        """Per-tensor push-side error-buffer norms (diagnostics)."""
+        return {
+            name: ctx.residual_norm() for name, ctx in self.push_contexts.items()
+        }

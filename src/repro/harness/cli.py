@@ -1,0 +1,122 @@
+"""Command-line interface: regenerate any table or figure.
+
+Usage::
+
+    repro-3lc table1 [--fast]
+    repro-3lc table2 [--fast]
+    repro-3lc fig4 | fig5 | fig6 | fig7 | fig8 | fig9 [--fast]
+    repro-3lc related-work [--fast]     # §6 designs under Table 1 protocol
+    repro-3lc all [--fast]
+
+``--fast`` uses the miniature configuration (seconds instead of minutes;
+noisier numbers). ``--steps N`` overrides the standard step budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.config import DEFAULT_CONFIG, FAST_CONFIG
+from repro.harness.figures import (
+    FAST_SCHEMES,
+    figure7_curves,
+    figure8_sparsity,
+    figure9_compressed_size,
+    figure_time_accuracy,
+)
+from repro.harness.runner import ExperimentRunner
+from repro.harness.tables import related_work_table, table1, table2
+
+__all__ = ["main"]
+
+_FIGURE_LINKS = {"fig4": "10Mbps", "fig5": "100Mbps", "fig6": "1Gbps"}
+
+
+def _emit_time_accuracy(runner: ExperimentRunner, command: str) -> None:
+    link = _FIGURE_LINKS[command]
+    number = command.removeprefix("fig")
+    overview = figure_time_accuracy(
+        runner, link, figure_name=f"Figure {number}a (overview) @ {link}"
+    )
+    fast = figure_time_accuracy(
+        runner,
+        link,
+        FAST_SCHEMES,
+        figure_name=f"Figure {number}b (fast designs) @ {link}",
+    )
+    print(overview.text)
+    print()
+    print(fast.text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-3lc",
+        description="Regenerate tables and figures of the 3LC paper (MLSys 2019).",
+    )
+    parser.add_argument(
+        "command",
+        choices=[
+            "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "related-work", "all",
+        ],
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="miniature configuration (quick, noisy)"
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None, help="override the standard step budget"
+    )
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="archive every training run to a JSON file after the command",
+    )
+    args = parser.parse_args(argv)
+
+    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    if args.steps is not None:
+        config = config.scaled(standard_steps=args.steps)
+    runner = ExperimentRunner(config)
+
+    commands = (
+        ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "related-work"]
+        if args.command == "all"
+        else [args.command]
+    )
+    for command in commands:
+        if command == "table1":
+            _, text = table1(runner)
+            print(text)
+        elif command == "table2":
+            _, text = table2(runner)
+            print(text)
+        elif command in _FIGURE_LINKS:
+            _emit_time_accuracy(runner, command)
+        elif command == "fig7":
+            loss_fig, acc_fig = figure7_curves(runner)
+            print(loss_fig.text)
+            print()
+            print(acc_fig.text)
+        elif command == "fig8":
+            print(figure8_sparsity(runner).text)
+        elif command == "fig9":
+            print(figure9_compressed_size(runner, "3LC (s=1.00)").text)
+            print()
+            print(figure9_compressed_size(runner, "3LC (s=1.75)").text)
+        elif command == "related-work":
+            _, text = related_work_table(runner)
+            print(text)
+        print()
+
+    if args.save:
+        from repro.harness.results_io import save_results
+
+        results = list(runner._cache.values())
+        save_results(results, args.save)
+        print(f"archived {len(results)} runs to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Persisting experiment results to JSON.
+
+The benchmark harness and CLI can archive every :class:`RunResult` so that
+EXPERIMENTS.md numbers are regenerable and diffable. The format is plain
+JSON: one document per run with scalar metrics, curves, and the per-step
+traffic log (bytes and element counts only — reconstructions are not
+state worth archiving).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.harness.runner import RunResult
+from repro.distributed.cluster import EvalResult
+from repro.network.traffic import StepTraffic, TrafficMeter
+
+__all__ = ["run_result_to_dict", "run_result_from_dict", "save_results", "load_results"]
+
+_FORMAT_VERSION = 1
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Convert a run to a JSON-serializable dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "scheme": result.scheme,
+        "fraction": result.fraction,
+        "steps": result.steps,
+        "final_accuracy": result.final_accuracy,
+        "final_loss": result.final_loss,
+        "eval_curve": [asdict(e) for e in result.eval_curve],
+        "loss_curve": list(result.loss_curve),
+        "compression_ratio": result.compression_ratio,
+        "bits_per_value": result.bits_per_value,
+        "mean_step_seconds": dict(result.mean_step_seconds),
+        "total_seconds": dict(result.total_seconds),
+        "traffic_steps": [asdict(s) for s in result.traffic.steps],
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    """Reconstruct a run from :func:`run_result_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported results format version {version!r}")
+    meter = TrafficMeter(steps=[StepTraffic(**s) for s in data["traffic_steps"]])
+    return RunResult(
+        scheme=data["scheme"],
+        fraction=data["fraction"],
+        steps=data["steps"],
+        final_accuracy=data["final_accuracy"],
+        final_loss=data["final_loss"],
+        eval_curve=tuple(EvalResult(**e) for e in data["eval_curve"]),
+        loss_curve=tuple(data["loss_curve"]),
+        compression_ratio=data["compression_ratio"],
+        bits_per_value=data["bits_per_value"],
+        mean_step_seconds=data["mean_step_seconds"],
+        total_seconds=data["total_seconds"],
+        traffic=meter,
+    )
+
+
+def save_results(results: list[RunResult], path: str | Path) -> None:
+    """Write runs to a JSON file (one array of run documents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump([run_result_to_dict(r) for r in results], fh)
+
+
+def load_results(path: str | Path) -> list[RunResult]:
+    """Load runs written by :func:`save_results`."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return [run_result_from_dict(d) for d in json.load(fh)]

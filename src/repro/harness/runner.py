@@ -1,0 +1,143 @@
+"""Experiment runner: trains one (scheme, step-budget) cell and caches it.
+
+The paper's measurement methodology (§5.2) runs each configuration as a
+separate experiment because the cosine schedule depends on the total step
+budget. :class:`ExperimentRunner` does the same: ``run(scheme, fraction)``
+trains a fresh cluster for ``fraction`` of the standard steps, evaluates
+the global model, and derives per-link timing from measured traffic through
+the step-time model. Results are cached so the Table 1 and Figure 4–9
+generators can share runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression.registry import make_compressor
+from repro.distributed.cluster import Cluster, EvalResult
+from repro.harness.config import ExperimentConfig
+from repro.network.bandwidth import LINKS
+from repro.network.traffic import TrafficMeter
+from repro.utils.logging import get_logger
+
+__all__ = ["RunResult", "ExperimentRunner"]
+
+logger = get_logger("repro.harness.runner")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one training run.
+
+    Attributes
+    ----------
+    scheme / fraction / steps:
+        What was run.
+    final_accuracy / final_loss:
+        Global-model test metrics at the end of training.
+    eval_curve:
+        Periodic evaluations (Figure 7's accuracy curve).
+    loss_curve:
+        Per-step mean training loss across workers (Figure 7, left).
+    compression_ratio / bits_per_value:
+        End-to-end traffic statistics (Table 2).
+    mean_step_seconds / total_seconds:
+        Modelled per-link timing (Table 1, Figures 4–6). Keyed by link
+        name ("10Mbps", "100Mbps", "1Gbps").
+    traffic:
+        Full per-step traffic log (Figure 9).
+    """
+
+    scheme: str
+    fraction: float
+    steps: int
+    final_accuracy: float
+    final_loss: float
+    eval_curve: tuple[EvalResult, ...]
+    loss_curve: tuple[float, ...]
+    compression_ratio: float
+    bits_per_value: float
+    mean_step_seconds: dict[str, float]
+    total_seconds: dict[str, float]
+    traffic: TrafficMeter
+
+    def total_minutes(self, link_name: str) -> float:
+        return self.total_seconds[link_name] / 60.0
+
+
+class ExperimentRunner:
+    """Caches training runs for one :class:`ExperimentConfig`."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self._cache: dict[tuple[str, float], RunResult] = {}
+        self._dataset = config.dataset()
+
+    def run(self, scheme_name: str, fraction: float = 1.0) -> RunResult:
+        """Train (or fetch the cached run of) one scheme at one budget."""
+        key = (scheme_name, round(float(fraction), 6))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        config = self.config
+        steps = config.steps_for_fraction(fraction)
+        scheme = make_compressor(scheme_name, seed=config.scheme_seed)
+        cluster = Cluster(
+            config.model_factory(),
+            self._dataset,
+            scheme,
+            config.schedule(steps),
+            config.cluster_config(),
+        )
+        eval_every = max(1, steps // max(1, config.eval_points))
+        logger.info(
+            "running %s at %.0f%% budget (%d steps)", scheme_name, 100 * fraction, steps
+        )
+        evals = cluster.train(steps, eval_every=eval_every, test_size=config.eval_size)
+        final = cluster.evaluate(test_size=config.eval_size)
+        if not evals or evals[-1].step != final.step:
+            evals.append(final)
+
+        meter = cluster.traffic
+        mean_step = {
+            name: config.time_model.mean_step_seconds(meter, link)
+            for name, link in LINKS.items()
+        }
+        total = {
+            name: config.time_model.total_seconds(meter, link)
+            for name, link in LINKS.items()
+        }
+        result = RunResult(
+            scheme=scheme_name,
+            fraction=fraction,
+            steps=steps,
+            final_accuracy=final.test_accuracy,
+            final_loss=final.test_loss,
+            eval_curve=tuple(evals),
+            loss_curve=tuple(log.train_loss for log in cluster.step_logs),
+            compression_ratio=meter.compression_ratio(),
+            bits_per_value=meter.average_bits_per_value(),
+            mean_step_seconds=mean_step,
+            total_seconds=total,
+            traffic=meter,
+        )
+        self._cache[key] = result
+        logger.info(
+            "%s: accuracy %.2f%%, ratio %.1fx, %.3g s/step @10Mbps",
+            scheme_name,
+            100 * result.final_accuracy,
+            result.compression_ratio,
+            result.mean_step_seconds["10Mbps"],
+        )
+        return result
+
+    def run_many(
+        self, scheme_names: list[str], fractions: tuple[float, ...] = (1.0,)
+    ) -> dict[tuple[str, float], RunResult]:
+        """Run a grid of scheme × budget cells."""
+        return {
+            (name, fraction): self.run(name, fraction)
+            for name in scheme_names
+            for fraction in fractions
+        }

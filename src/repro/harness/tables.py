@@ -1,0 +1,193 @@
+"""Regeneration of the paper's tables.
+
+* :func:`table1` — speedup over the 32-bit float baseline at 10 Mbps,
+  100 Mbps, and 1 Gbps plus final test accuracy (paper Table 1).
+* :func:`table2` — average traffic compression of 3LC for varied sparsity
+  multipliers, with and without zero-run encoding (paper Table 2).
+* :func:`related_work_table` — the §6 designs (QSGD, DGC, Gaia, sufficient
+  factors) and this repo's 3LC extensions, measured under the identical
+  protocol (an extension beyond the paper's own evaluation).
+
+All return structured rows and a formatted text table; the benchmark
+harness prints the text and EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.registry import RELATED_WORK_SCHEMES, TABLE1_SCHEMES
+from repro.harness.runner import ExperimentRunner, RunResult
+from repro.utils.format import format_table
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "RelatedWorkRow",
+    "table1",
+    "table2",
+    "related_work_table",
+    "TABLE2_SCHEMES",
+]
+
+BASELINE = "32-bit float"
+
+#: 3LC variants of Table 2, in paper order (no-ZRE first).
+TABLE2_SCHEMES: tuple[str, ...] = (
+    "3LC (s=1.00, no ZRE)",
+    "3LC (s=1.00)",
+    "3LC (s=1.50)",
+    "3LC (s=1.75)",
+    "3LC (s=1.90)",
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One design's speedups and accuracy (paper Table 1)."""
+
+    scheme: str
+    speedup_10mbps: float
+    speedup_100mbps: float
+    speedup_1gbps: float
+    accuracy: float
+    accuracy_difference: float
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One 3LC variant's traffic statistics (paper Table 2)."""
+
+    scheme: str
+    compression_ratio: float
+    bits_per_value: float
+
+
+def table1(
+    runner: ExperimentRunner, schemes: tuple[str, ...] = TABLE1_SCHEMES
+) -> tuple[list[Table1Row], str]:
+    """Regenerate Table 1: per-link speedups and test accuracy.
+
+    Speedup at a link is the ratio of modelled mean per-step times
+    (baseline / scheme) — identical to the paper's training-time ratio
+    because both runs execute the same number of steps.
+    """
+    if BASELINE not in schemes:
+        raise ValueError(f"schemes must include the {BASELINE!r} baseline")
+    results = {name: runner.run(name, 1.0) for name in schemes}
+    base = results[BASELINE]
+    rows = []
+    for name in schemes:
+        result = results[name]
+        rows.append(
+            Table1Row(
+                scheme=name,
+                speedup_10mbps=_speedup(base, result, "10Mbps"),
+                speedup_100mbps=_speedup(base, result, "100Mbps"),
+                speedup_1gbps=_speedup(base, result, "1Gbps"),
+                accuracy=result.final_accuracy,
+                accuracy_difference=result.final_accuracy - base.final_accuracy,
+            )
+        )
+    text = format_table(
+        ["Design", "@10Mbps", "@100Mbps", "@1Gbps", "Accuracy(%)", "Diff"],
+        [
+            [
+                r.scheme,
+                f"{r.speedup_10mbps:.2f}x",
+                f"{r.speedup_100mbps:.2f}x",
+                f"{r.speedup_1gbps:.2f}x",
+                f"{100 * r.accuracy:.2f}",
+                f"{100 * r.accuracy_difference:+.2f}",
+            ]
+            for r in rows
+        ],
+        title="Table 1: speedup over baseline and test accuracy (standard steps)",
+    )
+    return rows, text
+
+
+def _speedup(base: RunResult, result: RunResult, link_name: str) -> float:
+    return base.mean_step_seconds[link_name] / result.mean_step_seconds[link_name]
+
+
+def table2(
+    runner: ExperimentRunner, schemes: tuple[str, ...] = TABLE2_SCHEMES
+) -> tuple[list[Table2Row], str]:
+    """Regenerate Table 2: average 3LC traffic compression vs. ``s``."""
+    rows = []
+    for name in schemes:
+        result = runner.run(name, 1.0)
+        rows.append(
+            Table2Row(
+                scheme=name,
+                compression_ratio=result.compression_ratio,
+                bits_per_value=result.bits_per_value,
+            )
+        )
+    text = format_table(
+        ["Design", "Compression ratio", "bits per state change"],
+        [
+            [r.scheme, f"{r.compression_ratio:.1f}x", f"{r.bits_per_value:.3f}"]
+            for r in rows
+        ],
+        title="Table 2: average traffic compression of 3LC (standard steps)",
+    )
+    return rows, text
+
+
+@dataclass(frozen=True)
+class RelatedWorkRow:
+    """One §6 design's traffic, speed, and accuracy under our protocol."""
+
+    scheme: str
+    compression_ratio: float
+    bits_per_value: float
+    speedup_10mbps: float
+    accuracy: float
+    accuracy_difference: float
+
+
+def related_work_table(
+    runner: ExperimentRunner, schemes: tuple[str, ...] = RELATED_WORK_SCHEMES
+) -> tuple[list[RelatedWorkRow], str]:
+    """Extended comparison: related-work designs under the Table 1 protocol.
+
+    The paper compares against re-implementations of these designs only
+    qualitatively (§6); this table puts them through the same measured
+    pipeline as Table 1 so the trade-off space — traffic vs. accuracy vs.
+    speed — is directly inspectable.
+    """
+    if BASELINE not in schemes:
+        raise ValueError(f"schemes must include the {BASELINE!r} baseline")
+    results = {name: runner.run(name, 1.0) for name in schemes}
+    base = results[BASELINE]
+    rows = []
+    for name in schemes:
+        result = results[name]
+        rows.append(
+            RelatedWorkRow(
+                scheme=name,
+                compression_ratio=result.compression_ratio,
+                bits_per_value=result.bits_per_value,
+                speedup_10mbps=_speedup(base, result, "10Mbps"),
+                accuracy=result.final_accuracy,
+                accuracy_difference=result.final_accuracy - base.final_accuracy,
+            )
+        )
+    text = format_table(
+        ["Design", "Ratio", "bits/value", "@10Mbps", "Accuracy(%)", "Diff"],
+        [
+            [
+                r.scheme,
+                f"{r.compression_ratio:.1f}x",
+                f"{r.bits_per_value:.3f}",
+                f"{r.speedup_10mbps:.2f}x",
+                f"{100 * r.accuracy:.2f}",
+                f"{100 * r.accuracy_difference:+.2f}",
+            ]
+            for r in rows
+        ],
+        title="Related work (§6) under the Table 1 protocol",
+    )
+    return rows, text

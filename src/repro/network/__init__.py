@@ -1,0 +1,19 @@
+"""Network substrate: link specs, traffic metering, step-time model."""
+
+from repro.network.bandwidth import LINKS, LinkSpec, link
+from repro.network.timing import StepTimeModel, extrapolate_training_time
+from repro.network.traffic import StepTraffic, TrafficMeter
+from repro.network.wan import Region, WanStepCost, WanTopology
+
+__all__ = [
+    "LinkSpec",
+    "LINKS",
+    "link",
+    "StepTraffic",
+    "TrafficMeter",
+    "StepTimeModel",
+    "extrapolate_training_time",
+    "Region",
+    "WanTopology",
+    "WanStepCost",
+]

@@ -1,0 +1,48 @@
+"""Link bandwidth specifications.
+
+The paper emulates constrained networks with Linux Traffic Control at
+10 Mbps, 100 Mbps, and 1 Gbps (§5.2). The reproduction replaces emulation
+with an analytic model: wire bytes are *measured* from the real codecs and
+converted to seconds by these link specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkSpec", "LINKS", "link"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A symmetric point-to-point link with a fixed data rate."""
+
+    name: str
+    bits_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.bits_per_second <= 0:
+            raise ValueError("bits_per_second must be positive")
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        """Time to move ``payload_bytes`` across the link."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return 8.0 * payload_bytes / self.bits_per_second
+
+
+#: The paper's three evaluated bandwidths.
+LINKS: dict[str, LinkSpec] = {
+    "10Mbps": LinkSpec("10Mbps", 10e6),
+    "100Mbps": LinkSpec("100Mbps", 100e6),
+    "1Gbps": LinkSpec("1Gbps", 1e9),
+}
+
+
+def link(name: str) -> LinkSpec:
+    """Look up one of the paper's links by name."""
+    try:
+        return LINKS[name]
+    except KeyError:
+        known = ", ".join(LINKS)
+        raise KeyError(f"unknown link {name!r}; known links: {known}") from None

@@ -1,0 +1,179 @@
+"""Geo-distributed (WAN) topology model (paper §1 motivation).
+
+The paper motivates 3LC with deployments whose workers are pinned to
+regulatory regions or mobile devices and communicate over slow wide-area
+links ([5, 10, 17, 22, 36] in §1). This module models that setting: a set
+of regions, each with a worker count and an intra-region bandwidth, plus
+pairwise inter-region bandwidths; the parameter server lives in one region
+and every worker exchanges push/pull traffic with it across the narrowest
+link on its path.
+
+Used by ``examples/geo_distributed.py`` to answer the deployment question
+the intro poses — *which region should host the server, and which
+compression level does a given WAN budget require?* — from traffic that is
+measured, not assumed: callers feed per-step push/pull byte counts taken
+from a real (simulated-cluster) training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.bandwidth import LinkSpec
+
+__all__ = ["Region", "WanTopology", "WanStepCost"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A regulatory/geographic region hosting workers.
+
+    Attributes
+    ----------
+    name:
+        Region label (e.g. ``"eu-west"``).
+    workers:
+        Number of workers pinned to the region (data residency: their
+        training data never leaves, only state changes do).
+    intra_bps:
+        Bandwidth between nodes inside the region.
+    """
+
+    name: str
+    workers: int
+    intra_bps: float
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.intra_bps <= 0:
+            raise ValueError(f"intra_bps must be > 0, got {self.intra_bps}")
+
+
+@dataclass(frozen=True)
+class WanStepCost:
+    """Communication cost of one training step for a server placement.
+
+    Attributes
+    ----------
+    server_region:
+        Where the parameter server was placed.
+    seconds:
+        Slowest worker's push+pull transfer time — the step's barrier wait.
+    bottleneck_region:
+        The region whose workers set ``seconds``.
+    inter_region_bytes:
+        Bytes that crossed a regional boundary (what a metered WAN bills).
+    """
+
+    server_region: str
+    seconds: float
+    bottleneck_region: str
+    inter_region_bytes: int
+
+
+class WanTopology:
+    """Regions plus pairwise inter-region bandwidths.
+
+    Parameters
+    ----------
+    regions:
+        The participating regions.
+    inter_bps:
+        Mapping from unordered region-name pairs (as ``frozenset`` or
+        2-tuples in either order) to available bandwidth between them.
+        Pairs not listed fall back to ``default_inter_bps``.
+    default_inter_bps:
+        Bandwidth assumed for unlisted region pairs (the paper's WAN
+        setting: 10 Mbps).
+    """
+
+    def __init__(
+        self,
+        regions: list[Region],
+        inter_bps: dict[tuple[str, str], float] | None = None,
+        *,
+        default_inter_bps: float = 10e6,
+    ):
+        if not regions:
+            raise ValueError("need at least one region")
+        names = [r.name for r in regions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate region names in {names}")
+        if default_inter_bps <= 0:
+            raise ValueError("default_inter_bps must be > 0")
+        self.regions = {r.name: r for r in regions}
+        self.default_inter_bps = float(default_inter_bps)
+        self._inter: dict[frozenset[str], float] = {}
+        for pair, bps in (inter_bps or {}).items():
+            a, b = pair
+            if a not in self.regions or b not in self.regions:
+                raise KeyError(f"unknown region in pair {pair!r}")
+            if a == b:
+                raise ValueError(f"pair {pair!r} is not inter-region")
+            if bps <= 0:
+                raise ValueError(f"bandwidth for {pair!r} must be > 0")
+            self._inter[frozenset(pair)] = float(bps)
+
+    @property
+    def total_workers(self) -> int:
+        return sum(r.workers for r in self.regions.values())
+
+    def bandwidth_between(self, a: str, b: str) -> float:
+        """Worker-to-server bandwidth between regions ``a`` and ``b``."""
+        if a not in self.regions or b not in self.regions:
+            raise KeyError(f"unknown region {a!r} or {b!r}")
+        if a == b:
+            return self.regions[a].intra_bps
+        return self._inter.get(frozenset((a, b)), self.default_inter_bps)
+
+    def step_cost(
+        self,
+        server_region: str,
+        push_bytes_per_worker: float,
+        pull_bytes_per_worker: float,
+    ) -> WanStepCost:
+        """Cost of one BSP step with the server in ``server_region``.
+
+        Workers in each region share that region's path to the server, so
+        the per-region transfer time scales with its worker count — the
+        BSP barrier waits for the slowest region.
+        """
+        if server_region not in self.regions:
+            raise KeyError(f"unknown region {server_region!r}")
+        if push_bytes_per_worker < 0 or pull_bytes_per_worker < 0:
+            raise ValueError("byte counts must be >= 0")
+        per_worker = push_bytes_per_worker + pull_bytes_per_worker
+        worst = 0.0
+        worst_region = server_region
+        inter_bytes = 0
+        for region in self.regions.values():
+            if region.workers == 0:
+                continue
+            bps = self.bandwidth_between(region.name, server_region)
+            seconds = 8.0 * per_worker * region.workers / bps
+            if seconds > worst:
+                worst = seconds
+                worst_region = region.name
+            if region.name != server_region:
+                inter_bytes += int(per_worker * region.workers)
+        return WanStepCost(
+            server_region=server_region,
+            seconds=worst,
+            bottleneck_region=worst_region,
+            inter_region_bytes=inter_bytes,
+        )
+
+    def best_server_placement(
+        self, push_bytes_per_worker: float, pull_bytes_per_worker: float
+    ) -> WanStepCost:
+        """The placement minimizing step time (ties: fewest WAN bytes)."""
+        costs = [
+            self.step_cost(name, push_bytes_per_worker, pull_bytes_per_worker)
+            for name in self.regions
+        ]
+        return min(costs, key=lambda c: (c.seconds, c.inter_region_bytes, c.server_region))
+
+    def as_link(self, a: str, b: str) -> LinkSpec:
+        """The ``a``–``b`` path as a :class:`LinkSpec` for the time model."""
+        return LinkSpec(f"{a}<->{b}", self.bandwidth_between(a, b))

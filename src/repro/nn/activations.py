@@ -1,0 +1,39 @@
+"""Pointwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["ReLU", "Identity"]
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, np.float32(0.0)).astype(np.float32, copy=False)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward(training=True)")
+        mask, self._mask = self._mask, None
+        return (grad_output * mask).astype(np.float32, copy=False)
+
+
+class Identity(Module):
+    """No-op layer (placeholder shortcut branch)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

@@ -1,0 +1,98 @@
+"""Model and optimizer checkpointing.
+
+Training runs at paper scale take long enough that a library users would
+adopt must be able to pause and resume. Checkpoints are plain ``.npz``
+archives: parameter tensors under ``param/<name>``, optimizer slots under
+``slot/<name>``, batch-norm running statistics under ``bnstat/<index>/...``,
+and a ``meta/step`` scalar.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.nn.optimizer import MomentumSGD
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_PARAM = "param/"
+_SLOT = "slot/"
+_BNSTAT = "bnstat/"
+_STEP = "meta/step"
+
+
+def _batchnorms(module: Module) -> list[BatchNorm2d]:
+    found: list[BatchNorm2d] = []
+
+    def visit(m: Module) -> None:
+        if isinstance(m, BatchNorm2d):
+            found.append(m)
+        for child in m._children:
+            visit(child)
+
+    visit(module)
+    return found
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: Module,
+    optimizer: MomentumSGD | None = None,
+    *,
+    step: int = 0,
+) -> None:
+    """Write model (and optionally optimizer) state to ``path``."""
+    arrays: dict[str, np.ndarray] = {
+        _PARAM + name: value for name, value in model.state_dict().items()
+    }
+    for index, bn in enumerate(_batchnorms(model)):
+        stats = bn.stats_dict()
+        arrays[f"{_BNSTAT}{index}/running_mean"] = stats["running_mean"]
+        arrays[f"{_BNSTAT}{index}/running_var"] = stats["running_var"]
+    if optimizer is not None:
+        for name, slot in optimizer.state_dict().items():
+            arrays[_SLOT + name] = slot
+    arrays[_STEP] = np.array(step, dtype=np.int64)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(
+    path: str | Path,
+    model: Module,
+    optimizer: MomentumSGD | None = None,
+) -> int:
+    """Restore state written by :func:`save_checkpoint`; returns the step.
+
+    The model architecture must match the checkpoint exactly (parameter
+    names and shapes are validated by ``load_state_dict``).
+    """
+    with np.load(Path(path)) as archive:
+        params = {
+            key.removeprefix(_PARAM): archive[key]
+            for key in archive.files
+            if key.startswith(_PARAM)
+        }
+        model.load_state_dict(params)
+        bns = _batchnorms(model)
+        for index, bn in enumerate(bns):
+            mean_key = f"{_BNSTAT}{index}/running_mean"
+            if mean_key in archive:
+                bn.load_stats(
+                    {
+                        "running_mean": archive[mean_key],
+                        "running_var": archive[f"{_BNSTAT}{index}/running_var"],
+                    }
+                )
+        if optimizer is not None:
+            optimizer.reset()
+            for key in archive.files:
+                if key.startswith(_SLOT):
+                    name = key.removeprefix(_SLOT)
+                    optimizer._slots[name] = archive[key].astype(np.float32)
+        return int(archive[_STEP]) if _STEP in archive.files else 0

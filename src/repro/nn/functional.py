@@ -1,0 +1,106 @@
+"""Vectorized building blocks for convolution: im2col / col2im.
+
+Convolution is implemented as one big matrix product over patch columns —
+the standard im2col lowering that GPU frameworks use — so all FLOPs land in
+BLAS rather than Python loops. ``col2im`` is its adjoint (scatter-add),
+used by the conv backward pass.
+
+Data layout is NCHW throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col_indices", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output extent of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output ({out}) for size={size}, "
+            f"kernel={kernel}, stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col_indices(
+    channels: int,
+    height: int,
+    width: int,
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays ``(k, i, j)`` mapping patches to padded-image positions.
+
+    Shapes: ``k`` is ``(C*kh*kw, 1)`` channel indices; ``i``/``j`` are
+    ``(C*kh*kw, out_h*out_w)`` row/column indices. Computed once per layer
+    geometry and cached by the caller.
+    """
+    out_h = conv_output_size(height, kernel, stride, pad)
+    out_w = conv_output_size(width, kernel, stride, pad)
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad: int,
+    indices: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Extract sliding patches as columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    indices:
+        Optional precomputed :func:`im2col_indices` for this geometry.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(C*kernel*kernel, N*out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    if indices is None:
+        indices = im2col_indices(c, h, w, kernel, stride, pad)
+    k, i, j = indices
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+    cols = padded[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    return cols.transpose(1, 2, 0).reshape(c * kernel * kernel, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+    indices: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to image shape."""
+    n, c, h, w = x_shape
+    if indices is None:
+        indices = im2col_indices(c, h, w, kernel, stride, pad)
+    k, i, j = indices
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    reshaped = cols.reshape(c * kernel * kernel, -1, n).transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), k, i, j), reshaped)
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

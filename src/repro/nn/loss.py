@@ -1,0 +1,59 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "softmax", "accuracy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    if logits.shape[0] == 0:
+        return 0.0
+    return float(np.mean(logits.argmax(axis=1) == labels))
+
+
+class SoftmaxCrossEntropy:
+    """Mean softmax cross-entropy over a batch of integer labels.
+
+    ``forward`` returns the scalar loss; ``backward`` returns
+    ``dL/dlogits`` with the ``1/N`` batch averaging folded in (so gradient
+    magnitudes are independent of batch size, as in TensorFlow's reduction
+    behaviour the paper's training setup relies on).
+    """
+
+    def __init__(self):
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, classes) logits, got {logits.shape}")
+        labels = np.asarray(labels)
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+            )
+        probs = softmax(logits)
+        n = logits.shape[0]
+        picked = probs[np.arange(n), labels]
+        loss = float(-np.log(np.maximum(picked, 1e-12)).mean())
+        self._cache = (probs, labels)
+        return loss
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        probs, labels = self._cache
+        self._cache = None
+        n = probs.shape[0]
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        return (grad / n).astype(np.float32)

@@ -1,0 +1,121 @@
+"""Layer-graph building blocks with explicit backward passes.
+
+A :class:`Module` is a differentiable transform that caches whatever its
+backward pass needs during :meth:`Module.forward`. There is no autograd
+tape: each layer implements its own analytic gradient, which keeps the
+substrate small, auditable against textbook formulas, and fast enough in
+NumPy (all heavy math is matrix products, per the ml-systems guide's
+"vectorize, don't loop" rule).
+
+Training-mode state (batch-norm batch statistics) is selected by the
+``training`` flag threaded through ``forward``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Module", "Sequential"]
+
+
+class Module(abc.ABC):
+    """Base class for all layers and containers."""
+
+    def __init__(self):
+        self._parameters: list[Parameter] = []
+        self._children: list[Module] = []
+
+    # -- construction helpers -------------------------------------------
+
+    def register_parameter(self, param: Parameter) -> Parameter:
+        """Attach a parameter owned directly by this module."""
+        self._parameters.append(param)
+        return param
+
+    def register_child(self, child: "Module") -> "Module":
+        """Attach a sub-module whose parameters this module exposes."""
+        self._children.append(child)
+        return child
+
+    # -- parameter access -------------------------------------------------
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters in this subtree, in deterministic order."""
+        return list(self._iter_parameters())
+
+    def _iter_parameters(self) -> Iterator[Parameter]:
+        yield from self._parameters
+        for child in self._children:
+            yield from child._iter_parameters()
+
+    def zero_grad(self) -> None:
+        """Clear all gradient slots in the subtree."""
+        for param in self._iter_parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter tensors keyed by name."""
+        return {p.name: p.data.copy() for p in self._iter_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Overwrite parameter values from a state dict (must be complete)."""
+        params = {p.name: p for p in self._iter_parameters()}
+        missing = params.keys() - state.keys()
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"{name}: shape {value.shape} != {param.data.shape}"
+                )
+            param.data[...] = value
+
+    # -- computation -------------------------------------------------------
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output, caching activations for backward."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)``.
+
+        Side effect: accumulates ``dL/d(param)`` into each owned
+        parameter's ``grad`` slot. Must be called after ``forward`` with
+        ``training=True`` in the same step.
+        """
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+        for module in self.modules:
+            self.register_child(module)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for module in self.modules:
+            x = module.forward(x, training=training)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad_output = module.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]

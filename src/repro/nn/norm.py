@@ -1,0 +1,114 @@
+"""Batch normalization (Ioffe & Szegedy 2015), 2-D (per-channel) variant.
+
+Batch-norm parameters are the paper's canonical "small layers": §5.1
+excludes them from compression because the computation overhead outweighs
+compacting already-tiny tensors. The distributed cluster uses
+``weight_decay=False`` + the small-tensor bypass for these parameters, and
+(following the large-batch training guideline the paper cites) makes one
+worker responsible for updating batch-norm statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import ones, zeros
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["BatchNorm2d"]
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization over ``(N, H, W)``.
+
+    Parameters
+    ----------
+    channels:
+        Number of feature channels.
+    momentum:
+        EMA factor for running statistics (used at evaluation time).
+    eps:
+        Numerical floor inside the square root.
+    name:
+        Parameter-name prefix.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        *,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: str = "bn",
+    ):
+        super().__init__()
+        self.channels = channels
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = self.register_parameter(
+            Parameter(f"{name}/gamma", ones((channels,)), weight_decay=False)
+        )
+        self.beta = self.register_parameter(
+            Parameter(f"{name}/beta", zeros((channels,)), weight_decay=False)
+        )
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(f"expected (N, {self.channels}, H, W), got {x.shape}")
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            ).astype(np.float32)
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+        out = self.gamma.data.reshape(1, -1, 1, 1) * x_hat + self.beta.data.reshape(
+            1, -1, 1, 1
+        )
+        if training:
+            self._cache = (x_hat, inv_std)
+        return out.astype(np.float32, copy=False)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(training=True)")
+        x_hat, inv_std = self._cache
+        self._cache = None
+        n, _, h, w = grad_output.shape
+        m = n * h * w  # reduction size per channel
+        self.gamma.accumulate_grad((grad_output * x_hat).sum(axis=(0, 2, 3)))
+        self.beta.accumulate_grad(grad_output.sum(axis=(0, 2, 3)))
+        # Standard batch-norm input gradient:
+        # dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+        gamma = self.gamma.data.reshape(1, -1, 1, 1)
+        sum_dy = grad_output.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dy_xhat = (grad_output * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (
+            gamma
+            * inv_std.reshape(1, -1, 1, 1)
+            / m
+            * (m * grad_output - sum_dy - x_hat * sum_dy_xhat)
+        )
+        return dx.astype(np.float32, copy=False)
+
+    def stats_dict(self) -> dict[str, np.ndarray]:
+        """Running statistics (broadcast from server to workers if desired)."""
+        return {
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def load_stats(self, stats: dict[str, np.ndarray]) -> None:
+        self.running_mean = np.asarray(stats["running_mean"], dtype=np.float32).copy()
+        self.running_var = np.asarray(stats["running_var"], dtype=np.float32).copy()

@@ -1,0 +1,72 @@
+"""Trainable parameter container.
+
+The distributed simulator treats a model as a flat, ordered collection of
+named tensors — exactly how a parameter server partitions state (paper §2).
+``Parameter`` carries the metadata the experiments need:
+
+* ``name`` — globally unique, used as the compression-context key;
+* ``weight_decay`` — whether L2 regularization applies (disabled for batch
+  norm scale/shift, as in standard ResNet training);
+* ``small`` flag is *derived* (``data.size``) by the cluster when deciding
+  the small-layer compression bypass (paper §5.1 excludes batch-norm
+  tensors from compression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A named trainable tensor with its gradient slot.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"stage2/block1/conv2/weight"``.
+    data:
+        The float32 value tensor. Mutated in place by optimizers.
+    grad:
+        Gradient accumulated by the most recent backward pass, or None.
+    weight_decay:
+        Whether this parameter receives L2 regularization.
+    """
+
+    __slots__ = ("name", "data", "grad", "weight_decay")
+
+    def __init__(
+        self, name: str, data: np.ndarray, *, weight_decay: bool = True
+    ):
+        self.name = str(name)
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.weight_decay = bool(weight_decay)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Clear the gradient slot."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add a gradient contribution (parameters shared across modules)."""
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} != parameter shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Parameter({self.name!r}, shape={self.data.shape})"

@@ -1,0 +1,100 @@
+"""Model statistics: parameter counts and FLOP estimates.
+
+The paper motivates its choice of workload with ResNet's low
+parameter-to-computation ratio (§5.2): compared to VGG-style networks,
+ResNets generate little state-change traffic per unit of computation,
+making them a *challenging* target for communication reduction. These
+utilities quantify that ratio for any model built from this package's
+layers, so experiments can report the same characterization.
+
+FLOPs are multiply-accumulate pairs counted as 2 operations, forward pass
+only, for a single example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.conv import Conv2d
+from repro.nn.functional import conv_output_size
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+
+__all__ = ["ModelStats", "model_stats"]
+
+
+@dataclass(frozen=True)
+class ModelStats:
+    """Size and compute characterization of a model.
+
+    Attributes
+    ----------
+    parameters:
+        Trainable parameter count.
+    flops:
+        Forward-pass floating-point operations per example.
+    bytes_per_step:
+        State-change bytes one worker pushes per step at float32.
+    params_per_mflop:
+        The paper's parameter-to-computation ratio (parameters per
+        million FLOPs) — lower means less traffic per unit compute.
+    """
+
+    parameters: int
+    flops: int
+
+    @property
+    def bytes_per_step(self) -> int:
+        return 4 * self.parameters
+
+    @property
+    def params_per_mflop(self) -> float:
+        if self.flops == 0:
+            return float("inf")
+        return self.parameters / (self.flops / 1e6)
+
+
+def model_stats(model: Module, input_shape: tuple[int, int, int]) -> ModelStats:
+    """Compute :class:`ModelStats` for NCHW models built from repro layers.
+
+    Parameters
+    ----------
+    model:
+        Any module tree composed of this package's layers.
+    input_shape:
+        Single-example shape ``(channels, height, width)``.
+    """
+    parameters = sum(p.size for p in model.parameters())
+    flops = 0
+    channels, height, width = input_shape
+
+    def visit(module: Module) -> None:
+        nonlocal flops, channels, height, width
+        if isinstance(module, Conv2d):
+            out_h = conv_output_size(height, module.kernel, module.stride, module.pad)
+            out_w = conv_output_size(width, module.kernel, module.stride, module.pad)
+            macs = (
+                module.out_channels
+                * out_h
+                * out_w
+                * module.in_channels
+                * module.kernel
+                * module.kernel
+            )
+            flops += 2 * macs
+            channels, height, width = module.out_channels, out_h, out_w
+        elif isinstance(module, Linear):
+            flops += 2 * module.in_features * module.out_features
+        elif isinstance(module, BatchNorm2d):
+            flops += 4 * channels * height * width  # normalize + affine
+        # Containers and blocks: recurse in construction order. Residual
+        # blocks register conv1, bn1, relu, conv2, bn2, relu, shortcut; the
+        # parameter-free shortcut path contributes no FLOPs, and the
+        # geometry after visiting the main path is the block's output
+        # geometry, which is what downstream layers see.
+        for child in module._children:
+            visit(child)
+
+    visit(model)
+    return ModelStats(parameters=parameters, flops=flops)

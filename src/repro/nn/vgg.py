@@ -1,0 +1,85 @@
+"""VGG-style plain convolutional networks (Simonyan & Zisserman).
+
+The paper motivates its ResNet workload by contrast with VGG (§5.2):
+"Compared to traditional neural network architectures such as VGG, ResNet
+models typically have small parameter count to computation ratios,
+generating less state change traffic for the same amount of communication"
+— i.e. VGG is the *easy* case for traffic compression and ResNet the
+challenging one. This builder exists so that claim is measurable with
+:func:`repro.nn.stats.model_stats` (see the architecture-ratio test and
+bench), and so users can evaluate compression on a high-traffic model.
+
+The CIFAR-scale variant stacks 3×3 conv/BN/ReLU groups with 2× average-
+pool downsampling and finishes with the classic large fully-connected
+head — the FC head is what gives VGG its parameter bulk.
+"""
+
+from __future__ import annotations
+
+from repro.nn.activations import ReLU
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Flatten, Linear
+from repro.nn.module import Module, Sequential
+from repro.nn.norm import BatchNorm2d
+from repro.nn.pooling import AvgPool2d
+from repro.utils.seeding import SeedSequenceFactory
+
+__all__ = ["build_vgg"]
+
+
+def build_vgg(
+    *,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    image_size: int = 16,
+    base_width: int = 16,
+    convs_per_stage: tuple[int, ...] = (2, 2, 2),
+    fc_width: int = 256,
+    seed: int = 0,
+) -> Sequential:
+    """Build a CIFAR-scale VGG-style network.
+
+    Parameters
+    ----------
+    num_classes / in_channels / image_size:
+        Task geometry. ``image_size`` must be divisible by
+        ``2 ** len(convs_per_stage)``.
+    base_width:
+        Channels of the first stage; doubles per stage (VGG convention).
+    convs_per_stage:
+        Number of 3×3 conv layers in each stage (VGG-11 ≈ (1,1,2,2,2)).
+    fc_width:
+        Width of the two fully-connected head layers — the parameter-heavy
+        part that drives VGG's high params-per-FLOP ratio.
+    seed:
+        Weight-initialization seed.
+    """
+    stages = len(convs_per_stage)
+    if image_size % (2**stages):
+        raise ValueError(
+            f"image_size {image_size} not divisible by 2**{stages}"
+        )
+    rng = SeedSequenceFactory(seed).rng("vgg-init")
+    layers: list[Module] = []
+    channels = in_channels
+    width = base_width
+    size = image_size
+    for stage, conv_count in enumerate(convs_per_stage):
+        for index in range(conv_count):
+            name = f"stage{stage}/conv{index}"
+            layers += [
+                Conv2d(channels, width, 3, name=name, rng=rng),
+                BatchNorm2d(width, name=f"stage{stage}/bn{index}"),
+                ReLU(),
+            ]
+            channels = width
+        layers.append(AvgPool2d(2))
+        size //= 2
+        width *= 2
+    layers += [
+        Flatten(),
+        Linear(channels * size * size, fc_width, name="head/fc0", rng=rng),
+        ReLU(),
+        Linear(fc_width, num_classes, name="head/fc1", rng=rng),
+    ]
+    return Sequential(*layers)

@@ -1,0 +1,26 @@
+"""State-change trace capture and offline codec replay.
+
+Figure 9's analysis — compressed bits per value, per step, per direction —
+needs the *stream* of state-change tensors a training run produces. This
+package captures that stream once and replays it through any codec
+offline, so codec experiments (new ``s`` values, new schemes, entropy
+coders) do not pay for re-training:
+
+* :class:`TraceRecorder` hooks a training loop and archives every
+  (step, direction, tensor name, tensor) record to a compressed ``.npz``.
+* :class:`TraceReader` streams records back in order.
+* :func:`replay` pushes a trace through a
+  :class:`~repro.compression.base.Compressor` with proper per-tensor
+  contexts and returns the per-step wire statistics Figure 9 plots.
+"""
+
+from repro.trace.record import StateChangeRecord, TraceReader, TraceRecorder
+from repro.trace.replay import ReplayStats, replay
+
+__all__ = [
+    "StateChangeRecord",
+    "TraceRecorder",
+    "TraceReader",
+    "replay",
+    "ReplayStats",
+]

@@ -1,0 +1,139 @@
+"""Trace capture: archive a training run's state-change stream to disk.
+
+The on-disk format is a single compressed ``.npz``: one float32 array per
+record under the key ``{index:06d}|{step}|{direction}|{name}``, plus a
+``__manifest__`` array carrying the format version. ``.npz`` keeps the
+loader dependency-free (NumPy only) and memory-maps nothing — records are
+decompressed lazily per access, so multi-GB traces stream fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["StateChangeRecord", "TraceRecorder", "TraceReader"]
+
+_FORMAT_VERSION = 1
+_MANIFEST_KEY = "__manifest__"
+_DIRECTIONS = ("push", "pull")
+
+
+@dataclass(frozen=True)
+class StateChangeRecord:
+    """One captured state-change tensor.
+
+    Attributes
+    ----------
+    step:
+        Global training step the change belongs to.
+    direction:
+        ``"push"`` (gradient, worker to server) or ``"pull"`` (model
+        delta, server to workers).
+    name:
+        Tensor name (layer parameter), unique within a step+direction.
+    tensor:
+        The float32 state-change values.
+    """
+
+    step: int
+    direction: str
+    name: str
+    tensor: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+        if "|" in self.name:
+            raise ValueError(f"tensor name may not contain '|': {self.name!r}")
+
+
+class TraceRecorder:
+    """Accumulates records in memory and writes one ``.npz`` archive.
+
+    Examples
+    --------
+    >>> recorder = TraceRecorder()
+    >>> recorder.record(0, "push", "conv1/kernel", gradient)   # doctest: +SKIP
+    >>> recorder.save("run42.npz")                             # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._records: list[StateChangeRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(
+        self, step: int, direction: str, name: str, tensor: np.ndarray
+    ) -> None:
+        """Append one state-change tensor to the trace."""
+        self._records.append(
+            StateChangeRecord(
+                step=int(step),
+                direction=direction,
+                name=name,
+                tensor=np.asarray(tensor, dtype=np.float32).copy(),
+            )
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace; returns the path written."""
+        path = Path(path)
+        arrays = {
+            _MANIFEST_KEY: np.array([_FORMAT_VERSION, len(self._records)], dtype=np.int64)
+        }
+        for index, rec in enumerate(self._records):
+            key = f"{index:06d}|{rec.step}|{rec.direction}|{rec.name}"
+            arrays[key] = rec.tensor
+        np.savez_compressed(path, **arrays)
+        # numpy appends .npz if missing; report the real location.
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+class TraceReader:
+    """Streams :class:`StateChangeRecord` back from a saved trace."""
+
+    def __init__(self, path: str | Path):
+        self._archive = np.load(Path(path))
+        if _MANIFEST_KEY not in self._archive:
+            raise ValueError(f"{path}: not a state-change trace (no manifest)")
+        version, count = (int(v) for v in self._archive[_MANIFEST_KEY])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        self._count = count
+        self._keys = sorted(k for k in self._archive.files if k != _MANIFEST_KEY)
+        if len(self._keys) != count:
+            raise ValueError(
+                f"trace manifest says {count} records, archive has {len(self._keys)}"
+            )
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[StateChangeRecord]:
+        for key in self._keys:
+            _index, step, direction, name = key.split("|", 3)
+            yield StateChangeRecord(
+                step=int(step),
+                direction=direction,
+                name=name,
+                tensor=self._archive[key],
+            )
+
+    def steps(self) -> list[int]:
+        """Distinct step numbers present, in order."""
+        seen: list[int] = []
+        for key in self._keys:
+            step = int(key.split("|", 2)[1])
+            if not seen or seen[-1] != step:
+                if step not in seen:
+                    seen.append(step)
+        return seen

@@ -1,0 +1,14 @@
+"""Shared utilities: seeding, logging, and human-readable formatting."""
+
+from repro.utils.seeding import SeedSequenceFactory, derive_rng
+from repro.utils.format import human_bytes, human_rate, format_table
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_rng",
+    "human_bytes",
+    "human_rate",
+    "format_table",
+    "get_logger",
+]

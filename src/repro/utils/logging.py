@@ -1,0 +1,33 @@
+"""Minimal logging setup shared by the harness and examples."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger"]
+
+_CONFIGURED = False
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a logger writing single-line records to stderr.
+
+    The first call installs a stream handler on the ``repro`` root logger;
+    subsequent calls reuse it. Level defaults to INFO and can be tuned by
+    callers via the standard :mod:`logging` API.
+    """
+    global _CONFIGURED
+    root = logging.getLogger("repro")
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        root.propagate = False
+        _CONFIGURED = True
+    if name == "repro":
+        return root
+    return root.getChild(name.removeprefix("repro."))

@@ -1,0 +1,113 @@
+"""Failure injection: corrupted frames must fail loudly, never crash.
+
+Two layers of defence are exercised for every registered scheme:
+
+* the transport CRC (``WireMessage.unpack``) catches any in-flight bit
+  flip of the framed bytes;
+* each decompressor validates its own payload invariants (counts, index
+  ranges, level bounds), so a *forged* frame with a valid CRC still either
+  decodes to a correctly-shaped tensor or raises :class:`ValueError` —
+  no silent shape corruption, no unhandled IndexError, no hang.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import available_schemes, make_compressor
+from repro.core.packets import WireMessage
+
+ALL_SCHEMES = available_schemes()
+
+
+def _first_transmission(ctx, tensor):
+    for _ in range(8):
+        result = ctx.compress(tensor)
+        if result is not None:
+            return result
+    raise AssertionError("context never transmitted")
+
+
+@pytest.fixture(params=ALL_SCHEMES, ids=lambda s: s.replace(" ", "_"))
+def scheme(request):
+    return make_compressor(request.param, seed=5)
+
+
+class TestTransportCorruption:
+    def test_any_flipped_byte_is_caught_by_crc(self, scheme, rng):
+        t = rng.normal(0, 0.1, size=(6, 13)).astype(np.float32)
+        ctx = scheme.make_context(t.shape, key=("fuzz",))
+        packed = bytearray(_first_transmission(ctx, t).message.pack())
+        for pos in rng.choice(len(packed), size=min(20, len(packed)), replace=False):
+            corrupted = packed.copy()
+            corrupted[pos] ^= 0xA5
+            with pytest.raises(ValueError):
+                WireMessage.unpack(bytes(corrupted))
+
+    def test_truncation_is_caught(self, scheme, rng):
+        t = rng.normal(size=40).astype(np.float32)
+        ctx = scheme.make_context(t.shape, key=("trunc",))
+        packed = _first_transmission(ctx, t).message.pack()
+        for cut in (1, len(packed) // 2, len(packed) - 1):
+            with pytest.raises(ValueError):
+                WireMessage.unpack(packed[:cut])
+
+
+class TestPayloadForgery:
+    """A valid frame around a corrupted payload: the codec's own checks."""
+
+    def test_payload_byte_flips_never_crash(self, scheme, rng):
+        t = rng.normal(0, 0.1, size=(9, 11)).astype(np.float32)
+        ctx = scheme.make_context(t.shape, key=("forge",))
+        message = _first_transmission(ctx, t).message
+        if not message.payload:
+            pytest.skip("scheme has no payload to forge")
+        payload = bytearray(message.payload)
+        for pos in rng.choice(len(payload), size=min(30, len(payload)), replace=False):
+            forged_payload = payload.copy()
+            forged_payload[pos] ^= 0xFF
+            forged = WireMessage(
+                codec_id=message.codec_id,
+                shape=message.shape,
+                payload=bytes(forged_payload),
+                scalars=message.scalars,
+                dtype=message.dtype,
+            )
+            try:
+                out = scheme.decompress(forged)
+            except ValueError:
+                continue  # detected: acceptable
+            assert out.shape == t.shape  # undetected: must still be shaped
+
+    def test_truncated_payload_never_crashes(self, scheme, rng):
+        t = rng.normal(size=64).astype(np.float32)
+        ctx = scheme.make_context(t.shape, key=("short",))
+        message = _first_transmission(ctx, t).message
+        if not message.payload:
+            pytest.skip("scheme has no payload to truncate")
+        for keep in (0, 1, len(message.payload) // 2):
+            forged = WireMessage(
+                codec_id=message.codec_id,
+                shape=message.shape,
+                payload=message.payload[:keep],
+                scalars=message.scalars,
+                dtype=message.dtype,
+            )
+            try:
+                out = scheme.decompress(forged)
+            except ValueError:
+                continue
+            assert out.shape == t.shape
+
+
+class TestWireMessageFuzz:
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=100)
+    def test_random_bytes_never_crash_unpack(self, blob):
+        # Arbitrary garbage: unpack either raises ValueError or, in the
+        # astronomically unlikely case of a valid CRC, returns a message.
+        try:
+            WireMessage.unpack(blob)
+        except ValueError:
+            pass

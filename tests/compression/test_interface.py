@@ -1,0 +1,91 @@
+"""Cross-scheme contract tests: every compressor honours the interface."""
+
+import numpy as np
+import pytest
+
+from repro.compression import available_schemes, make_compressor
+from repro.core.packets import WireMessage
+
+ALL_SCHEMES = available_schemes()
+
+
+@pytest.fixture(params=ALL_SCHEMES, ids=lambda s: s.replace(" ", "_"))
+def scheme(request):
+    return make_compressor(request.param, seed=11)
+
+
+def _first_transmission(ctx, tensor):
+    """Compress until the context actually transmits (local-steps defers)."""
+    for _ in range(8):
+        result = ctx.compress(tensor)
+        if result is not None:
+            return result
+    raise AssertionError("context never transmitted")
+
+
+class TestCompressorContract:
+    def test_reconstruction_matches_decompression(self, scheme, rng):
+        t = rng.normal(0, 0.1, (9, 33)).astype(np.float32)
+        ctx = scheme.make_context(t.shape, key=("test",))
+        result = _first_transmission(ctx, t)
+        out = scheme.decompress(result.message)
+        np.testing.assert_allclose(out, result.reconstruction, atol=1e-6)
+
+    def test_survives_wire_serialization(self, scheme, rng):
+        t = rng.normal(0, 0.1, (64,)).astype(np.float32)
+        ctx = scheme.make_context(t.shape, key=("wire",))
+        result = _first_transmission(ctx, t)
+        again = WireMessage.unpack(result.message.pack())
+        np.testing.assert_allclose(
+            scheme.decompress(again), result.reconstruction, atol=1e-6
+        )
+
+    def test_shape_and_dtype_preserved(self, scheme, rng):
+        t = rng.normal(size=(3, 5, 7)).astype(np.float32)
+        ctx = scheme.make_context(t.shape, key=("shape",))
+        result = _first_transmission(ctx, t)
+        out = scheme.decompress(result.message)
+        assert out.shape == t.shape
+        assert out.dtype == np.float32
+
+    def test_shape_mismatch_rejected(self, scheme):
+        ctx = scheme.make_context((4, 4), key=("bad",))
+        with pytest.raises(ValueError):
+            ctx.compress(np.zeros((4, 5), dtype=np.float32))
+
+    def test_zero_tensor_roundtrip(self, scheme):
+        t = np.zeros((40,), dtype=np.float32)
+        ctx = scheme.make_context(t.shape, key=("zero",))
+        result = _first_transmission(ctx, t)
+        out = scheme.decompress(result.message)
+        np.testing.assert_array_equal(out, np.zeros_like(t))
+
+    def test_residual_norm_finite(self, scheme, rng):
+        ctx = scheme.make_context((32,), key=("res",))
+        for _ in range(5):
+            ctx.compress(rng.normal(size=32).astype(np.float32))
+        assert np.isfinite(ctx.residual_norm())
+
+    def test_wire_size_positive_and_counted(self, scheme, rng):
+        t = rng.normal(size=(100,)).astype(np.float32)
+        ctx = scheme.make_context(t.shape, key=("size",))
+        result = _first_transmission(ctx, t)
+        assert result.wire_size == len(result.message.pack())
+        assert result.bits_per_value() > 0
+
+
+class TestRegistry:
+    def test_table1_has_eleven_designs(self):
+        from repro.compression import TABLE1_SCHEMES
+
+        assert len(TABLE1_SCHEMES) == 11
+        assert TABLE1_SCHEMES[0] == "32-bit float"
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            make_compressor("gzip")
+
+    def test_all_names_resolve(self):
+        for name in ALL_SCHEMES:
+            compressor = make_compressor(name)
+            assert compressor.name == name

@@ -1,0 +1,21 @@
+"""Shared test configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# NumPy-heavy property tests can be slow on loaded CI machines; disable the
+# per-example deadline and register a thorough profile.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=50,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test generator."""
+    return np.random.default_rng(12345)

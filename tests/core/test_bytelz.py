@@ -1,0 +1,92 @@
+"""Tests for the byte-LZ comparator (§3.3 general-purpose compression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bytelz import MAX_MATCH, MIN_MATCH, lz_decode, lz_encode
+from repro.core.quantization import quantize_3value
+from repro.core.quartic import quartic_encode
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert lz_encode(b"") == b""
+        assert lz_decode(b"") == b""
+
+    def test_short_input_below_min_match(self):
+        for data in (b"a", b"ab", b"abc"):
+            assert lz_decode(lz_encode(data)) == data
+
+    def test_incompressible(self, rng):
+        data = rng.integers(0, 256, size=1000, dtype=np.uint8).tobytes()
+        encoded = lz_encode(data)
+        assert lz_decode(encoded) == data
+        # Random bytes: at worst a ~1% framing overhead.
+        assert len(encoded) <= len(data) + len(data) // 128 + 8
+
+    def test_long_run_compresses_hard(self):
+        data = bytes([121]) * 10_000
+        encoded = lz_encode(data)
+        assert lz_decode(encoded) == data
+        # Self-overlapping copies encode the run in O(n / MAX_MATCH) tokens.
+        assert len(encoded) < 300
+
+    def test_repeated_pattern(self):
+        data = b"abcdefgh" * 500
+        encoded = lz_encode(data)
+        assert lz_decode(encoded) == data
+        assert len(encoded) < len(data) / 10
+
+    def test_quartic_stream_roundtrip(self, rng):
+        tensor = (rng.normal(0, 0.01, size=50_000)).astype(np.float32)
+        quartic = quartic_encode(quantize_3value(tensor, 1.75).values).tobytes()
+        assert lz_decode(lz_encode(quartic)) == quartic
+
+    @given(st.binary(max_size=2000))
+    def test_roundtrip_property(self, data):
+        assert lz_decode(lz_encode(data)) == data
+
+    @given(st.integers(1, 400), st.integers(0, 255), st.integers(1, 5))
+    def test_runs_roundtrip(self, run_len, byte, pieces):
+        data = (bytes([byte]) * run_len + b"XY") * pieces
+        assert lz_decode(lz_encode(data)) == data
+
+
+class TestFormat:
+    def test_literal_only_stream(self):
+        # 3 bytes < MIN_MATCH: one literal token.
+        assert lz_encode(b"abc") == b"\x02abc"
+
+    def test_copy_token_layout(self):
+        # 4 + 4 identical bytes: literal "abcd" then a copy of length 4,
+        # offset 4 -> tag 0x80, offset LE 04 00.
+        encoded = lz_encode(b"abcdabcd")
+        assert encoded == b"\x03abcd\x80\x04\x00"
+
+    def test_max_match_is_honoured(self):
+        data = bytes([7]) * (MAX_MATCH * 3)
+        encoded = lz_encode(data)
+        for i, tag in enumerate(encoded):
+            if tag >= 0x80:
+                assert (tag & 0x7F) + MIN_MATCH <= MAX_MATCH
+        assert lz_decode(encoded) == data
+
+
+class TestValidation:
+    def test_truncated_literal(self):
+        with pytest.raises(ValueError, match="truncated literal"):
+            lz_decode(b"\x05ab")
+
+    def test_truncated_copy(self):
+        with pytest.raises(ValueError, match="truncated copy"):
+            lz_decode(b"\x80\x04")
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            lz_decode(b"\x00a\x80\x00\x00")
+
+    def test_offset_beyond_output_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            lz_decode(b"\x00a\x80\x09\x00")

@@ -1,0 +1,146 @@
+"""Tests for the assembled 3LC codec and compression contexts."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.codec import CompressionContext, ThreeLCCodec
+from repro.core.packets import CodecId, WireMessage
+
+finite_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False, width=32
+)
+tensors = hnp.arrays(
+    dtype=np.float32, shape=hnp.array_shapes(max_dims=3, max_side=12), elements=finite_floats
+)
+
+
+class TestThreeLCCodec:
+    def test_reconstruction_equals_decompression(self, rng):
+        codec = ThreeLCCodec(1.5)
+        t = rng.normal(size=(17, 13)).astype(np.float32)
+        result = codec.compress(t)
+        np.testing.assert_array_equal(
+            codec.decompress(result.message), result.reconstruction
+        )
+
+    def test_wire_roundtrip(self, rng):
+        codec = ThreeLCCodec(1.0)
+        t = rng.normal(size=64).astype(np.float32)
+        result = codec.compress(t)
+        again = WireMessage.unpack(result.message.pack())
+        np.testing.assert_array_equal(
+            codec.decompress(again), result.reconstruction
+        )
+
+    def test_codec_id_reflects_zre(self):
+        assert ThreeLCCodec(1.0).codec_id is CodecId.THREELC
+        assert ThreeLCCodec(1.0, use_zre=False).codec_id is CodecId.THREELC_NO_ZRE
+
+    def test_no_zre_payload_is_exactly_quartic_size(self, rng):
+        codec = ThreeLCCodec(1.0, use_zre=False)
+        t = rng.normal(size=100).astype(np.float32)
+        result = codec.compress(t)
+        assert len(result.message.payload) == -(-100 // 5)  # ceil(n/5)
+
+    def test_zre_payload_never_larger(self, rng):
+        t = rng.normal(size=1000).astype(np.float32)
+        with_zre = ThreeLCCodec(1.75).compress(t)
+        without = ThreeLCCodec(1.75, use_zre=False).compress(t)
+        assert len(with_zre.message.payload) <= len(without.message.payload)
+        np.testing.assert_array_equal(
+            with_zre.reconstruction, without.reconstruction
+        )
+
+    def test_higher_s_compresses_more(self, rng):
+        t = rng.normal(size=10000).astype(np.float32)
+        sizes = [
+            ThreeLCCodec(s).compress(t).wire_size for s in (1.0, 1.5, 1.75, 1.9)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid_multiplier_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            ThreeLCCodec(2.0)
+
+    def test_rejects_foreign_message(self):
+        codec = ThreeLCCodec(1.0)
+        msg = WireMessage(codec_id=CodecId.INT8, shape=(1,), payload=b"\0")
+        with pytest.raises(ValueError, match="not a 3LC message"):
+            codec.decompress(msg)
+
+    def test_scale_transported_in_scalars(self, rng):
+        t = rng.normal(size=10).astype(np.float32) * 3
+        result = ThreeLCCodec(1.5).compress(t)
+        assert result.message.scalars[0] == pytest.approx(
+            float(np.max(np.abs(t))) * 1.5, rel=1e-6
+        )
+
+    def test_zero_tensor_tiny_message(self):
+        result = ThreeLCCodec(1.0).compress(np.zeros(70000, dtype=np.float32))
+        # 70000 values -> 14000 zero-group bytes -> 1000 escape bytes.
+        assert len(result.message.payload) == 1000
+        assert not result.reconstruction.any()
+
+    def test_bits_per_value(self, rng):
+        result = ThreeLCCodec(1.0, use_zre=False).compress(
+            rng.normal(size=100000).astype(np.float32)
+        )
+        # 1.6 bits/value plus a vanishing header contribution.
+        assert result.bits_per_value() == pytest.approx(1.6, abs=0.01)
+
+    @given(tensor=tensors, s=st.sampled_from([1.0, 1.5, 1.75, 1.9]))
+    def test_roundtrip_property(self, tensor, s):
+        codec = ThreeLCCodec(s)
+        result = codec.compress(tensor)
+        out = codec.decompress(WireMessage.unpack(result.message.pack()))
+        np.testing.assert_array_equal(out, result.reconstruction)
+        assert out.shape == tensor.shape
+        # Error bound (paper §3.1).
+        if tensor.size:
+            err = np.max(np.abs(tensor - out))
+            bound = result.message.scalars[0] / 2
+            assert err <= bound + 1e-3 * max(1.0, bound)
+
+
+class TestCompressionContext:
+    def test_error_feedback_accumulates(self):
+        ctx = CompressionContext((1,), ThreeLCCodec(1.0))
+        # 0.3 quantizes to 1*0.3 for single-element tensors (M = 0.3),
+        # so use a two-element tensor where the small entry is deferred.
+        ctx2 = CompressionContext((2,), ThreeLCCodec(1.0))
+        t = np.array([1.0, 0.3], dtype=np.float32)
+        r1 = ctx2.compress(t)
+        # 0.3 < M/2 -> deferred; residual remembers it.
+        assert r1.reconstruction[1] == 0.0
+        assert ctx2.residual_norm() > 0
+        # Feeding zeros lets the residual flush out over later steps.
+        total = r1.reconstruction.astype(np.float64)
+        for _ in range(8):
+            r = ctx2.compress(np.zeros(2, dtype=np.float32))
+            total += r.reconstruction
+        np.testing.assert_allclose(total, t, atol=0.05)
+        assert ctx.residual_norm() == 0.0  # untouched context
+
+    def test_without_feedback_is_stateless(self, rng):
+        ctx = CompressionContext((8,), ThreeLCCodec(1.0), error_feedback=False)
+        t = rng.normal(size=8).astype(np.float32)
+        r1 = ctx.compress(t)
+        r2 = ctx.compress(t)
+        np.testing.assert_array_equal(r1.reconstruction, r2.reconstruction)
+        assert ctx.residual_norm() == 0.0
+
+    def test_shape_enforced(self):
+        ctx = CompressionContext((4,), ThreeLCCodec(1.0))
+        with pytest.raises(ValueError, match="shape"):
+            ctx.compress(np.zeros(5, dtype=np.float32))
+
+    def test_decompress_passthrough(self, rng):
+        ctx = CompressionContext((6,), ThreeLCCodec(1.25))
+        t = rng.normal(size=6).astype(np.float32)
+        result = ctx.compress(t)
+        np.testing.assert_array_equal(
+            ctx.decompress(result.message), result.reconstruction
+        )

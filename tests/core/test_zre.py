@@ -1,0 +1,163 @@
+"""Tests for zero-run encoding (paper §3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.quartic import MAX_QUARTIC_BYTE, ZERO_GROUP_BYTE, quartic_encode
+from repro.core.quantization import quantize_3value
+from repro.core.zre import (
+    FIRST_ESCAPE_BYTE,
+    LAST_ESCAPE_BYTE,
+    MAX_RUN,
+    MIN_RUN,
+    zre_decode,
+    zre_decode_reference,
+    zre_encode,
+    zre_encode_reference,
+)
+
+quartic_streams = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.integers(0, 200),
+    elements=st.integers(0, MAX_QUARTIC_BYTE),
+)
+# Streams biased towards long 121 runs to exercise the escape paths.
+zero_heavy_streams = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.integers(0, 200),
+    elements=st.sampled_from([ZERO_GROUP_BYTE] * 9 + list(range(0, 243, 11))),
+)
+
+
+class TestEncode:
+    def test_single_121_stays_literal(self):
+        data = np.array([7, ZERO_GROUP_BYTE, 9], dtype=np.uint8)
+        np.testing.assert_array_equal(zre_encode(data), data)
+
+    def test_run_of_two_becomes_243(self):
+        data = np.array([ZERO_GROUP_BYTE] * 2, dtype=np.uint8)
+        assert zre_encode(data).tolist() == [FIRST_ESCAPE_BYTE]
+
+    def test_run_of_fourteen_becomes_255(self):
+        data = np.array([ZERO_GROUP_BYTE] * MAX_RUN, dtype=np.uint8)
+        assert zre_encode(data).tolist() == [LAST_ESCAPE_BYTE]
+
+    @pytest.mark.parametrize("k", range(MIN_RUN, MAX_RUN + 1))
+    def test_escape_byte_formula(self, k):
+        data = np.array([ZERO_GROUP_BYTE] * k, dtype=np.uint8)
+        assert zre_encode(data).tolist() == [FIRST_ESCAPE_BYTE + (k - MIN_RUN)]
+
+    def test_long_run_split_into_chunks(self):
+        # 31 = 14 + 14 + 3 -> [255, 255, 244]
+        data = np.array([ZERO_GROUP_BYTE] * 31, dtype=np.uint8)
+        assert zre_encode(data).tolist() == [255, 255, FIRST_ESCAPE_BYTE + 1]
+
+    def test_run_of_fifteen_leaves_literal_tail(self):
+        # 15 = 14 + 1 -> [255, 121]
+        data = np.array([ZERO_GROUP_BYTE] * 15, dtype=np.uint8)
+        assert zre_encode(data).tolist() == [LAST_ESCAPE_BYTE, ZERO_GROUP_BYTE]
+
+    def test_runs_of_other_bytes_not_compressed(self):
+        data = np.array([42] * 10, dtype=np.uint8)
+        np.testing.assert_array_equal(zre_encode(data), data)
+
+    def test_mixed_stream(self):
+        data = np.array(
+            [5, ZERO_GROUP_BYTE, ZERO_GROUP_BYTE, ZERO_GROUP_BYTE, 77], dtype=np.uint8
+        )
+        assert zre_encode(data).tolist() == [5, FIRST_ESCAPE_BYTE + 1, 77]
+
+    def test_rejects_escape_range_input(self):
+        with pytest.raises(ValueError, match="quartic bytes"):
+            zre_encode(np.array([FIRST_ESCAPE_BYTE], dtype=np.uint8))
+
+    def test_empty(self):
+        assert zre_encode(np.zeros(0, dtype=np.uint8)).size == 0
+
+    def test_never_longer_than_input(self, rng):
+        data = rng.integers(0, 243, size=500).astype(np.uint8)
+        assert zre_encode(data).size <= data.size
+
+
+class TestDecode:
+    def test_escape_expansion(self):
+        encoded = np.array([FIRST_ESCAPE_BYTE + 3], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            zre_decode(encoded),
+            np.full(MIN_RUN + 3, ZERO_GROUP_BYTE, dtype=np.uint8),
+        )
+
+    def test_literals_pass_through(self):
+        data = np.array([0, 100, 242], dtype=np.uint8)
+        np.testing.assert_array_equal(zre_decode(data), data)
+
+    def test_empty(self):
+        assert zre_decode(np.zeros(0, dtype=np.uint8)).size == 0
+
+
+class TestProperties:
+    @given(data=quartic_streams)
+    def test_roundtrip(self, data):
+        np.testing.assert_array_equal(zre_decode(zre_encode(data)), data)
+
+    @given(data=zero_heavy_streams)
+    def test_roundtrip_zero_heavy(self, data):
+        np.testing.assert_array_equal(zre_decode(zre_encode(data)), data)
+
+    @given(data=zero_heavy_streams)
+    def test_vectorized_matches_reference_encoder(self, data):
+        np.testing.assert_array_equal(zre_encode(data), zre_encode_reference(data))
+
+    @given(data=quartic_streams)
+    def test_vectorized_matches_reference_encoder_uniform(self, data):
+        np.testing.assert_array_equal(zre_encode(data), zre_encode_reference(data))
+
+    @given(data=zero_heavy_streams)
+    def test_decoder_matches_reference(self, data):
+        encoded = zre_encode(data)
+        np.testing.assert_array_equal(
+            zre_decode(encoded), zre_decode_reference(encoded)
+        )
+
+    @given(data=quartic_streams)
+    def test_output_never_longer(self, data):
+        assert zre_encode(data).size <= data.size
+
+
+class TestPaperClaims:
+    def test_all_zero_tensor_compression_280x(self):
+        """§3.3: an all-zero float32 tensor compresses 280× (payload only).
+
+        5 values/byte (quartic) × 14 bytes/escape (ZRE) = 70 values/byte;
+        70 × 4 bytes/float32 value = 280.
+        """
+        n = 70 * 1000  # divisible by 5 and by 14 zero-groups
+        quantized = quantize_3value(np.zeros(n, dtype=np.float32), 1.0)
+        payload = zre_encode(quartic_encode(quantized.values))
+        ratio = (n * 4) / payload.size
+        assert ratio == pytest.approx(280.0)
+
+    def test_zre_achieves_2x_on_sparse_quantized_data(self, rng):
+        """§3.3 claims ~2× or higher, "which varies by the distribution of
+        state change values" — at 95% zeros the run structure suffices."""
+        values = rng.choice([-1, 0, 1], p=[0.025, 0.95, 0.025], size=50000).astype(
+            np.int8
+        )
+        quartic = quartic_encode(values)
+        encoded = zre_encode(quartic)
+        assert quartic.size / encoded.size >= 2.0
+
+    def test_zre_gains_grow_with_sparsity(self, rng):
+        ratios = []
+        for p_zero in (0.5, 0.8, 0.95, 0.99):
+            p_rest = (1 - p_zero) / 2
+            values = rng.choice(
+                [-1, 0, 1], p=[p_rest, p_zero, p_rest], size=30000
+            ).astype(np.int8)
+            quartic = quartic_encode(values)
+            ratios.append(quartic.size / zre_encode(quartic).size)
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 5.0

@@ -1,0 +1,197 @@
+"""Tests for the ring all-reduce topology with per-hop compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import (
+    LocalStepsCompressor,
+    ThreeLCCompressor,
+    make_compressor,
+)
+from repro.distributed.allreduce import RingAllReduce, chunk_bounds
+
+
+class TestChunkBounds:
+    def test_even_split(self):
+        assert chunk_bounds(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_spreads_forward(self):
+        assert chunk_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_elements(self):
+        bounds = chunk_bounds(2, 4)
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_zero_size(self):
+        assert chunk_bounds(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    @given(st.integers(0, 1000), st.integers(1, 16))
+    def test_partition_property(self, size, parts):
+        bounds = chunk_bounds(size, parts)
+        assert len(bounds) == parts
+        assert bounds[0][0] == 0 and bounds[-1][1] == size
+        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            assert a1 == b0
+            assert 0 <= (a1 - a0) - (b1 - b0) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(10, 0)
+        with pytest.raises(ValueError):
+            chunk_bounds(-1, 2)
+
+
+class TestLosslessRing:
+    def test_computes_exact_mean(self, rng):
+        n = 4
+        tensors = [rng.normal(size=(7, 5)).astype(np.float32) for _ in range(n)]
+        ring = RingAllReduce(n, (7, 5))
+        result = ring.reduce(tensors)
+        expected = np.mean(tensors, axis=0)
+        for out in result.outputs:
+            np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-6)
+
+    def test_sum_mode(self, rng):
+        n = 3
+        tensors = [rng.normal(size=10).astype(np.float32) for _ in range(n)]
+        result = RingAllReduce(n, (10,)).reduce(tensors, average=False)
+        np.testing.assert_allclose(
+            result.outputs[0], np.sum(tensors, axis=0), rtol=1e-5
+        )
+
+    def test_all_nodes_agree(self, rng):
+        n = 5
+        tensors = [rng.normal(size=33).astype(np.float32) for _ in range(n)]
+        result = RingAllReduce(n, (33,)).reduce(tensors)
+        for out in result.outputs[1:]:
+            np.testing.assert_array_equal(out, result.outputs[0])
+
+    def test_baseline_byte_formula(self, rng):
+        n, size = 4, 100
+        tensors = [rng.normal(size=size).astype(np.float32) for _ in range(n)]
+        result = RingAllReduce(n, (size,)).reduce(tensors)
+        assert result.baseline_bytes == 2 * (n - 1) * size * 4
+        # Raw float32 transport: wire equals baseline exactly.
+        assert result.wire_bytes == result.baseline_bytes
+        assert result.compression_ratio == pytest.approx(1.0)
+
+    def test_ring_moves_less_than_central_server(self, rng):
+        # The bandwidth-optimality argument: per *link*, the ring carries
+        # ~2·size/N·(N-1) bytes while a parameter server's uplink carries
+        # N·size (pushes) + N·size (pulls).
+        n, size = 8, 1000
+        tensors = [rng.normal(size=size).astype(np.float32) for _ in range(n)]
+        result = RingAllReduce(n, (size,)).reduce(tensors)
+        server_link_bytes = 2 * n * size * 4
+        assert result.max_link_bytes < server_link_bytes / 3
+
+    def test_tensor_smaller_than_ring(self, rng):
+        # Degenerate chunking (empty chunks) must still reduce correctly.
+        n = 6
+        tensors = [rng.normal(size=3).astype(np.float32) for _ in range(n)]
+        result = RingAllReduce(n, (3,)).reduce(tensors)
+        np.testing.assert_allclose(
+            result.outputs[0], np.mean(tensors, axis=0), rtol=1e-5
+        )
+
+
+class TestCompressedRing:
+    def test_threelc_ring_traffic_reduced(self, rng):
+        n = 4
+        tensors = [
+            rng.normal(0, 0.01, size=1000).astype(np.float32) for _ in range(n)
+        ]
+        ring = RingAllReduce(n, (1000,), ThreeLCCompressor(1.0))
+        result = ring.reduce(tensors)
+        assert result.compression_ratio > 10
+
+    def test_fine_grained_codec_approximates_mean(self, rng):
+        # 8-bit per-hop requantization compounds only mildly.
+        n = 4
+        tensors = [rng.normal(size=500).astype(np.float32) for _ in range(n)]
+        ring = RingAllReduce(n, (500,), make_compressor("8-bit int"))
+        result = ring.reduce(tensors)
+        expected = np.mean(tensors, axis=0)
+        corr = np.corrcoef(result.outputs[0], expected)[0, 1]
+        assert corr > 0.99
+
+    def test_single_ternary_reduction_is_coarse(self, rng):
+        # Per-hop 3-value quantization of *dense partial sums* is drastic:
+        # a single reduction's output is a poor estimate of the mean. This
+        # is the §3 point-to-point argument made quantitative.
+        n = 4
+        tensors = [rng.normal(size=500).astype(np.float32) for _ in range(n)]
+        ring = RingAllReduce(n, (500,), ThreeLCCompressor(1.0))
+        result = ring.reduce(tensors)
+        expected = np.mean(tensors, axis=0)
+        err = float(np.linalg.norm(result.outputs[0] - expected))
+        assert err > float(np.linalg.norm(expected))  # worse than guessing 0
+
+    def test_error_feedback_corrects_the_time_average(self, rng):
+        # Error feedback's contract is integral, not per-call: the running
+        # average of repeated reductions converges toward the true mean,
+        # because every link eventually transmits what it owes. (A consumer
+        # that does NOT integrate outputs — e.g. repeated standalone
+        # reductions — sees no such correction; see the class docstring.)
+        n = 4
+        tensors = [rng.normal(size=400).astype(np.float32) for _ in range(n)]
+        expected = np.mean(tensors, axis=0)
+        ring = RingAllReduce(n, (400,), ThreeLCCompressor(1.0))
+        acc = np.zeros(400)
+        errors = []
+        for k in range(1, 31):
+            acc += ring.reduce(tensors).outputs[0]
+            errors.append(float(np.linalg.norm(acc / k - expected)))
+        assert errors[-1] < 0.3 * errors[0]
+
+    def test_hop_compounding_worse_than_point_to_point(self, rng):
+        # The §3 design argument: one lossy stage (PS push) loses less than
+        # N-1 chained lossy stages (ring reduce-scatter).
+        n = 6
+        tensors = [rng.normal(size=600).astype(np.float32) for _ in range(n)]
+        expected = np.mean(tensors, axis=0)
+        ring_result = RingAllReduce(n, (600,), ThreeLCCompressor(1.0)).reduce(tensors)
+        ring_err = float(np.linalg.norm(ring_result.outputs[0] - expected))
+
+        # Point-to-point: each worker quantizes once; the server averages.
+        c = ThreeLCCompressor(1.0)
+        decoded = []
+        for i, t in enumerate(tensors):
+            res = c.make_context(t.shape, key=("push", i)).compress(t)
+            decoded.append(c.decompress(res.message))
+        ps_err = float(np.linalg.norm(np.mean(decoded, axis=0) - expected))
+        assert ps_err < ring_err
+
+    def test_deferring_scheme_rejected(self, rng):
+        n = 3
+        tensors = [rng.normal(size=30).astype(np.float32) for _ in range(n)]
+        ring = RingAllReduce(n, (30,), LocalStepsCompressor(2))
+        with pytest.raises(ValueError, match="deferred"):
+            ring.reduce(tensors)
+
+    @pytest.mark.parametrize("scheme", ["8-bit int", "MQE 1-bit int"])
+    def test_other_codecs_run_on_ring(self, rng, scheme):
+        n = 3
+        tensors = [rng.normal(size=64).astype(np.float32) for _ in range(n)]
+        ring = RingAllReduce(n, (64,), make_compressor(scheme))
+        result = ring.reduce(tensors)
+        assert result.wire_bytes < result.baseline_bytes
+        assert all(out.shape == (64,) for out in result.outputs)
+
+
+class TestValidation:
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            RingAllReduce(1, (4,))
+
+    def test_wrong_tensor_count(self, rng):
+        ring = RingAllReduce(3, (4,))
+        with pytest.raises(ValueError, match="expected 3"):
+            ring.reduce([np.zeros(4, dtype=np.float32)] * 2)
+
+    def test_wrong_shape(self):
+        ring = RingAllReduce(2, (4,))
+        with pytest.raises(ValueError, match="shape"):
+            ring.reduce([np.zeros(4, dtype=np.float32), np.zeros(5, dtype=np.float32)])

@@ -1,0 +1,207 @@
+"""Harness tests: config, runner caching, tables, figures, CLI plumbing.
+
+These run on the miniature FAST_CONFIG — correctness of plumbing, not of
+paper numbers (the benchmarks cover those).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    FAST_CONFIG,
+    ExperimentConfig,
+    ExperimentRunner,
+    figure7_curves,
+    figure8_sparsity,
+    figure9_compressed_size,
+    figure_time_accuracy,
+    table1,
+    table2,
+)
+from repro.harness.ascii_plot import Series, render_plot
+from repro.harness.tables import TABLE2_SCHEMES
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(FAST_CONFIG)
+
+
+class TestExperimentConfig:
+    def test_steps_for_fraction(self):
+        config = ExperimentConfig(standard_steps=100)
+        assert config.steps_for_fraction(1.0) == 100
+        assert config.steps_for_fraction(0.25) == 25
+        with pytest.raises(ValueError):
+            config.steps_for_fraction(0.0)
+
+    def test_schedule_sweeps_full_range(self):
+        config = ExperimentConfig(standard_steps=100, base_lr=0.02, num_workers=4)
+        sched = config.schedule(25)  # 25% budget
+        assert sched(0) == pytest.approx(0.08)  # worker-scaled
+        assert sched(25) == pytest.approx(config.min_lr)
+
+    def test_scaled_override(self):
+        config = FAST_CONFIG.scaled(standard_steps=48)
+        assert config.standard_steps == 48
+        assert config.depth == FAST_CONFIG.depth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(standard_steps=2)
+
+    def test_factories(self):
+        config = FAST_CONFIG
+        model = config.model_factory()()
+        assert model.forward(
+            np.zeros((1, 3, config.image_size, config.image_size), dtype=np.float32)
+        ).shape == (1, config.num_classes)
+        assert config.dataset().num_classes == config.num_classes
+
+
+class TestExperimentRunner:
+    def test_run_produces_complete_result(self, runner):
+        result = runner.run("32-bit float", 1.0)
+        assert result.steps == FAST_CONFIG.standard_steps
+        assert 0 <= result.final_accuracy <= 1
+        assert len(result.loss_curve) == result.steps
+        assert result.eval_curve[-1].step == result.steps
+        assert set(result.mean_step_seconds) == {"10Mbps", "100Mbps", "1Gbps"}
+        assert result.compression_ratio > 0
+
+    def test_caching_returns_same_object(self, runner):
+        a = runner.run("32-bit float", 1.0)
+        b = runner.run("32-bit float", 1.0)
+        assert a is b
+
+    def test_fraction_changes_steps(self, runner):
+        half = runner.run("32-bit float", 0.5)
+        assert half.steps == FAST_CONFIG.steps_for_fraction(0.5)
+
+    def test_run_many_grid(self, runner):
+        grid = runner.run_many(["32-bit float"], (0.5, 1.0))
+        assert set(grid) == {("32-bit float", 0.5), ("32-bit float", 1.0)}
+
+    def test_deterministic_across_runners(self):
+        r1 = ExperimentRunner(FAST_CONFIG)
+        r2 = ExperimentRunner(FAST_CONFIG)
+        a = r1.run("3LC (s=1.00)", 0.5)
+        b = r2.run("3LC (s=1.00)", 0.5)
+        assert a.final_accuracy == b.final_accuracy
+        assert a.compression_ratio == b.compression_ratio
+
+    def test_slower_links_take_longer(self, runner):
+        result = runner.run("32-bit float", 1.0)
+        assert (
+            result.total_seconds["10Mbps"]
+            > result.total_seconds["100Mbps"]
+            > result.total_seconds["1Gbps"]
+        )
+
+
+class TestTables:
+    def test_table1_rows_and_shape(self, runner):
+        schemes = ("32-bit float", "3LC (s=1.00)", "2 local steps")
+        rows, text = table1(runner, schemes)
+        assert [r.scheme for r in rows] == list(schemes)
+        baseline = rows[0]
+        assert baseline.speedup_10mbps == pytest.approx(1.0)
+        assert baseline.accuracy_difference == 0.0
+        # 3LC must beat the baseline on a slow link even at toy scale.
+        assert rows[1].speedup_10mbps > 1.0
+        assert "Table 1" in text
+
+    def test_table1_requires_baseline(self, runner):
+        with pytest.raises(ValueError, match="baseline"):
+            table1(runner, ("3LC (s=1.00)",))
+
+    def test_table2_rows(self, runner):
+        schemes = TABLE2_SCHEMES[:2]  # no-ZRE and s=1.00
+        rows, text = table2(runner, schemes)
+        assert len(rows) == 2
+        no_zre, with_zre = rows
+        # ZRE can only shrink traffic.
+        assert with_zre.compression_ratio >= no_zre.compression_ratio
+        assert no_zre.bits_per_value == pytest.approx(
+            32.0 / no_zre.compression_ratio, rel=1e-6
+        )
+        assert "Table 2" in text
+
+
+class TestFigures:
+    def test_time_accuracy_figure(self, runner):
+        fig = figure_time_accuracy(
+            runner, "10Mbps", ("32-bit float", "3LC (s=1.00)"), (0.5, 1.0)
+        )
+        assert len(fig.series) == 2
+        for series in fig.series:
+            assert len(series.points) == 2
+            times = [p[0] for p in series.points]
+            assert times == sorted(times)  # larger budget, more minutes
+        assert "10Mbps" in fig.text
+
+    def test_figure7(self, runner):
+        loss_fig, acc_fig = figure7_curves(runner, ("32-bit float", "3LC (s=1.00)"))
+        assert len(loss_fig.series) == 2
+        assert len(loss_fig.series[0].points) == FAST_CONFIG.standard_steps
+        assert all(len(s.points) >= 1 for s in acc_fig.series)
+
+    def test_figure8(self, runner):
+        fig = figure8_sparsity(
+            runner, "10Mbps", ("3LC (s=1.00)",), (1.0,)
+        )
+        assert "sparsity" in fig.name
+
+    def test_figure9(self, runner):
+        fig = figure9_compressed_size(runner, "3LC (s=1.00)")
+        no_zre, push, pull = fig.series
+        assert all(y == 1.6 for _, y in no_zre.points)
+        # ZRE keeps compressed sizes at or below the quartic 1.6 bits
+        # (plus small header overhead on tiny test tensors).
+        assert all(y <= 2.5 for _, y in push.points)
+        assert len(push.points) == FAST_CONFIG.standard_steps
+
+
+class TestAsciiPlot:
+    def test_renders_points_and_legend(self):
+        s = Series.from_xy("demo", [0, 1, 2], [0, 1, 4])
+        out = render_plot([s], title="T", x_label="X", y_label="Y")
+        assert "T" in out and "demo" in out
+        assert "o" in out
+
+    def test_degenerate_single_point(self):
+        out = render_plot([Series("p", ((1.0, 1.0),))])
+        assert "p" in out
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            render_plot([], width=4, height=2)
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series.from_xy("x", [1], [1, 2])
+
+
+class TestCli:
+    def test_table2_fast(self, capsys):
+        from repro.harness.cli import main
+
+        code = main(["table2", "--fast", "--steps", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_fig9_fast(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["fig9", "--fast", "--steps", "8"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_related_work_fast(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["related-work", "--fast", "--steps", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Related work" in out
+        assert "QSGD (2-bit)" in out
+        assert "DGC (0.10%)" in out

@@ -1,0 +1,137 @@
+"""Tests for the geo-distributed WAN topology model."""
+
+import pytest
+
+from repro.network.wan import Region, WanTopology
+
+
+def three_regions() -> WanTopology:
+    return WanTopology(
+        [
+            Region("us", workers=4, intra_bps=1e9),
+            Region("eu", workers=4, intra_bps=1e9),
+            Region("ap", workers=2, intra_bps=1e9),
+        ],
+        inter_bps={("us", "eu"): 100e6, ("us", "ap"): 20e6},
+        default_inter_bps=10e6,
+    )
+
+
+class TestRegion:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            Region("x", workers=-1, intra_bps=1e9)
+        with pytest.raises(ValueError, match="intra_bps"):
+            Region("x", workers=1, intra_bps=0.0)
+
+
+class TestTopology:
+    def test_bandwidth_lookup_symmetric(self):
+        topo = three_regions()
+        assert topo.bandwidth_between("us", "eu") == 100e6
+        assert topo.bandwidth_between("eu", "us") == 100e6
+
+    def test_default_applies_to_unlisted_pairs(self):
+        topo = three_regions()
+        assert topo.bandwidth_between("eu", "ap") == 10e6
+
+    def test_intra_region_bandwidth(self):
+        topo = three_regions()
+        assert topo.bandwidth_between("us", "us") == 1e9
+
+    def test_total_workers(self):
+        assert three_regions().total_workers == 10
+
+    def test_unknown_region_rejected(self):
+        topo = three_regions()
+        with pytest.raises(KeyError):
+            topo.bandwidth_between("us", "mars")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WanTopology([])
+        with pytest.raises(ValueError, match="duplicate"):
+            WanTopology(
+                [Region("a", 1, 1e9), Region("a", 1, 1e9)]
+            )
+        with pytest.raises(KeyError, match="unknown region"):
+            WanTopology([Region("a", 1, 1e9)], inter_bps={("a", "b"): 1e6})
+        with pytest.raises(ValueError, match="not inter-region"):
+            WanTopology(
+                [Region("a", 1, 1e9), Region("b", 1, 1e9)],
+                inter_bps={("a", "a"): 1e6},
+            )
+        with pytest.raises(ValueError, match="must be > 0"):
+            WanTopology(
+                [Region("a", 1, 1e9), Region("b", 1, 1e9)],
+                inter_bps={("a", "b"): 0.0},
+            )
+
+
+class TestStepCost:
+    def test_bottleneck_is_slowest_region(self):
+        topo = three_regions()
+        # Server in us: eu crosses at 100 Mbps, ap at 20 Mbps. ap has half
+        # the workers but a 5x thinner pipe -> ap binds.
+        cost = topo.step_cost("us", push_bytes_per_worker=1e6, pull_bytes_per_worker=1e6)
+        assert cost.bottleneck_region == "ap"
+        # 2 workers x 2 MB x 8 bits at 20 Mbps = 1.6 s.
+        assert cost.seconds == pytest.approx(8 * 2e6 * 2 / 20e6)
+
+    def test_inter_region_bytes_exclude_server_region(self):
+        topo = three_regions()
+        cost = topo.step_cost("us", 100.0, 50.0)
+        # eu: 4 workers x 150B; ap: 2 x 150B. us workers stay local.
+        assert cost.inter_region_bytes == 4 * 150 + 2 * 150
+
+    def test_compression_shrinks_step_time_proportionally(self):
+        topo = three_regions()
+        full = topo.step_cost("us", 1e6, 1e6)
+        compressed = topo.step_cost("us", 1e4, 1e4)  # 100x smaller
+        assert full.seconds / compressed.seconds == pytest.approx(100.0)
+
+    def test_zero_worker_region_never_binds(self):
+        topo = WanTopology(
+            [
+                Region("hub", workers=0, intra_bps=1e9),
+                Region("edge", workers=3, intra_bps=1e9),
+            ],
+            default_inter_bps=1e6,
+        )
+        cost = topo.step_cost("hub", 1000, 1000)
+        assert cost.bottleneck_region == "edge"
+
+    def test_validation(self):
+        topo = three_regions()
+        with pytest.raises(KeyError):
+            topo.step_cost("mars", 1, 1)
+        with pytest.raises(ValueError, match=">= 0"):
+            topo.step_cost("us", -1, 0)
+
+
+class TestPlacement:
+    def test_best_placement_minimizes_barrier_time(self):
+        topo = three_regions()
+        best = topo.best_server_placement(1e5, 1e5)
+        candidates = {
+            name: topo.step_cost(name, 1e5, 1e5).seconds for name in topo.regions
+        }
+        assert best.seconds == min(candidates.values())
+
+    def test_placement_follows_worker_mass(self):
+        # Heavily skewed worker distribution pulls the server to the big
+        # region: its traffic then stays intra-region.
+        topo = WanTopology(
+            [
+                Region("big", workers=9, intra_bps=1e9),
+                Region("small", workers=1, intra_bps=1e9),
+            ],
+            default_inter_bps=10e6,
+        )
+        assert topo.best_server_placement(1e5, 1e5).server_region == "big"
+
+    def test_as_link_feeds_time_model(self):
+        topo = three_regions()
+        link = topo.as_link("us", "ap")
+        assert link.bits_per_second == 20e6
+        assert link.transfer_seconds(2.5e6) == pytest.approx(1.0)

@@ -1,0 +1,67 @@
+"""Numerical gradient checking helpers shared by the nn tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["check_input_gradient", "check_parameter_gradients"]
+
+
+def _central_difference(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Numerical dF/dx for a scalar-valued f, element by element."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f()
+        flat[i] = orig - eps
+        f_minus = f()
+        flat[i] = orig
+        grad_flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(
+    module: Module, x: np.ndarray, rtol: float = 2e-2, atol: float = 2e-3
+) -> None:
+    """Assert the module's input gradient matches central differences.
+
+    Uses the scalar objective ``sum(w * forward(x))`` for a fixed random
+    weight tensor so every output element contributes.
+    """
+    x = x.astype(np.float32).copy()
+    out = module.forward(x, training=True)
+    w = np.random.default_rng(0).normal(size=out.shape).astype(np.float32)
+    module.forward(x, training=True)  # refresh cache
+    analytic = module.backward(w)
+
+    def objective() -> float:
+        return float((module.forward(x, training=True) * w).sum())
+
+    numeric = _central_difference(objective, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_parameter_gradients(
+    module: Module, x: np.ndarray, rtol: float = 2e-2, atol: float = 2e-3
+) -> None:
+    """Assert every parameter gradient matches central differences."""
+    x = x.astype(np.float32)
+    out = module.forward(x, training=True)
+    w = np.random.default_rng(1).normal(size=out.shape).astype(np.float32)
+
+    def objective() -> float:
+        return float((module.forward(x, training=True) * w).sum())
+
+    module.forward(x, training=True)
+    module.zero_grad()
+    module.backward(w)
+    for param in module.parameters():
+        numeric = _central_difference(objective, param.data)
+        np.testing.assert_allclose(
+            param.grad, numeric, rtol=rtol, atol=atol, err_msg=param.name
+        )

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs to completion from a shell."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "bits/value" in out
+    assert "error feedback" in out
+
+
+def test_distributed_training():
+    out = run_example("distributed_training.py", "--steps", "6", "--workers", "2")
+    assert "3LC (s=1.00)" in out
+    assert "traffic" in out
+
+
+def test_wan_deployment_planner():
+    out = run_example("wan_deployment_planner.py", "--steps", "4")
+    assert "32-bit float" in out
+    assert "bytes/1k steps" in out
+
+
+def test_custom_scheme():
+    out = run_example("custom_scheme.py")
+    assert "signSGD" in out
+    assert "zero framework changes" in out
+
+
+def test_geo_distributed():
+    out = run_example("geo_distributed.py", "--steps", "4")
+    assert "Best placement" in out
+    assert "3LC (s=1.00)" in out
+    assert "Egress bill" in out
+
+
+def test_topology_study():
+    out = run_example("topology_study.py", "--nodes", "4", "--size", "4096")
+    assert "ring" in out
+    assert "param server" in out
+    assert "Hot-link bytes" in out
+
+
+def test_codec_lab():
+    out = run_example("codec_lab.py", "--steps", "3")
+    assert "Offline codec ranking" in out
+    assert "3LC (s=1.00)" in out
+    assert "32-bit float" in out
+
+
+def test_sharded_servers():
+    out = run_example("sharded_servers.py", "--workers", "2")
+    assert "Hottest server link" in out
+    assert "3LC (s=1.00)" in out
