@@ -28,6 +28,14 @@ from repro.compression.base import Compressor, CompressorContext, CompressionRes
 from repro.compression.dgc import DGCCompressor, WarmupSchedule
 from repro.compression.float16 import Float16Compressor
 from repro.compression.float32 import Float32Compressor
+from repro.compression.fusion import (
+    Bucket,
+    FusedBucketContext,
+    FusedCompressionResult,
+    FusionPlan,
+    build_fusion_plan,
+    split_bucket,
+)
 from repro.compression.gaia import GaiaCompressor
 from repro.compression.int8 import Int8Compressor
 from repro.compression.local_steps import LocalStepsCompressor
@@ -49,6 +57,12 @@ __all__ = [
     "Compressor",
     "CompressorContext",
     "CompressionResult",
+    "Bucket",
+    "FusionPlan",
+    "FusedBucketContext",
+    "FusedCompressionResult",
+    "build_fusion_plan",
+    "split_bucket",
     "AdaptiveThreeLCCompressor",
     "DGCCompressor",
     "Float16Compressor",

@@ -130,5 +130,23 @@ class Compressor(abc.ABC):
 
         return Float32Compressor().decompress(message)
 
+    def make_fused_bypass_context(self, bucket, *, key: tuple[object, ...] = ()):
+        """Bucket-aware bypass context: one codec call for a whole bucket.
+
+        The fused-bucket hot path concatenates many small tensors into one
+        flat buffer and runs the bypass codec once, paying one frame header
+        instead of one per tensor. Deferring schemes compose: the fused
+        context defers the entire bucket whenever the per-tensor bypass
+        would have deferred each member.
+        """
+        from repro.compression.fusion import FusedBucketContext
+
+        inner = self.make_bypass_context((bucket.total_elements,), key=key)
+        return FusedBucketContext(bucket, inner)
+
+    def decompress_fused_bypass(self, message) -> np.ndarray:
+        """Decode a fused bypass frame to the flat bucket (one codec call)."""
+        return self.decompress_bypass(message.inner)
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}({self.name!r})"

@@ -28,14 +28,16 @@ exercised by property-based fuzz tests, and a checksum distinguishes
 
 from __future__ import annotations
 
+import math
 import struct
 import zlib
 from dataclasses import dataclass, field
 from enum import IntEnum
+from functools import cached_property
 
 import numpy as np
 
-__all__ = ["CodecId", "WireMessage", "MAGIC", "FORMAT_VERSION"]
+__all__ = ["CodecId", "WireMessage", "FusedWireMessage", "MAGIC", "FORMAT_VERSION"]
 
 MAGIC = b"3LC\0"
 FORMAT_VERSION = 1
@@ -70,6 +72,7 @@ class CodecId(IntEnum):
     DGC_SPARSE = 12
     GAIA_SPARSE = 13
     LOW_RANK = 14
+    FUSED_BUCKET = 15
 
 
 @dataclass(frozen=True)
@@ -176,3 +179,121 @@ class WireMessage:
             scalars=tuple(scalars),
             dtype=_DTYPE_CODES[dtype_code],
         )
+
+
+_FUSED_HEADER = struct.Struct("<4sBBH")  # magic, version, codec id, tensor count
+
+
+@dataclass(frozen=True)
+class FusedWireMessage:
+    """A multi-tensor frame: several flattened tensors in one codec payload.
+
+    The fused-bucket hot path concatenates many small tensors into one flat
+    bucket, compresses the bucket with a *single* codec call, and frames the
+    result once. The frame carries the sub-tensor shape table needed to
+    split the decoded bucket; which parameter owns which slot is agreed
+    out-of-band by the deterministic bucket plan, exactly as gradient-fusion
+    implementations agree on bucket assignment before training starts.
+
+    Frame layout (little-endian)::
+
+        offset  size  field
+        0       4     magic  b"3LC\\0"
+        4       1     format version
+        5       1     codec id (always CodecId.FUSED_BUCKET)
+        6       2     number of sub-tensors, uint16
+        8       var   shape table: per tensor, u8 ndim + u32 dims
+        ..      8     inner frame length, uint64
+        ..      n     inner frame (a complete WireMessage of the flat bucket)
+        ..      4     CRC32 over everything above
+
+    Attributes
+    ----------
+    inner:
+        The compressed flat bucket (its shape is ``(total_elements,)``).
+    shapes:
+        Original shape of each sub-tensor, in bucket order.
+    """
+
+    inner: WireMessage
+    shapes: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "shapes", tuple(tuple(int(d) for d in s) for s in self.shapes)
+        )
+        if not self.shapes:
+            raise ValueError("a fused message needs at least one sub-tensor")
+        if len(self.shapes) > 0xFFFF:
+            raise ValueError("too many sub-tensors")
+        total = 0
+        for shape in self.shapes:
+            if len(shape) > 255:
+                raise ValueError("too many dimensions in sub-tensor shape")
+            total += math.prod(shape)
+        if total != self.inner.element_count:
+            raise ValueError(
+                f"shape table covers {total} elements but the inner frame "
+                f"decodes {self.inner.element_count}"
+            )
+
+    @property
+    def codec_id(self) -> CodecId:
+        return CodecId.FUSED_BUCKET
+
+    @property
+    def element_count(self) -> int:
+        """Total elements across all fused sub-tensors."""
+        return self.inner.element_count
+
+    @cached_property
+    def wire_size(self) -> int:
+        """Total frame size in bytes, shape table and inner frame included."""
+        table = sum(1 + 4 * len(shape) for shape in self.shapes)
+        return _FUSED_HEADER.size + table + _LEN.size + self.inner.wire_size + _CRC.size
+
+    def pack(self) -> bytes:
+        """Serialize the fused frame to bytes."""
+        head = _FUSED_HEADER.pack(
+            MAGIC, FORMAT_VERSION, int(CodecId.FUSED_BUCKET), len(self.shapes)
+        )
+        table = b"".join(
+            struct.pack(f"<B{len(shape)}I", len(shape), *shape)
+            for shape in self.shapes
+        )
+        inner = self.inner.pack()
+        body = head + table + _LEN.pack(len(inner)) + inner
+        return body + _CRC.pack(zlib.crc32(body))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "FusedWireMessage":
+        """Deserialize a fused frame, verifying magic, version, and CRC."""
+        if len(data) < _FUSED_HEADER.size + _LEN.size + _CRC.size:
+            raise ValueError("fused frame too short")
+        body, crc_bytes = data[: -_CRC.size], data[-_CRC.size :]
+        (expected_crc,) = _CRC.unpack(crc_bytes)
+        if zlib.crc32(body) != expected_crc:
+            raise ValueError("fused frame CRC mismatch")
+        magic, version, codec_id, count = _FUSED_HEADER.unpack_from(body, 0)
+        if magic != MAGIC:
+            raise ValueError("bad magic")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported format version {version}")
+        if codec_id != int(CodecId.FUSED_BUCKET):
+            raise ValueError(f"not a fused frame: codec id {codec_id}")
+        offset = _FUSED_HEADER.size
+        shapes = []
+        for _ in range(count):
+            (ndim,) = struct.unpack_from("<B", body, offset)
+            offset += 1
+            dims = struct.unpack_from(f"<{ndim}I", body, offset)
+            offset += 4 * ndim
+            shapes.append(tuple(int(d) for d in dims))
+        (inner_len,) = _LEN.unpack_from(body, offset)
+        offset += _LEN.size
+        inner_bytes = body[offset : offset + inner_len]
+        if len(inner_bytes) != inner_len:
+            raise ValueError("truncated inner frame")
+        if offset + inner_len != len(body):
+            raise ValueError("trailing bytes in fused frame")
+        return cls(inner=WireMessage.unpack(inner_bytes), shapes=tuple(shapes))

@@ -12,13 +12,13 @@ model to similar test accuracy":
   staleness threshold — a worker may run at most ``staleness`` steps ahead
   of the slowest worker.
 
-:class:`AsyncCluster` reproduces both in the simulator so that the §2.1
-claim is measurable (see ``tests/distributed/test_async.py`` and the
-barrier benchmark). The event model: each worker has a virtual clock that
-advances by its (straggler-scaled) compute time per local step; the
-cluster repeatedly picks the *eligible* worker with the earliest finish
-time, applies its (compressed) gradient to the global model immediately,
-and hands back compressed deltas of everything that changed since that
+:class:`AsyncCluster` is a facade over the unified
+:class:`~repro.exchange.engine.ExchangeEngine` running the ``async`` or
+``ssp`` sync mode. The event model: each worker has a virtual clock that
+advances by its (straggler-scaled) compute time per local step; the engine
+repeatedly picks the *eligible* worker with the earliest finish time,
+applies its (compressed) gradient to the global model immediately, and
+hands back compressed deltas of everything that changed since that
 worker's last pull. SSP eligibility blocks workers that are
 ``staleness + 1`` local steps ahead of the slowest worker.
 
@@ -32,20 +32,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.compression.base import Compressor
-from repro.data.augment import Augmenter
-from repro.data.batcher import ShardBatcher
 from repro.data.synthetic import SyntheticImageDataset
 from repro.distributed.barriers import StragglerSpec
-from repro.distributed.server import ParameterServer
-from repro.distributed.worker import Worker
-from repro.network.traffic import StepTraffic, TrafficMeter
-from repro.nn.loss import SoftmaxCrossEntropy, accuracy
-from repro.nn.optimizer import MomentumSGD
+from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
+from repro.exchange.engine import EngineConfig, ExchangeEngine
 from repro.nn.schedule import Schedule
-from repro.utils.seeding import SeedSequenceFactory
 
 __all__ = ["AsyncConfig", "AsyncCluster"]
 
@@ -64,7 +56,7 @@ class AsyncConfig:
     shard_size: int = 256
     momentum: float = 0.9
     weight_decay: float = 1e-4
-    small_tensor_threshold: int = 256
+    small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD
     augment_pad: int = 2
     seed: int = 0
     staleness: int | None = None
@@ -76,9 +68,26 @@ class AsyncConfig:
         if self.staleness is not None and self.staleness < 0:
             raise ValueError("staleness must be >= 0 or None")
 
+    def engine_config(self) -> EngineConfig:
+        """The equivalent unified-engine configuration."""
+        return EngineConfig(
+            num_workers=self.num_workers,
+            batch_size=self.batch_size,
+            shard_size=self.shard_size,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            small_tensor_threshold=self.small_tensor_threshold,
+            augment_pad=self.augment_pad,
+            seed=self.seed,
+            topology="single",
+            sync_mode="async" if self.staleness is None else "ssp",
+            staleness=self.staleness,
+            straggler=self.straggler,
+        )
 
-class AsyncCluster:
-    """Event-driven asynchronous parameter-server trainer."""
+
+class AsyncCluster(ExchangeEngine):
+    """Event-driven asynchronous parameter-server trainer (engine facade)."""
 
     def __init__(
         self,
@@ -89,144 +98,19 @@ class AsyncCluster:
         config: AsyncConfig | None = None,
     ):
         self.config = config or AsyncConfig()
-        self.dataset = dataset
-        self.scheme = scheme
-        seeds = SeedSequenceFactory(self.config.seed)
-
-        reference = model_factory()
-        self.workers: list[Worker] = []
-        for worker_id in range(self.config.num_workers):
-            model = model_factory()
-            model.load_state_dict(reference.state_dict())
-            images, labels = dataset.train_shard(worker_id, self.config.shard_size)
-            self.workers.append(
-                Worker(
-                    worker_id,
-                    model,
-                    ShardBatcher(
-                        images, labels, self.config.batch_size, seeds.rng("b", worker_id)
-                    ),
-                    Augmenter(seeds.rng("a", worker_id), pad=self.config.augment_pad),
-                    scheme,
-                    small_tensor_threshold=self.config.small_tensor_threshold,
-                )
-            )
-        # The server aggregates one worker's push at a time (divisor 1).
-        self.server = ParameterServer(
-            reference.parameters(),
-            MomentumSGD(self.config.momentum, self.config.weight_decay),
-            schedule,
-            scheme,
-            num_workers=1,
-            small_tensor_threshold=self.config.small_tensor_threshold,
+        super().__init__(
+            model_factory, dataset, scheme, schedule, self.config.engine_config()
         )
-        # Per-worker pull contexts: loosely-synchronized replicas need an
-        # individual compressed delta stream each (paper §3).
-        self._pull_contexts = {
-            worker.worker_id: {
-                name: (
-                    scheme.make_bypass_context(param.shape, key=("apull", worker.worker_id, name))
-                    if name in self.server.bypassed
-                    else scheme.make_context(param.shape, key=("apull", worker.worker_id, name))
-                )
-                for name, param in self.server.params.items()
-            }
-            for worker in self.workers
-        }
-        # Global state at each worker's last pull: the pull context is fed
-        # only the increment since then; its own error buffer carries
-        # whatever compression deferred (same contract as the BSP cluster).
-        self._last_global = {
-            worker.worker_id: self.server.state_dict() for worker in self.workers
-        }
-        self._clock = {worker.worker_id: 0.0 for worker in self.workers}
-        self._local_steps = {worker.worker_id: 0 for worker in self.workers}
-        self._eval_model = model_factory()
-        self.traffic = TrafficMeter()
-        self.update_count = 0
 
-    # -- scheduling --------------------------------------------------------
+    @property
+    def server(self):
+        """The parameter service (historical name)."""
+        return self.service
 
-    def _eligible(self) -> list[int]:
-        staleness = self.config.staleness
-        if staleness is None:
-            return list(self._clock)
-        slowest = min(self._local_steps.values())
-        return [
-            wid
-            for wid, steps in self._local_steps.items()
-            if steps - slowest <= staleness
-        ]
+    def evaluate(self, *, test_size: int = 1000) -> float:  # type: ignore[override]
+        """Top-1 accuracy of the global model on the held-out set.
 
-    def _next_worker(self) -> int:
-        eligible = self._eligible()
-        return min(eligible, key=lambda wid: (self._clock[wid], wid))
-
-    # -- training ----------------------------------------------------------
-
-    def run_updates(self, count: int) -> None:
-        """Apply ``count`` asynchronous gradient updates to the global model."""
-        for _ in range(count):
-            self._one_update()
-
-    def _one_update(self) -> None:
-        wid = self._next_worker()
-        worker = self.workers[wid]
-        batch = worker.train_step()
-
-        multiplier = (
-            self.config.straggler.multiplier(wid, self._local_steps[wid])
-            if self.config.straggler
-            else 1.0
-        )
-        self._clock[wid] += batch.compute_seconds * multiplier
-        self._local_steps[wid] += 1
-
-        # Server applies this worker's (stale) gradient immediately.
-        pull_unused = self.server.step([batch.messages], divisor=1)
-        self.update_count += 1
-
-        # Individual pull: compress (global - worker_view) deltas for this
-        # worker only, via its personal error-feedback contexts.
-        record = StepTraffic(
-            step=self.update_count - 1,
-            pull_fanout=1,
-            num_workers=1,
-            model_elements=sum(p.size for p in self.server.params.values()),
-        )
-        for result in batch.messages.values():
-            if result is None:
-                continue
-            record.push_bytes += result.message.wire_size
-            record.push_elements += result.message.element_count
-        deltas: dict[str, np.ndarray] = {}
-        last = self._last_global[wid]
-        for name, param in self.server.params.items():
-            context = self._pull_contexts[wid][name]
-            increment = param.data - last[name]
-            last[name] = param.data.copy()
-            result = context.compress(increment)
-            if result is None:  # deferred (local-steps); buffered in context
-                continue
-            deltas[name] = result.reconstruction
-            record.pull_bytes_shared += result.message.wire_size
-            record.pull_elements += result.message.element_count
-        worker.apply_pull(deltas)
-        self.traffic.record(record)
-
-    # -- evaluation ----------------------------------------------------------
-
-    def evaluate(self, *, test_size: int = 1000) -> float:
-        """Top-1 accuracy of the global model on the held-out set."""
-        self._eval_model.load_state_dict(self.server.state_dict())
-        from repro.distributed.cluster import Cluster
-
-        Cluster._sync_bn_stats(self.workers[0].model, self._eval_model)
-        images, labels = self.dataset.test_set(test_size)
-        logits = self._eval_model.forward(images, training=False)
-        return accuracy(logits, labels)
-
-    def max_staleness_observed(self) -> int:
-        """Largest local-step lead any worker currently holds."""
-        steps = self._local_steps.values()
-        return max(steps) - min(steps)
+        (The engine returns a full :class:`~repro.exchange.engine.EvalResult`;
+        this facade preserves the historical float return.)
+        """
+        return super().evaluate(test_size=test_size).test_accuracy

@@ -1,4 +1,4 @@
-"""BSP training cluster: workers + parameter server + traffic metering.
+"""BSP training cluster: a thin facade over the unified exchange engine.
 
 Reproduces the paper's distributed training loop (§2): per step, every
 worker computes gradients on its shard (forward + backward), pushes
@@ -9,6 +9,14 @@ synchronous — the paper's experiments use TensorFlow's synchronous
 overlap captured by the :class:`~repro.network.timing.StepTimeModel`
 rather than simulated explicitly.
 
+The orchestration itself lives in
+:class:`~repro.exchange.engine.ExchangeEngine`; :class:`Cluster` pins the
+engine to the paper's evaluated configuration (single parameter server,
+BSP with optional backup workers) and preserves the historical construction
+surface. The BSP single-server path is op-for-op identical to the original
+implementation — ``tests/exchange/test_engine_parity.py`` holds the engine
+to the seed's exact loss trajectory and wire bytes.
+
 Everything runs in-process; *simulated* wall-clock comes from measured
 compute/codec seconds plus the link model, so a full Table-1 sweep runs in
 minutes instead of the paper's 10 days per slow-network datapoint.
@@ -16,31 +24,16 @@ minutes instead of the paper's 10 days per slow-network datapoint.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.compression.base import Compressor
-from repro.data.augment import Augmenter
-from repro.data.batcher import ShardBatcher
 from repro.data.synthetic import SyntheticImageDataset
-from repro.distributed.barriers import (
-    BackupWorkerBarrier,
-    FullBarrier,
-    StragglerSpec,
-)
-from repro.distributed.server import ParameterServer
-from repro.distributed.worker import Worker
-from repro.network.traffic import StepTraffic, TrafficMeter
-from repro.nn.loss import accuracy
-from repro.nn.module import Module
-from repro.nn.norm import BatchNorm2d
-from repro.nn.optimizer import MomentumSGD
+from repro.distributed.barriers import StragglerSpec
+from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
+from repro.exchange.engine import EngineConfig, EvalResult, ExchangeEngine, StepLog
 from repro.nn.schedule import Schedule
-from repro.utils.seeding import SeedSequenceFactory
 
-__all__ = ["ClusterConfig", "Cluster", "EvalResult"]
+__all__ = ["ClusterConfig", "Cluster", "EvalResult", "StepLog"]
 
 
 @dataclass(frozen=True)
@@ -57,7 +50,7 @@ class ClusterConfig:
     shard_size: int = 512
     momentum: float = 0.9
     weight_decay: float = 1e-4
-    small_tensor_threshold: int = 256
+    small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD
     augment_pad: int = 2
     seed: int = 0
     #: Backup workers (paper §2.1): a global step proceeds once
@@ -65,6 +58,10 @@ class ClusterConfig:
     backup_workers: int = 0
     #: Per-step compute-time jitter / straggler injection (None = uniform).
     straggler: StragglerSpec | None = None
+    #: Fused-bucket hot path: exchange small tensors in fused buckets
+    #: (one codec call and one frame per bucket) instead of one message
+    #: per tensor. Numerically exact; changes only framing and call count.
+    fuse_small_tensors: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -76,27 +73,27 @@ class ClusterConfig:
         if not (0 <= self.backup_workers < self.num_workers):
             raise ValueError("backup_workers must be in [0, num_workers)")
 
+    def engine_config(self) -> EngineConfig:
+        """The equivalent unified-engine configuration."""
+        return EngineConfig(
+            num_workers=self.num_workers,
+            batch_size=self.batch_size,
+            shard_size=self.shard_size,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            small_tensor_threshold=self.small_tensor_threshold,
+            augment_pad=self.augment_pad,
+            seed=self.seed,
+            topology="single",
+            sync_mode="bsp",
+            backup_workers=self.backup_workers,
+            straggler=self.straggler,
+            fuse_small_tensors=self.fuse_small_tensors,
+        )
 
-@dataclass(frozen=True)
-class EvalResult:
-    """Global-model evaluation snapshot."""
 
-    step: int
-    test_accuracy: float
-    test_loss: float
-
-
-@dataclass
-class StepLog:
-    """Per-step training telemetry."""
-
-    step: int
-    train_loss: float
-    learning_rate: float
-
-
-class Cluster:
-    """A simulated parameter-server training cluster.
+class Cluster(ExchangeEngine):
+    """A simulated parameter-server training cluster (BSP, single server).
 
     Parameters
     ----------
@@ -123,200 +120,11 @@ class Cluster:
         config: ClusterConfig | None = None,
     ):
         self.config = config or ClusterConfig()
-        self.dataset = dataset
-        self.scheme = scheme
-        self.seeds = SeedSequenceFactory(self.config.seed)
-
-        reference_model = model_factory()
-        self.workers: list[Worker] = []
-        for worker_id in range(self.config.num_workers):
-            model = model_factory()
-            # All replicas start from identical weights.
-            model.load_state_dict(reference_model.state_dict())
-            images, labels = dataset.train_shard(worker_id, self.config.shard_size)
-            batcher = ShardBatcher(
-                images, labels, self.config.batch_size, self.seeds.rng("batch", worker_id)
-            )
-            augmenter = Augmenter(
-                self.seeds.rng("augment", worker_id), pad=self.config.augment_pad
-            )
-            self.workers.append(
-                Worker(
-                    worker_id,
-                    model,
-                    batcher,
-                    augmenter,
-                    scheme,
-                    small_tensor_threshold=self.config.small_tensor_threshold,
-                )
-            )
-        self.server = ParameterServer(
-            reference_model.parameters(),
-            MomentumSGD(self.config.momentum, self.config.weight_decay),
-            schedule,
-            scheme,
-            self.config.num_workers,
-            small_tensor_threshold=self.config.small_tensor_threshold,
+        super().__init__(
+            model_factory, dataset, scheme, schedule, self.config.engine_config()
         )
-        self._eval_model = model_factory()
-        self.barrier = (
-            FullBarrier()
-            if self.config.backup_workers == 0
-            else BackupWorkerBarrier(
-                self.config.num_workers - self.config.backup_workers
-            )
-        )
-        self.traffic = TrafficMeter()
-        self.step_logs: list[StepLog] = []
-        self._test_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
-    def global_step(self) -> int:
-        return self.server.global_step
-
-    def train_step(self) -> StepLog:
-        """Run one full BSP step across all workers; returns telemetry."""
-        step = self.server.global_step
-
-        batches = [worker.train_step() for worker in self.workers]
-
-        # Barrier: decide whose pushes enter aggregation. Straggler-scaled
-        # compute time determines arrival order; dropped pushes were still
-        # transmitted (they consumed bandwidth) but are discarded.
-        straggler = self.config.straggler
-        arrivals = {
-            worker.worker_id: batches[i].compute_seconds
-            * (straggler.multiplier(worker.worker_id, step) if straggler else 1.0)
-            for i, worker in enumerate(self.workers)
-        }
-        decision = self.barrier.decide(arrivals)
-        accepted_pushes = [batches[i].messages for i in decision.accepted]
-        pull_batch = self.server.step(accepted_pushes, divisor=len(decision.accepted))
-
-        # Workers pull the *shared* compressed deltas and apply them.
-        t0 = time.perf_counter()
-        deltas: dict[str, np.ndarray] = {}
-        for name, result in pull_batch.messages.items():
-            if result is None:
-                continue
-            deltas[name] = self.server.decompress_pull(name, result.message)
-        pull_decompress_seconds = time.perf_counter() - t0
-        for worker in self.workers:
-            worker.apply_pull(deltas)
-
-        # -- traffic + timing accounting -------------------------------------
-        record = StepTraffic(
-            step=step,
-            pull_fanout=self.config.num_workers,
-            num_workers=self.config.num_workers,
-            model_elements=sum(p.size for p in self.server.params.values()),
-        )
-        bypassed = self.server.bypassed
-        for batch in batches:
-            for name, result in batch.messages.items():
-                if result is None:
-                    continue
-                record.push_bytes += result.message.wire_size
-                record.push_elements += result.message.element_count
-                if name not in bypassed:
-                    record.push_bytes_main += result.message.wire_size
-                    record.push_elements_main += result.message.element_count
-        for name, result in pull_batch.messages.items():
-            if result is None:
-                continue
-            record.pull_bytes_shared += result.message.wire_size
-            record.pull_elements += result.message.element_count
-            if name not in bypassed:
-                record.pull_bytes_main += result.message.wire_size
-                record.pull_elements_main += result.message.element_count
-        # Workers run in parallel: the barrier charges the slowest worker it
-        # actually waited for (straggler-scaled; backup workers excluded).
-        record.compute_seconds = decision.compute_seconds
-        record.dropped_pushes = len(decision.dropped)
-        # Codec work on the critical path: slowest worker's push compression,
-        # the server's serialized decompress + compress, and one worker's
-        # pull decompression (workers decompress in parallel).
-        record.codec_seconds = (
-            max(b.compress_seconds for b in batches)
-            + pull_batch.decompress_seconds
-            + pull_batch.compress_seconds
-            + pull_decompress_seconds
-        )
-        self.traffic.record(record)
-
-        log = StepLog(
-            step=step,
-            train_loss=float(np.mean([b.loss for b in batches])),
-            learning_rate=self.server.schedule(step),
-        )
-        self.step_logs.append(log)
-        return log
-
-    def train(self, steps: int, *, eval_every: int | None = None, test_size: int = 1000) -> list[EvalResult]:
-        """Run ``steps`` BSP steps, optionally evaluating along the way."""
-        evals: list[EvalResult] = []
-        for _ in range(steps):
-            self.train_step()
-            if eval_every and self.global_step % eval_every == 0:
-                evals.append(self.evaluate(test_size=test_size))
-        return evals
-
-    def _test_set(self, test_size: int) -> tuple[np.ndarray, np.ndarray]:
-        if self._test_cache is None or self._test_cache[0].shape[0] != test_size:
-            self._test_cache = self.dataset.test_set(test_size)
-        return self._test_cache
-
-    def evaluate(self, *, test_size: int = 1000) -> EvalResult:
-        """Evaluate the *global* model on the held-out test set.
-
-        Batch-norm running statistics come from worker 0's replica — the
-        paper makes one worker responsible for batch-norm updates (§5.2).
-        """
-        self._eval_model.load_state_dict(self.server.state_dict())
-        self._sync_bn_stats(self.workers[0].model, self._eval_model)
-        images, labels = self._test_set(test_size)
-        from repro.nn.loss import SoftmaxCrossEntropy
-
-        logits = self._eval_model.forward(images, training=False)
-        loss = SoftmaxCrossEntropy().forward(logits, labels)
-        return EvalResult(
-            step=self.global_step,
-            test_accuracy=accuracy(logits, labels),
-            test_loss=loss,
-        )
-
-    @staticmethod
-    def _sync_bn_stats(source: Module, target: Module) -> None:
-        src_bns = [m for m in _iter_modules(source) if isinstance(m, BatchNorm2d)]
-        dst_bns = [m for m in _iter_modules(target) if isinstance(m, BatchNorm2d)]
-        if len(src_bns) != len(dst_bns):
-            raise RuntimeError("model topology mismatch between replicas")
-        for src, dst in zip(src_bns, dst_bns):
-            dst.load_stats(src.stats_dict())
-
-    def model_divergence(self) -> float:
-        """Max L2 distance between any worker replica and the global model.
-
-        Lossy pull compression lets replicas drift; error feedback should
-        keep this bounded. Exposed for tests and diagnostics.
-        """
-        global_state = self.server.state_dict()
-        worst = 0.0
-        for worker in self.workers:
-            local = worker.model.state_dict()
-            dist = float(
-                np.sqrt(
-                    sum(
-                        np.sum((local[k] - global_state[k]) ** 2)
-                        for k in global_state
-                    )
-                )
-            )
-            worst = max(worst, dist)
-        return worst
-
-
-def _iter_modules(module: Module):
-    yield module
-    for child in module._children:
-        yield from _iter_modules(child)
+    def server(self):
+        """The parameter service (historical name for the single server)."""
+        return self.service

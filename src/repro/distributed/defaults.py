@@ -1,0 +1,21 @@
+"""Shared defaults of the distributed substrate.
+
+Single source of truth for knobs that several layers must agree on. The
+small-tensor threshold (paper §5.1: batch-norm scale/shift and similar
+tensors bypass lossy compression) was previously copy-pasted across the
+cluster, worker, sharding, and harness configs; every consumer now imports
+it from here so a change propagates consistently.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SMALL_TENSOR_THRESHOLD", "FUSION_BUCKET_ELEMENTS"]
+
+#: Tensors with fewer elements than this bypass lossy compression and
+#: travel as raw float32 (paper §5.1's small-layer exclusion).
+SMALL_TENSOR_THRESHOLD = 256
+
+#: Capacity of one fused bucket, in elements: small tensors are packed
+#: into buckets of at most this many elements before the fused-bucket
+#: codec path compresses each bucket with a single codec call.
+FUSION_BUCKET_ELEMENTS = 16384

@@ -11,6 +11,11 @@ Pull compression uses one context per tensor whose error-accumulation
 buffer carries deltas that quantization deferred; workers therefore
 converge to the global model over time rather than instantaneously, which
 is exactly the behaviour the paper's design accepts and evaluates.
+
+With a :class:`~repro.compression.fusion.FusionPlan`, the small-tensor
+bypass set is exchanged through fused buckets instead: one decompression
+per worker per bucket on the push side, one compression per bucket on the
+pull side.
 """
 
 from __future__ import annotations
@@ -20,6 +25,13 @@ import time
 import numpy as np
 
 from repro.compression.base import Compressor, CompressorContext, CompressionResult
+from repro.compression.fusion import (
+    FusedBucketContext,
+    FusedCompressionResult,
+    FusionPlan,
+    split_bucket,
+)
+from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
 from repro.nn.optimizer import MomentumSGD
 from repro.nn.parameter import Parameter
 from repro.nn.schedule import Schedule
@@ -30,15 +42,18 @@ __all__ = ["ParameterServer", "PullBatch"]
 class PullBatch:
     """One step's shared compressed model deltas plus server measurements."""
 
-    __slots__ = ("messages", "decompress_seconds", "compress_seconds")
+    __slots__ = ("messages", "fused", "decompress_seconds", "compress_seconds")
 
     def __init__(
         self,
         messages: dict[str, CompressionResult | None],
         decompress_seconds: float,
         compress_seconds: float,
+        fused: dict[int, FusedCompressionResult | None] | None = None,
     ):
         self.messages = messages
+        #: Per-bucket fused pulls (empty when fusion is off).
+        self.fused = fused or {}
         self.decompress_seconds = decompress_seconds
         self.compress_seconds = compress_seconds
 
@@ -61,6 +76,9 @@ class ParameterServer:
         Worker count, used for gradient averaging.
     small_tensor_threshold:
         Tensors below this many elements bypass compression.
+    fusion_plan:
+        Optional fused-bucket plan for the bypass set (must match the plan
+        the workers were built with).
     """
 
     def __init__(
@@ -71,7 +89,8 @@ class ParameterServer:
         scheme: Compressor,
         num_workers: int,
         *,
-        small_tensor_threshold: int = 256,
+        small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD,
+        fusion_plan: FusionPlan | None = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers!r}")
@@ -80,14 +99,19 @@ class ParameterServer:
         self.scheme = scheme
         self.num_workers = int(num_workers)
         self.small_tensor_threshold = int(small_tensor_threshold)
+        self.fusion_plan = fusion_plan
         # The server's own Parameter copies; grads are filled by aggregation.
         self.params: dict[str, Parameter] = {
             p.name: Parameter(p.name, p.data.copy(), weight_decay=p.weight_decay)
             for p in parameters
         }
+        fused_names = fusion_plan.fused_names if fusion_plan else frozenset()
         self.pull_contexts: dict[str, CompressorContext] = {}
         self.bypassed: set[str] = set()
         for name, param in self.params.items():
+            if name in fused_names:
+                self.bypassed.add(name)
+                continue
             key = ("pull", name)
             if param.size < self.small_tensor_threshold:
                 self.pull_contexts[name] = scheme.make_bypass_context(
@@ -96,6 +120,14 @@ class ParameterServer:
                 self.bypassed.add(name)
             else:
                 self.pull_contexts[name] = scheme.make_context(param.shape, key=key)
+        self.fused_pull_contexts: dict[int, FusedBucketContext] = {}
+        if fusion_plan is not None:
+            for bucket in fusion_plan.buckets:
+                self.fused_pull_contexts[bucket.index] = (
+                    scheme.make_fused_bypass_context(
+                        bucket, key=("pull-fused", bucket.index)
+                    )
+                )
         self.global_step = 0
 
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -108,10 +140,28 @@ class ParameterServer:
             return self.scheme.decompress_bypass(message)
         return self.scheme.decompress(message)
 
+    def _decompress_fused_pushes(
+        self, fused_pushes: list[dict[int, FusedCompressionResult | None]]
+    ) -> list[dict[str, np.ndarray]]:
+        """One decompression call per worker per bucket; split per tensor."""
+        assert self.fusion_plan is not None
+        per_worker: list[dict[str, np.ndarray]] = []
+        for worker_fused in fused_pushes:
+            grads: dict[str, np.ndarray] = {}
+            for index, result in worker_fused.items():
+                if result is None:
+                    continue
+                bucket = self.fusion_plan.buckets[index]
+                flat = self.scheme.decompress_fused_bypass(result.message)
+                grads.update(split_bucket(flat, bucket))
+            per_worker.append(grads)
+        return per_worker
+
     def step(
         self,
         pushes: list[dict[str, CompressionResult | None]],
         divisor: int | None = None,
+        fused_pushes: list[dict[int, FusedCompressionResult | None]] | None = None,
     ) -> PullBatch:
         """Run one global step: aggregate, update, compress shared pulls.
 
@@ -126,6 +176,9 @@ class ParameterServer:
             Gradient-averaging denominator. Defaults to the configured
             worker count (vanilla BSP); the backup-worker barrier passes
             the accepted count, matching SyncReplicasOptimizer.
+        fused_pushes:
+            Per-worker fused-bucket pushes, aligned with ``pushes``. Only
+            meaningful when the server was built with a fusion plan.
         """
         if not (1 <= len(pushes) <= self.num_workers):
             raise ValueError(
@@ -135,17 +188,30 @@ class ParameterServer:
             divisor = self.num_workers
         if divisor < 1:
             raise ValueError("divisor must be >= 1")
+        if fused_pushes is not None and len(fused_pushes) != len(pushes):
+            raise ValueError("fused_pushes must align with pushes")
         # -- gradient aggregation (decompression measured) ------------------
         t0 = time.perf_counter()
+        fused_grads: list[dict[str, np.ndarray]] = []
+        if self.fusion_plan is not None and fused_pushes is not None:
+            fused_grads = self._decompress_fused_pushes(fused_pushes)
+        fused_names = self.fusion_plan.fused_names if self.fusion_plan else frozenset()
         aggregated: dict[str, np.ndarray] = {}
         for name, param in self.params.items():
             total: np.ndarray | None = None
-            for worker_push in pushes:
-                result = worker_push[name]
-                if result is None:
-                    continue
-                grad = self._decompress_push(name, result.message)
-                total = grad.copy() if total is None else total + grad
+            if name in fused_names:
+                for worker_grads in fused_grads:
+                    grad = worker_grads.get(name)
+                    if grad is None:
+                        continue
+                    total = grad.copy() if total is None else total + grad
+            else:
+                for worker_push in pushes:
+                    result = worker_push[name]
+                    if result is None:
+                        continue
+                    grad = self._decompress_push(name, result.message)
+                    total = grad.copy() if total is None else total + grad
             if total is not None:
                 # Average over the divisor: deferring workers contribute
                 # zero this step (their update arrives later via their
@@ -169,16 +235,46 @@ class ParameterServer:
         t1 = time.perf_counter()
         messages: dict[str, CompressionResult | None] = {}
         for name, param in self.params.items():
-            if name in aggregated:
-                delta = param.data - previous[name]
-            else:
-                delta = np.zeros(param.shape, dtype=np.float32)
+            if name in fused_names:
+                continue
+            delta = self._pull_delta(name, param, aggregated, previous)
             messages[name] = self.pull_contexts[name].compress(delta)
+        fused_messages: dict[int, FusedCompressionResult | None] = {}
+        if self.fusion_plan is not None:
+            for bucket in self.fusion_plan.buckets:
+                deltas = {
+                    name: self._pull_delta(
+                        name, self.params[name], aggregated, previous
+                    )
+                    for name in bucket.names
+                }
+                fused_messages[bucket.index] = self.fused_pull_contexts[
+                    bucket.index
+                ].compress(deltas)
         compress_seconds = time.perf_counter() - t1
-        return PullBatch(messages, decompress_seconds, compress_seconds)
+        return PullBatch(messages, decompress_seconds, compress_seconds, fused_messages)
+
+    @staticmethod
+    def _pull_delta(
+        name: str,
+        param: Parameter,
+        aggregated: dict[str, np.ndarray],
+        previous: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        if name in aggregated:
+            return param.data - previous[name]
+        return np.zeros(param.shape, dtype=np.float32)
 
     def decompress_pull(self, name: str, message) -> np.ndarray:
         """Decode one shared pull message (worker side calls this)."""
         if name in self.bypassed:
             return self.scheme.decompress_bypass(message)
         return self.scheme.decompress(message)
+
+    def decompress_fused_pull(self, index: int, message) -> dict[str, np.ndarray]:
+        """Decode one fused pull bucket into named deltas (one codec call)."""
+        if self.fusion_plan is None:
+            raise ValueError("server has no fusion plan")
+        bucket = self.fusion_plan.buckets[index]
+        flat = self.scheme.decompress_fused_bypass(message)
+        return split_bucket(flat, bucket)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import Compressor, CompressionResult
+from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
 from repro.distributed.server import ParameterServer, PullBatch
 from repro.nn.optimizer import MomentumSGD
 from repro.nn.parameter import Parameter
@@ -98,10 +99,12 @@ class ShardedParameterService:
         *,
         num_workers: int,
         num_shards: int = 2,
-        small_tensor_threshold: int = 256,
+        small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.schedule = schedule
+        self.scheme = scheme
         by_name = {p.name: p for p in parameters}
         if len(by_name) != len(parameters):
             raise ValueError("duplicate parameter names")
@@ -126,6 +129,12 @@ class ShardedParameterService:
             for name in names
         }
         self.last_loads: list[ShardLoad] = [ShardLoad() for _ in range(num_shards)]
+        #: Merged name → parameter view across all shards. Shard membership
+        #: is fixed at construction and Parameter objects are stable, so
+        #: the merge is computed once (the engine reads this per step).
+        self.params: dict[str, Parameter] = {}
+        for shard in self.shards:
+            self.params.update(shard.params)
 
     @property
     def bypassed(self) -> set[str]:

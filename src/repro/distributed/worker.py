@@ -7,7 +7,10 @@ compression context (paper Figure 2a), and later applies the decompressed
 model deltas pulled from the server to its local replica.
 
 Small tensors (batch-norm scale/shift and similar) bypass compression via a
-float32 context, reproducing the paper's §5.1 exclusion.
+float32 context, reproducing the paper's §5.1 exclusion. When a
+:class:`~repro.compression.fusion.FusionPlan` is supplied, those bypass
+tensors are instead packed into fused buckets and compressed with one codec
+call per bucket — the many-small-tensors hot path.
 """
 
 from __future__ import annotations
@@ -17,18 +20,20 @@ import time
 import numpy as np
 
 from repro.compression.base import Compressor, CompressorContext, CompressionResult
+from repro.compression.fusion import FusedBucketContext, FusedCompressionResult, FusionPlan
 from repro.data.augment import Augmenter
 from repro.data.batcher import ShardBatcher
+from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.nn.module import Module
 
-__all__ = ["Worker", "GradientBatch"]
+__all__ = ["Worker", "GradientBatch", "RawGradientBatch"]
 
 
 class GradientBatch:
     """One step's compressed pushes plus local measurements."""
 
-    __slots__ = ("messages", "loss", "compute_seconds", "compress_seconds")
+    __slots__ = ("messages", "fused", "loss", "compute_seconds", "compress_seconds")
 
     def __init__(
         self,
@@ -36,11 +41,28 @@ class GradientBatch:
         loss: float,
         compute_seconds: float,
         compress_seconds: float,
+        fused: dict[int, FusedCompressionResult | None] | None = None,
     ):
         self.messages = messages
+        #: Per-bucket fused pushes (empty when fusion is off).
+        self.fused = fused or {}
         self.loss = loss
         self.compute_seconds = compute_seconds
         self.compress_seconds = compress_seconds
+
+
+class RawGradientBatch:
+    """One step's *uncompressed* gradients (all-reduce topologies compress
+    per hop, not per worker, so the worker hands over raw tensors)."""
+
+    __slots__ = ("grads", "loss", "compute_seconds")
+
+    def __init__(
+        self, grads: dict[str, np.ndarray], loss: float, compute_seconds: float
+    ):
+        self.grads = grads
+        self.loss = loss
+        self.compute_seconds = compute_seconds
 
 
 class Worker:
@@ -60,6 +82,15 @@ class Worker:
         Compression scheme for gradient pushes.
     small_tensor_threshold:
         Tensors with fewer elements bypass compression (paper §5.1).
+    fusion_plan:
+        Optional fused-bucket plan; members of the plan share per-bucket
+        fused contexts instead of individual bypass contexts.
+    push_compression:
+        When False the worker builds no push contexts at all — used by
+        collective topologies (ring all-reduce) where compression happens
+        per hop inside the collective and only :meth:`train_step_raw` is
+        ever called; skipping context construction avoids allocating a
+        full set of model-sized error-feedback buffers per worker.
     """
 
     def __init__(
@@ -70,7 +101,9 @@ class Worker:
         augmenter: Augmenter,
         scheme: Compressor,
         *,
-        small_tensor_threshold: int = 256,
+        small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD,
+        fusion_plan: FusionPlan | None = None,
+        push_compression: bool = True,
     ):
         self.worker_id = int(worker_id)
         self.model = model
@@ -79,21 +112,37 @@ class Worker:
         self.scheme = scheme
         self.loss_fn = SoftmaxCrossEntropy()
         self.small_tensor_threshold = int(small_tensor_threshold)
+        self.fusion_plan = fusion_plan
+        self.push_compression = bool(push_compression)
         self._params = {p.name: p for p in model.parameters()}
+        fused_names = fusion_plan.fused_names if fusion_plan else frozenset()
         self.push_contexts: dict[str, CompressorContext] = {}
-        self.bypassed: set[str] = set()
+        self.bypassed: set[str] = {
+            name
+            for name, param in self._params.items()
+            if name in fused_names or param.size < self.small_tensor_threshold
+        }
+        self.fused_contexts: dict[int, FusedBucketContext] = {}
+        if not self.push_compression:
+            return
         for name, param in self._params.items():
+            if name in fused_names:
+                continue
             key = ("push", self.worker_id, name)
             if param.size < self.small_tensor_threshold:
                 self.push_contexts[name] = scheme.make_bypass_context(
                     param.shape, key=key
                 )
-                self.bypassed.add(name)
             else:
                 self.push_contexts[name] = scheme.make_context(param.shape, key=key)
+        if fusion_plan is not None:
+            for bucket in fusion_plan.buckets:
+                self.fused_contexts[bucket.index] = scheme.make_fused_bypass_context(
+                    bucket, key=("push-fused", self.worker_id, bucket.index)
+                )
 
-    def train_step(self) -> GradientBatch:
-        """Forward/backward on one minibatch, then compress all gradients."""
+    def _forward_backward(self) -> tuple[float, float]:
+        """One minibatch forward/backward; returns (loss, compute_seconds)."""
         images, labels = self.batcher.next_batch()
         images = self.augmenter(images)
 
@@ -102,16 +151,48 @@ class Worker:
         loss = self.loss_fn.forward(logits, labels)
         self.model.zero_grad()
         self.model.backward(self.loss_fn.backward())
-        compute_seconds = time.perf_counter() - t0
+        return loss, time.perf_counter() - t0
+
+    def train_step(self) -> GradientBatch:
+        """Forward/backward on one minibatch, then compress all gradients."""
+        if not self.push_compression:
+            raise RuntimeError(
+                "worker was built with push_compression=False; "
+                "use train_step_raw()"
+            )
+        loss, compute_seconds = self._forward_backward()
 
         t1 = time.perf_counter()
         messages: dict[str, CompressionResult | None] = {}
         for name, param in self._params.items():
             if param.grad is None:
                 raise RuntimeError(f"missing gradient for {name}")
-            messages[name] = self.push_contexts[name].compress(param.grad)
+            context = self.push_contexts.get(name)
+            if context is not None:
+                messages[name] = context.compress(param.grad)
+        fused: dict[int, FusedCompressionResult | None] = {}
+        if self.fusion_plan is not None:
+            for bucket in self.fusion_plan.buckets:
+                grads = {name: self._params[name].grad for name in bucket.names}
+                fused[bucket.index] = self.fused_contexts[bucket.index].compress(
+                    grads
+                )
         compress_seconds = time.perf_counter() - t1
-        return GradientBatch(messages, loss, compute_seconds, compress_seconds)
+        return GradientBatch(messages, loss, compute_seconds, compress_seconds, fused)
+
+    def train_step_raw(self) -> RawGradientBatch:
+        """Forward/backward only; hand back raw gradients uncompressed.
+
+        Used by topologies where compression is not point-to-point (ring
+        all-reduce compresses per hop inside the collective).
+        """
+        loss, compute_seconds = self._forward_backward()
+        grads: dict[str, np.ndarray] = {}
+        for name, param in self._params.items():
+            if param.grad is None:
+                raise RuntimeError(f"missing gradient for {name}")
+            grads[name] = param.grad
+        return RawGradientBatch(grads, loss, compute_seconds)
 
     def apply_pull(self, deltas: dict[str, np.ndarray]) -> float:
         """Apply decompressed model deltas to the local replica.
@@ -129,6 +210,9 @@ class Worker:
 
     def residual_norms(self) -> dict[str, float]:
         """Per-tensor push-side error-buffer norms (diagnostics)."""
-        return {
+        norms = {
             name: ctx.residual_norm() for name, ctx in self.push_contexts.items()
         }
+        for index, ctx in self.fused_contexts.items():
+            norms[f"fused-bucket:{index}"] = ctx.residual_norm()
+        return norms

@@ -1,0 +1,58 @@
+"""Unified gradient/delta exchange: topology × sync mode × fused codec path.
+
+The exchange subsystem separates three concerns the original clusters
+interleaved (the MLSys layering argument — see ARCHITECTURE.md):
+
+* **what travels** — per-tensor compression contexts or fused buckets
+  (:mod:`repro.compression.fusion`);
+* **where it travels** — :class:`~repro.exchange.topology.ExchangeTopology`
+  (single server, sharded service, ring all-reduce);
+* **when it travels** — :class:`~repro.exchange.sync.SyncMode`
+  (BSP with full/backup barriers, fully async, SSP).
+
+:class:`~repro.exchange.engine.ExchangeEngine` composes the three;
+:class:`~repro.distributed.cluster.Cluster` and
+:class:`~repro.distributed.async_cluster.AsyncCluster` are thin facades
+over it.
+"""
+
+from repro.exchange.engine import EngineConfig, EvalResult, ExchangeEngine, StepLog
+from repro.exchange.sync import (
+    SYNC_MODES,
+    AsyncMode,
+    BSPMode,
+    SSPMode,
+    SyncMode,
+    make_sync_mode,
+)
+from repro.exchange.topology import (
+    TOPOLOGIES,
+    ExchangeTopology,
+    RingExchangeService,
+    RingOutcome,
+    RingTopology,
+    ShardedTopology,
+    SingleServerTopology,
+    make_topology,
+)
+
+__all__ = [
+    "ExchangeEngine",
+    "EngineConfig",
+    "EvalResult",
+    "StepLog",
+    "SyncMode",
+    "BSPMode",
+    "AsyncMode",
+    "SSPMode",
+    "make_sync_mode",
+    "SYNC_MODES",
+    "ExchangeTopology",
+    "SingleServerTopology",
+    "ShardedTopology",
+    "RingTopology",
+    "RingExchangeService",
+    "RingOutcome",
+    "make_topology",
+    "TOPOLOGIES",
+]

@@ -1,0 +1,577 @@
+"""The unified exchange engine: one trainer, any topology × sync mode.
+
+Historically the repository re-implemented the paper's point-to-point
+design three times — the BSP :class:`~repro.distributed.cluster.Cluster`,
+the async/SSP :class:`~repro.distributed.async_cluster.AsyncCluster`, and
+the sharded/all-reduce paths — each with its own worker construction,
+per-tensor compress/decompress fan-out, and traffic accounting.
+:class:`ExchangeEngine` folds them into one engine parameterized by an
+:class:`~repro.exchange.topology.ExchangeTopology` (where state changes
+travel) and a :class:`~repro.exchange.sync.SyncMode` (when they travel).
+The legacy classes survive as thin facades, and the BSP single-server path
+is op-for-op identical to the seed implementation (the parity tests in
+``tests/exchange`` assert bit-identical loss trajectories and wire bytes).
+
+On top of the unified paths sits the **fused-bucket hot path**
+(``fuse_small_tensors=True``): below-threshold tensors are flattened into
+capacity-bounded buckets, compressed with one codec call per bucket, and
+framed as one :class:`~repro.core.packets.FusedWireMessage` — removing the
+per-tensor Python overhead and per-message header bytes of the
+many-small-tensors regime (batch-norm scale/shift, biases).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.fusion import FusionPlan, build_fusion_plan
+from repro.data.augment import Augmenter
+from repro.data.batcher import ShardBatcher
+from repro.data.synthetic import SyntheticImageDataset
+from repro.distributed.barriers import StragglerSpec
+from repro.distributed.defaults import FUSION_BUCKET_ELEMENTS, SMALL_TENSOR_THRESHOLD
+from repro.distributed.worker import Worker
+from repro.exchange.sync import BSPMode, SyncMode, make_sync_mode
+from repro.exchange.topology import ExchangeTopology, make_topology
+from repro.network.traffic import StepTraffic, TrafficMeter
+from repro.nn.loss import SoftmaxCrossEntropy, accuracy
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.nn.optimizer import MomentumSGD
+from repro.nn.schedule import Schedule
+from repro.utils.seeding import SeedSequenceFactory
+
+__all__ = ["EngineConfig", "ExchangeEngine", "EvalResult", "StepLog"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Static configuration of a unified exchange engine.
+
+    The cluster-shape attributes mirror the paper's setup (§5.2); the
+    ``topology`` / ``sync_mode`` pair selects the exchange plan, and the
+    fusion knobs switch on the fused-bucket hot path.
+    """
+
+    num_workers: int = 4
+    batch_size: int = 32
+    shard_size: int = 512
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD
+    augment_pad: int = 2
+    seed: int = 0
+    #: Exchange plan: "single" | "sharded" | "ring".
+    topology: str = "single"
+    #: Synchronization: "bsp" | "async" | "ssp".
+    sync_mode: str = "bsp"
+    #: Backup workers (paper §2.1, BSP only): a global step proceeds once
+    #: ``num_workers - backup_workers`` pushes arrive; the rest are dropped.
+    backup_workers: int = 0
+    #: SSP staleness bound (required for sync_mode="ssp").
+    staleness: int | None = None
+    #: Server count for the sharded topology.
+    num_shards: int = 2
+    #: Per-step compute-time jitter / straggler injection (None = uniform).
+    straggler: StragglerSpec | None = None
+    #: Fused-bucket hot path: pack small tensors into buckets and compress
+    #: each bucket with a single codec call (single topology, BSP only).
+    fuse_small_tensors: bool = False
+    #: Bucket capacity in elements for the fusion plan.
+    bucket_elements: int = FUSION_BUCKET_ELEMENTS
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.shard_size < self.batch_size:
+            raise ValueError("shard_size must be >= batch_size")
+        if not (0 <= self.backup_workers < self.num_workers):
+            raise ValueError("backup_workers must be in [0, num_workers)")
+        if self.staleness is not None and self.staleness < 0:
+            raise ValueError("staleness must be >= 0 or None")
+        if self.bucket_elements < 1:
+            raise ValueError("bucket_elements must be >= 1")
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Global-model evaluation snapshot."""
+
+    step: int
+    test_accuracy: float
+    test_loss: float
+
+
+@dataclass
+class StepLog:
+    """Per-step training telemetry."""
+
+    step: int
+    train_loss: float
+    learning_rate: float
+
+
+class ExchangeEngine:
+    """A simulated distributed trainer over pluggable exchange plans.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh model ``Module``. Called
+        once per worker plus once for evaluation; every instance must
+        produce identical initial parameters (use a fixed seed inside).
+    dataset:
+        Source of per-worker shards and the held-out test set.
+    scheme:
+        Compression scheme applied to pushes and pulls (per hop on a ring).
+    schedule:
+        Learning-rate schedule (already worker-scaled where applicable).
+    config:
+        Engine shape, topology, sync mode, and hyperparameters.
+    """
+
+    def __init__(
+        self,
+        model_factory,
+        dataset: SyntheticImageDataset,
+        scheme: Compressor,
+        schedule: Schedule,
+        config: EngineConfig | None = None,
+    ):
+        config = config or EngineConfig()
+        self.engine_config = config
+        self.dataset = dataset
+        self.scheme = scheme
+        self.seeds = SeedSequenceFactory(config.seed)
+
+        self.sync: SyncMode = make_sync_mode(
+            config.sync_mode,
+            backup_workers=config.backup_workers,
+            staleness=config.staleness,
+        )
+        self.topology: ExchangeTopology = make_topology(
+            config.topology, num_shards=config.num_shards
+        )
+        if self.topology.wants_raw_gradients and not isinstance(self.sync, BSPMode):
+            raise ValueError(
+                f"topology {self.topology.name!r} is a synchronous collective; "
+                f"it cannot run under sync mode {self.sync.name!r}"
+            )
+        if self.topology.wants_raw_gradients and config.backup_workers:
+            raise ValueError(
+                "a ring reduction needs every node's chunk; backup workers "
+                "only apply to parameter-server topologies"
+            )
+
+        reference_model = model_factory()
+        self.fusion_plan: FusionPlan | None = None
+        if config.fuse_small_tensors:
+            if not self.topology.supports_fusion:
+                raise ValueError(
+                    f"topology {self.topology.name!r} does not support the "
+                    "fused-bucket path"
+                )
+            if not self.sync.synchronous:
+                raise ValueError(
+                    "fused buckets require BSP's shared pulls; per-worker "
+                    "fused pull streams are future work (see ARCHITECTURE.md)"
+                )
+            plan = build_fusion_plan(
+                {p.name: p.shape for p in reference_model.parameters()},
+                threshold=config.small_tensor_threshold,
+                bucket_elements=config.bucket_elements,
+            )
+            self.fusion_plan = plan if plan.buckets else None
+
+        self.workers: list[Worker] = []
+        for worker_id in range(config.num_workers):
+            model = model_factory()
+            # All replicas start from identical weights.
+            model.load_state_dict(reference_model.state_dict())
+            images, labels = dataset.train_shard(worker_id, config.shard_size)
+            batcher = ShardBatcher(
+                images,
+                labels,
+                config.batch_size,
+                self.seeds.rng(self.sync.batch_stream, worker_id),
+            )
+            augmenter = Augmenter(
+                self.seeds.rng(self.sync.augment_stream, worker_id),
+                pad=config.augment_pad,
+            )
+            self.workers.append(
+                Worker(
+                    worker_id,
+                    model,
+                    batcher,
+                    augmenter,
+                    scheme,
+                    small_tensor_threshold=config.small_tensor_threshold,
+                    fusion_plan=self.fusion_plan,
+                    # Collectives compress per hop; skip the (model-sized)
+                    # per-worker push-context allocation entirely.
+                    push_compression=not self.topology.wants_raw_gradients,
+                )
+            )
+
+        def optimizer_factory() -> MomentumSGD:
+            return MomentumSGD(config.momentum, config.weight_decay)
+
+        self.service = self.topology.build_service(
+            reference_model.parameters(),
+            optimizer_factory,
+            schedule,
+            scheme,
+            num_workers=self.sync.service_worker_slots(config.num_workers),
+            small_tensor_threshold=config.small_tensor_threshold,
+            fusion_plan=self.fusion_plan,
+        )
+        self._eval_model = model_factory()
+        self.barrier = (
+            self.sync.make_barrier(config.num_workers)
+            if isinstance(self.sync, BSPMode)
+            else None
+        )
+        self.traffic = TrafficMeter()
+        self.step_logs: list[StepLog] = []
+        self._test_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self.update_count = 0
+
+        # Event-driven state (async / SSP modes).
+        if not self.sync.synchronous:
+            prefix = self.sync.pull_key_prefix
+            self._pull_contexts = {
+                worker.worker_id: {
+                    name: (
+                        scheme.make_bypass_context(
+                            param.shape, key=(prefix, worker.worker_id, name)
+                        )
+                        if name in self.service.bypassed
+                        else scheme.make_context(
+                            param.shape, key=(prefix, worker.worker_id, name)
+                        )
+                    )
+                    for name, param in self.service.params.items()
+                }
+                for worker in self.workers
+            }
+            # Global state at each worker's last pull: the pull context is
+            # fed only the increment since then; its own error buffer
+            # carries whatever compression deferred.
+            self._last_global = {
+                worker.worker_id: self.service.state_dict()
+                for worker in self.workers
+            }
+            self._clock = {worker.worker_id: 0.0 for worker in self.workers}
+            self._local_steps = {worker.worker_id: 0 for worker in self.workers}
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def global_step(self) -> int:
+        return self.service.global_step
+
+    def _model_elements(self) -> int:
+        return sum(p.size for p in self.service.params.values())
+
+    # -- training ----------------------------------------------------------
+
+    def train_step(self) -> StepLog:
+        """Run one scheduling quantum: a full BSP step, or one async update."""
+        if not self.sync.synchronous:
+            log = self._async_update()
+        elif self.topology.wants_raw_gradients:
+            log = self._ring_step()
+        else:
+            log = self._ps_step()
+        self.step_logs.append(log)
+        return log
+
+    def train(
+        self, steps: int, *, eval_every: int | None = None, test_size: int = 1000
+    ) -> list[EvalResult]:
+        """Run ``steps`` quanta, optionally evaluating along the way."""
+        evals: list[EvalResult] = []
+        for _ in range(steps):
+            self.train_step()
+            if eval_every and self.global_step % eval_every == 0:
+                # Call the engine's evaluate explicitly: facades may narrow
+                # evaluate()'s return type (AsyncCluster returns a bare
+                # accuracy float), but train() always collects EvalResults.
+                evals.append(ExchangeEngine.evaluate(self, test_size=test_size))
+        return evals
+
+    def _arrivals(self, batches) -> dict[int, float]:
+        """Straggler-scaled push-arrival times for the barrier."""
+        step = self.service.global_step
+        straggler = self.engine_config.straggler
+        return {
+            worker.worker_id: batches[i].compute_seconds
+            * (straggler.multiplier(worker.worker_id, step) if straggler else 1.0)
+            for i, worker in enumerate(self.workers)
+        }
+
+    def _ps_step(self) -> StepLog:
+        """One BSP step against a parameter service (single or sharded)."""
+        step = self.service.global_step
+        config = self.engine_config
+
+        batches = [worker.train_step() for worker in self.workers]
+
+        # Barrier: decide whose pushes enter aggregation. Straggler-scaled
+        # compute time determines arrival order; dropped pushes were still
+        # transmitted (they consumed bandwidth) but are discarded.
+        decision = self.barrier.decide(self._arrivals(batches))
+        accepted_pushes = [batches[i].messages for i in decision.accepted]
+        if self.fusion_plan is not None:
+            pull_batch = self.service.step(
+                accepted_pushes,
+                divisor=len(decision.accepted),
+                fused_pushes=[batches[i].fused for i in decision.accepted],
+            )
+        else:
+            pull_batch = self.service.step(
+                accepted_pushes, divisor=len(decision.accepted)
+            )
+
+        # Workers pull the *shared* compressed deltas and apply them.
+        t0 = time.perf_counter()
+        deltas: dict[str, np.ndarray] = {}
+        for name, result in pull_batch.messages.items():
+            if result is None:
+                continue
+            deltas[name] = self.service.decompress_pull(name, result.message)
+        for index, result in pull_batch.fused.items():
+            if result is None:
+                continue
+            deltas.update(self.service.decompress_fused_pull(index, result.message))
+        pull_decompress_seconds = time.perf_counter() - t0
+        for worker in self.workers:
+            worker.apply_pull(deltas)
+
+        # -- traffic + timing accounting -------------------------------------
+        record = StepTraffic(
+            step=step,
+            pull_fanout=config.num_workers,
+            num_workers=config.num_workers,
+            model_elements=self._model_elements(),
+        )
+        bypassed = self.service.bypassed
+        for batch in batches:
+            for name, result in batch.messages.items():
+                if result is None:
+                    continue
+                record.push_bytes += result.message.wire_size
+                record.push_elements += result.message.element_count
+                record.push_messages += 1
+                if name not in bypassed:
+                    record.push_bytes_main += result.message.wire_size
+                    record.push_elements_main += result.message.element_count
+            for result in batch.fused.values():
+                if result is None:
+                    continue
+                record.push_bytes += result.message.wire_size
+                record.push_elements += result.message.element_count
+                record.push_messages += 1
+        for name, result in pull_batch.messages.items():
+            if result is None:
+                continue
+            record.pull_bytes_shared += result.message.wire_size
+            record.pull_elements += result.message.element_count
+            record.pull_messages += 1
+            if name not in bypassed:
+                record.pull_bytes_main += result.message.wire_size
+                record.pull_elements_main += result.message.element_count
+        for result in pull_batch.fused.values():
+            if result is None:
+                continue
+            record.pull_bytes_shared += result.message.wire_size
+            record.pull_elements += result.message.element_count
+            record.pull_messages += 1
+        # Workers run in parallel: the barrier charges the slowest worker it
+        # actually waited for (straggler-scaled; backup workers excluded).
+        record.compute_seconds = decision.compute_seconds
+        record.dropped_pushes = len(decision.dropped)
+        # Codec work on the critical path: slowest worker's push compression,
+        # the server's serialized decompress + compress, and one worker's
+        # pull decompression (workers decompress in parallel).
+        record.codec_seconds = (
+            max(b.compress_seconds for b in batches)
+            + pull_batch.decompress_seconds
+            + pull_batch.compress_seconds
+            + pull_decompress_seconds
+        )
+        self.traffic.record(record)
+        self.update_count += 1
+
+        return StepLog(
+            step=step,
+            train_loss=float(np.mean([b.loss for b in batches])),
+            learning_rate=self.service.schedule(step),
+        )
+
+    def _ring_step(self) -> StepLog:
+        """One BSP step over the ring: raw gradients, per-hop compression."""
+        step = self.service.global_step
+        config = self.engine_config
+
+        batches = [worker.train_step_raw() for worker in self.workers]
+        decision = self.barrier.decide(self._arrivals(batches))
+        outcome = self.service.exchange([b.grads for b in batches])
+        for worker in self.workers:
+            worker.apply_pull(outcome.deltas)
+
+        record = StepTraffic(
+            step=step,
+            pull_fanout=0,  # no pull phase: the all-gather already fanned out
+            num_workers=config.num_workers,
+            model_elements=self._model_elements(),
+        )
+        record.push_bytes = outcome.wire_bytes
+        record.push_elements = outcome.elements
+        # Every (node, hop) chunk transmission is one framed message.
+        n = config.num_workers
+        record.push_messages = len(self.service.params) * 2 * (n - 1) * n
+        record.compute_seconds = decision.compute_seconds
+        record.codec_seconds = outcome.codec_seconds
+        self.traffic.record(record)
+        self.update_count += 1
+
+        return StepLog(
+            step=step,
+            train_loss=float(np.mean([b.loss for b in batches])),
+            learning_rate=self.service.schedule(step),
+        )
+
+    # -- event-driven scheduling (async / SSP) -----------------------------
+
+    def _next_worker(self) -> int:
+        eligible = self.sync.eligible(self._local_steps)
+        return min(eligible, key=lambda wid: (self._clock[wid], wid))
+
+    def run_updates(self, count: int) -> None:
+        """Apply ``count`` asynchronous gradient updates to the global model."""
+        for _ in range(count):
+            self.train_step()
+
+    def _async_update(self) -> StepLog:
+        wid = self._next_worker()
+        worker = self.workers[wid]
+        batch = worker.train_step()
+
+        config = self.engine_config
+        multiplier = (
+            config.straggler.multiplier(wid, self._local_steps[wid])
+            if config.straggler
+            else 1.0
+        )
+        self._clock[wid] += batch.compute_seconds * multiplier
+        self._local_steps[wid] += 1
+
+        # The service applies this worker's (stale) gradient immediately.
+        step = self.service.global_step
+        self.service.step([batch.messages], divisor=1)
+        self.update_count += 1
+
+        # Individual pull: compress (global - worker_view) deltas for this
+        # worker only, via its personal error-feedback contexts.
+        record = StepTraffic(
+            step=self.update_count - 1,
+            pull_fanout=1,
+            num_workers=1,
+            model_elements=self._model_elements(),
+        )
+        for result in batch.messages.values():
+            if result is None:
+                continue
+            record.push_bytes += result.message.wire_size
+            record.push_elements += result.message.element_count
+            record.push_messages += 1
+        deltas: dict[str, np.ndarray] = {}
+        last = self._last_global[wid]
+        for name, param in self.service.params.items():
+            context = self._pull_contexts[wid][name]
+            increment = param.data - last[name]
+            last[name] = param.data.copy()
+            result = context.compress(increment)
+            if result is None:  # deferred (local-steps); buffered in context
+                continue
+            deltas[name] = result.reconstruction
+            record.pull_bytes_shared += result.message.wire_size
+            record.pull_elements += result.message.element_count
+            record.pull_messages += 1
+        worker.apply_pull(deltas)
+        self.traffic.record(record)
+
+        return StepLog(
+            step=step,
+            train_loss=batch.loss,
+            learning_rate=self.service.schedule(step),
+        )
+
+    def max_staleness_observed(self) -> int:
+        """Largest local-step lead any worker currently holds (async/SSP)."""
+        if self.sync.synchronous:
+            return 0
+        steps = self._local_steps.values()
+        return max(steps) - min(steps)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _test_set(self, test_size: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._test_cache is None or self._test_cache[0].shape[0] != test_size:
+            self._test_cache = self.dataset.test_set(test_size)
+        return self._test_cache
+
+    def evaluate(self, *, test_size: int = 1000) -> EvalResult:
+        """Evaluate the *global* model on the held-out test set.
+
+        Batch-norm running statistics come from worker 0's replica — the
+        paper makes one worker responsible for batch-norm updates (§5.2).
+        """
+        self._eval_model.load_state_dict(self.service.state_dict())
+        self._sync_bn_stats(self.workers[0].model, self._eval_model)
+        images, labels = self._test_set(test_size)
+        logits = self._eval_model.forward(images, training=False)
+        loss = SoftmaxCrossEntropy().forward(logits, labels)
+        return EvalResult(
+            step=self.global_step,
+            test_accuracy=accuracy(logits, labels),
+            test_loss=loss,
+        )
+
+    @staticmethod
+    def _sync_bn_stats(source: Module, target: Module) -> None:
+        src_bns = [m for m in source.iter_modules() if isinstance(m, BatchNorm2d)]
+        dst_bns = [m for m in target.iter_modules() if isinstance(m, BatchNorm2d)]
+        if len(src_bns) != len(dst_bns):
+            raise RuntimeError("model topology mismatch between replicas")
+        for src, dst in zip(src_bns, dst_bns):
+            dst.load_stats(src.stats_dict())
+
+    def model_divergence(self) -> float:
+        """Max L2 distance between any worker replica and the global model.
+
+        Lossy pull compression lets replicas drift; error feedback should
+        keep this bounded. Exposed for tests and diagnostics.
+        """
+        global_state = self.service.state_dict()
+        worst = 0.0
+        for worker in self.workers:
+            local = worker.model.state_dict()
+            dist = float(
+                np.sqrt(
+                    sum(
+                        np.sum((local[k] - global_state[k]) ** 2)
+                        for k in global_state
+                    )
+                )
+            )
+            worst = max(worst, dist)
+        return worst

@@ -1,0 +1,299 @@
+"""Exchange topologies: where gradients travel (paper §2, Figure 1).
+
+An :class:`ExchangeTopology` builds the *parameter service* an
+:class:`~repro.exchange.engine.ExchangeEngine` steps against. Three
+topologies ship:
+
+* :class:`SingleServerTopology` — the paper's evaluated setting: one
+  :class:`~repro.distributed.server.ParameterServer` holds the whole model.
+* :class:`ShardedTopology` — the multi-server half of Figure 1: the model
+  is partitioned across ``num_shards`` independent servers
+  (:class:`~repro.distributed.sharding.ShardedParameterService`), spreading
+  the hot uplink.
+* :class:`RingTopology` — bandwidth-optimal ring all-reduce with per-hop
+  compression, the serverless alternative the paper contrasts against.
+  Workers hand over *raw* gradients (``wants_raw_gradients``); compression
+  happens inside the collective, so per-worker push contexts do not exist.
+
+All services expose the :class:`~repro.distributed.server.ParameterServer`
+surface the engine relies on: ``step``/``exchange``, ``state_dict``,
+``params``, ``bypassed``, ``schedule``, and ``global_step``.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.fusion import FusionPlan
+from repro.distributed.allreduce import RingAllReduce
+from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
+from repro.distributed.server import ParameterServer
+from repro.distributed.sharding import ShardedParameterService
+from repro.nn.parameter import Parameter
+from repro.nn.schedule import Schedule
+
+__all__ = [
+    "ExchangeTopology",
+    "SingleServerTopology",
+    "ShardedTopology",
+    "RingTopology",
+    "RingExchangeService",
+    "RingOutcome",
+    "make_topology",
+    "TOPOLOGIES",
+]
+
+
+class ExchangeTopology(abc.ABC):
+    """Factory for the parameter service behind one gradient-exchange plan."""
+
+    name: str = "abstract"
+    #: True when workers should skip push compression and hand the engine
+    #: raw gradients (collectives compress per hop, not per worker).
+    wants_raw_gradients: bool = False
+    #: True when the topology can exchange fused small-tensor buckets.
+    supports_fusion: bool = False
+
+    @abc.abstractmethod
+    def build_service(
+        self,
+        parameters: list[Parameter],
+        optimizer_factory,
+        schedule: Schedule,
+        scheme: Compressor,
+        *,
+        num_workers: int,
+        small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD,
+        fusion_plan: FusionPlan | None = None,
+    ):
+        """Construct the service the engine will step against."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SingleServerTopology(ExchangeTopology):
+    """One parameter server owns the whole model (paper §5.2)."""
+
+    name = "single"
+    supports_fusion = True
+
+    def build_service(
+        self,
+        parameters,
+        optimizer_factory,
+        schedule,
+        scheme,
+        *,
+        num_workers,
+        small_tensor_threshold=SMALL_TENSOR_THRESHOLD,
+        fusion_plan=None,
+    ) -> ParameterServer:
+        return ParameterServer(
+            parameters,
+            optimizer_factory(),
+            schedule,
+            scheme,
+            num_workers,
+            small_tensor_threshold=small_tensor_threshold,
+            fusion_plan=fusion_plan,
+        )
+
+
+class ShardedTopology(ExchangeTopology):
+    """The model is partitioned across independent parameter servers."""
+
+    def __init__(self, num_shards: int = 2):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.name = f"sharded(shards={num_shards})"
+
+    def build_service(
+        self,
+        parameters,
+        optimizer_factory,
+        schedule,
+        scheme,
+        *,
+        num_workers,
+        small_tensor_threshold=SMALL_TENSOR_THRESHOLD,
+        fusion_plan=None,
+    ) -> ShardedParameterService:
+        if fusion_plan is not None:
+            raise ValueError(
+                "fused buckets would span shard boundaries; per-shard bucket "
+                "plans are future work (see ARCHITECTURE.md)"
+            )
+        return ShardedParameterService(
+            parameters,
+            optimizer_factory,
+            schedule,
+            scheme,
+            num_workers=num_workers,
+            num_shards=self.num_shards,
+            small_tensor_threshold=small_tensor_threshold,
+        )
+
+
+class RingOutcome:
+    """Result of one ring exchange round."""
+
+    __slots__ = ("deltas", "wire_bytes", "codec_seconds", "elements", "max_link_bytes")
+
+    def __init__(
+        self,
+        deltas: dict[str, np.ndarray],
+        wire_bytes: int,
+        codec_seconds: float,
+        elements: int,
+        max_link_bytes: int,
+    ):
+        self.deltas = deltas
+        self.wire_bytes = wire_bytes
+        self.codec_seconds = codec_seconds
+        self.elements = elements
+        self.max_link_bytes = max_link_bytes
+
+
+class RingExchangeService:
+    """Serverless exchange: gradients are averaged by a per-tensor ring
+    all-reduce with persistent per-hop compression contexts, and the global
+    update is applied once to a canonical model every replica mirrors.
+
+    Small tensors travel as raw float32 chunks (the §5.1 bypass maps to an
+    uncompressed ring); large tensors compress per hop, so error feedback
+    corrects each *link* across training steps.
+    """
+
+    wants_raw_gradients = True
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        optimizer,
+        schedule: Schedule,
+        scheme: Compressor,
+        *,
+        num_workers: int,
+        small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD,
+    ):
+        if num_workers < 2:
+            raise ValueError(
+                f"a ring needs >= 2 workers, got {num_workers}"
+            )
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.scheme = scheme
+        self.num_workers = int(num_workers)
+        self.small_tensor_threshold = int(small_tensor_threshold)
+        self.params: dict[str, Parameter] = {
+            p.name: Parameter(p.name, p.data.copy(), weight_decay=p.weight_decay)
+            for p in parameters
+        }
+        self.bypassed: set[str] = {
+            name
+            for name, param in self.params.items()
+            if param.size < self.small_tensor_threshold
+        }
+        self.rings: dict[str, RingAllReduce] = {
+            name: RingAllReduce(
+                self.num_workers,
+                param.shape,
+                compressor=None if name in self.bypassed else scheme,
+            )
+            for name, param in self.params.items()
+        }
+        self.global_step = 0
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.params.items()}
+
+    def exchange(self, grad_dicts: list[dict[str, np.ndarray]]) -> RingOutcome:
+        """Ring-reduce every tensor, update the canonical model, and return
+        the model deltas each replica applies locally (no pull traffic —
+        after the all-gather phase every node already holds the result)."""
+        if len(grad_dicts) != self.num_workers:
+            raise ValueError(
+                f"expected {self.num_workers} gradient sets, got {len(grad_dicts)}"
+            )
+        t0 = time.perf_counter()
+        reduced: dict[str, np.ndarray] = {}
+        wire = 0
+        max_link = 0
+        elements = 0
+        for name, param in self.params.items():
+            result = self.rings[name].reduce(
+                [grads[name] for grads in grad_dicts], average=True
+            )
+            reduced[name] = result.outputs[0]
+            wire += result.wire_bytes
+            max_link = max(max_link, result.max_link_bytes)
+            elements += param.size * 2 * (self.num_workers - 1) // self.num_workers
+        codec_seconds = time.perf_counter() - t0
+
+        lr = self.schedule(self.global_step)
+        previous = {name: p.data.copy() for name, p in self.params.items()}
+        updated = list(self.params.values())
+        for param in updated:
+            param.grad = reduced[param.name]
+        self.optimizer.step(updated, lr)
+        for param in updated:
+            param.grad = None
+        self.global_step += 1
+
+        deltas = {
+            name: param.data - previous[name] for name, param in self.params.items()
+        }
+        return RingOutcome(deltas, wire, codec_seconds, elements, max_link)
+
+
+class RingTopology(ExchangeTopology):
+    """Ring all-reduce: no server, per-hop compression, no pull phase."""
+
+    name = "ring"
+    wants_raw_gradients = True
+
+    def build_service(
+        self,
+        parameters,
+        optimizer_factory,
+        schedule,
+        scheme,
+        *,
+        num_workers,
+        small_tensor_threshold=SMALL_TENSOR_THRESHOLD,
+        fusion_plan=None,
+    ) -> RingExchangeService:
+        if fusion_plan is not None:
+            raise ValueError(
+                "the ring exchanges raw gradients; fused buckets only apply "
+                "to point-to-point push/pull framing"
+            )
+        return RingExchangeService(
+            parameters,
+            optimizer_factory(),
+            schedule,
+            scheme,
+            num_workers=num_workers,
+            small_tensor_threshold=small_tensor_threshold,
+        )
+
+
+#: Registry of topology names accepted by the engine and the harness.
+TOPOLOGIES = ("single", "sharded", "ring")
+
+
+def make_topology(name: str, *, num_shards: int = 2) -> ExchangeTopology:
+    """Construct a topology from its registry name and knobs."""
+    if name == "single":
+        return SingleServerTopology()
+    if name == "sharded":
+        return ShardedTopology(num_shards)
+    if name == "ring":
+        return RingTopology()
+    raise ValueError(f"unknown topology {name!r}; expected one of {TOPOLOGIES}")

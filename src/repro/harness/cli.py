@@ -10,6 +10,9 @@ Usage::
 
 ``--fast`` uses the miniature configuration (seconds instead of minutes;
 noisier numbers). ``--steps N`` overrides the standard step budget.
+``--topology`` / ``--sync-mode`` (plus ``--shards`` / ``--staleness``)
+swap the exchange plan; ``--fuse`` turns on the fused-bucket hot path for
+small tensors.
 """
 
 from __future__ import annotations
@@ -69,6 +72,26 @@ def main(argv: list[str] | None = None) -> int:
         "--steps", type=int, default=None, help="override the standard step budget"
     )
     parser.add_argument(
+        "--topology", choices=["single", "sharded", "ring"], default=None,
+        help="exchange topology (default: single parameter server)",
+    )
+    parser.add_argument(
+        "--sync-mode", choices=["bsp", "async", "ssp"], default=None,
+        help="synchronization mode (default: BSP)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="server count for --topology sharded",
+    )
+    parser.add_argument(
+        "--staleness", type=int, default=None,
+        help="staleness bound for --sync-mode ssp",
+    )
+    parser.add_argument(
+        "--fuse", action="store_true",
+        help="exchange small tensors through fused buckets (one frame per bucket)",
+    )
+    parser.add_argument(
         "--save", metavar="PATH", default=None,
         help="archive every training run to a JSON file after the command",
     )
@@ -77,6 +100,23 @@ def main(argv: list[str] | None = None) -> int:
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
     if args.steps is not None:
         config = config.scaled(standard_steps=args.steps)
+    if args.shards is not None and args.topology != "sharded":
+        parser.error("--shards requires --topology sharded")
+    if args.staleness is not None and args.sync_mode != "ssp":
+        parser.error("--staleness requires --sync-mode ssp")
+    overrides = {}
+    if args.topology is not None:
+        overrides["topology"] = args.topology
+    if args.sync_mode is not None:
+        overrides["sync_mode"] = args.sync_mode
+    if args.shards is not None:
+        overrides["num_shards"] = args.shards
+    if args.staleness is not None:
+        overrides["staleness"] = args.staleness
+    if args.fuse:
+        overrides["fuse_small_tensors"] = True
+    if overrides:
+        config = config.scaled(**overrides)
     runner = ExperimentRunner(config)
 
     commands = (

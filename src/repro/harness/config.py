@@ -18,6 +18,10 @@ from dataclasses import dataclass, field, replace
 
 from repro.data.synthetic import DatasetSpec, SyntheticImageDataset
 from repro.distributed.cluster import ClusterConfig
+from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
+from repro.exchange.engine import EngineConfig
+from repro.exchange.sync import SYNC_MODES
+from repro.exchange.topology import TOPOLOGIES
 from repro.network.timing import StepTimeModel
 from repro.nn.resnet import build_resnet
 from repro.nn.schedule import CosineDecay, scale_lr_for_workers
@@ -47,9 +51,19 @@ class ExperimentConfig:
     shard_size: int = 512
     momentum: float = 0.9
     weight_decay: float = 1e-4
-    small_tensor_threshold: int = 256
+    small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD
     augment_pad: int = 2
     cluster_seed: int = 0
+
+    # Exchange plan (paper: single parameter server, BSP). The unified
+    # engine also runs sharded and ring topologies and async/SSP modes.
+    topology: str = "single"
+    sync_mode: str = "bsp"
+    num_shards: int = 2
+    backup_workers: int = 0
+    staleness: int | None = None
+    #: Fused-bucket hot path for the small-tensor bypass set.
+    fuse_small_tensors: bool = False
 
     # Training budget and schedule (paper: 25,600 steps, cosine 0.1 -> 0.001
     # scaled by worker count)
@@ -77,6 +91,14 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.standard_steps < 4:
             raise ValueError("standard_steps must be >= 4")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if self.sync_mode not in SYNC_MODES:
+            raise ValueError(
+                f"unknown sync mode {self.sync_mode!r}; expected one of {SYNC_MODES}"
+            )
 
     # -- factories ---------------------------------------------------------
 
@@ -116,6 +138,27 @@ class ExperimentConfig:
             small_tensor_threshold=self.small_tensor_threshold,
             augment_pad=self.augment_pad,
             seed=self.cluster_seed,
+            backup_workers=self.backup_workers,
+            fuse_small_tensors=self.fuse_small_tensors,
+        )
+
+    def engine_config(self) -> EngineConfig:
+        """The unified-engine configuration for this experiment family."""
+        return EngineConfig(
+            num_workers=self.num_workers,
+            batch_size=self.batch_size,
+            shard_size=self.shard_size,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            small_tensor_threshold=self.small_tensor_threshold,
+            augment_pad=self.augment_pad,
+            seed=self.cluster_seed,
+            topology=self.topology,
+            sync_mode=self.sync_mode,
+            num_shards=self.num_shards,
+            backup_workers=self.backup_workers,
+            staleness=self.staleness,
+            fuse_small_tensors=self.fuse_small_tensors,
         )
 
     def schedule(self, total_steps: int) -> CosineDecay:

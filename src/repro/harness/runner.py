@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compression.registry import make_compressor
-from repro.distributed.cluster import Cluster, EvalResult
+from repro.exchange.engine import EvalResult, ExchangeEngine
 from repro.harness.config import ExperimentConfig
 from repro.network.bandwidth import LINKS
 from repro.network.traffic import TrafficMeter
@@ -83,12 +83,16 @@ class ExperimentRunner:
         config = self.config
         steps = config.steps_for_fraction(fraction)
         scheme = make_compressor(scheme_name, seed=config.scheme_seed)
-        cluster = Cluster(
+        # The unified engine: the default single-server BSP configuration
+        # reproduces the historical Cluster byte-for-byte; the topology /
+        # sync_mode knobs swap the exchange plan without touching the
+        # measurement protocol.
+        cluster = ExchangeEngine(
             config.model_factory(),
             self._dataset,
             scheme,
             config.schedule(steps),
-            config.cluster_config(),
+            config.engine_config(),
         )
         eval_every = max(1, steps // max(1, config.eval_points))
         logger.info(

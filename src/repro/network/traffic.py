@@ -65,6 +65,11 @@ class StepTraffic:
     pull_elements_main: int = 0
     #: Pushes discarded by a backup-worker barrier this step (§2.1).
     dropped_pushes: int = 0
+    #: Wire frames transmitted this step (a fused bucket counts as one
+    #: frame); the per-message header overhead fusion eliminates is
+    #: proportional to these counts.
+    push_messages: int = 0
+    pull_messages: int = 0
 
     @property
     def pull_bytes_total(self) -> int:
@@ -151,3 +156,8 @@ class TrafficMeter:
         if not self.steps:
             return 0.0
         return self.total_wire_bytes / len(self.steps)
+
+    @property
+    def total_messages(self) -> int:
+        """Total wire frames over the run (fused buckets count once)."""
+        return sum(s.push_messages + s.pull_messages for s in self.steps)

@@ -26,16 +26,7 @@ _STEP = "meta/step"
 
 
 def _batchnorms(module: Module) -> list[BatchNorm2d]:
-    found: list[BatchNorm2d] = []
-
-    def visit(m: Module) -> None:
-        if isinstance(m, BatchNorm2d):
-            found.append(m)
-        for child in m._children:
-            visit(child)
-
-    visit(module)
-    return found
+    return [m for m in module.iter_modules() if isinstance(m, BatchNorm2d)]
 
 
 def save_checkpoint(

@@ -48,6 +48,12 @@ class Module(abc.ABC):
         """All parameters in this subtree, in deterministic order."""
         return list(self._iter_parameters())
 
+    def iter_modules(self) -> Iterator["Module"]:
+        """Depth-first traversal: this module, then every descendant."""
+        yield self
+        for child in self._children:
+            yield from child.iter_modules()
+
     def _iter_parameters(self) -> Iterator[Parameter]:
         yield from self._parameters
         for child in self._children:

@@ -69,8 +69,12 @@ def model_stats(model: Module, input_shape: tuple[int, int, int]) -> ModelStats:
     flops = 0
     channels, height, width = input_shape
 
-    def visit(module: Module) -> None:
-        nonlocal flops, channels, height, width
+    # Walk the tree in construction (pre-)order via Module.iter_modules.
+    # Residual blocks register conv1, bn1, relu, conv2, bn2, relu,
+    # shortcut; the parameter-free shortcut path contributes no FLOPs, and
+    # the geometry after visiting the main path is the block's output
+    # geometry, which is what downstream layers see.
+    for module in model.iter_modules():
         if isinstance(module, Conv2d):
             out_h = conv_output_size(height, module.kernel, module.stride, module.pad)
             out_w = conv_output_size(width, module.kernel, module.stride, module.pad)
@@ -88,13 +92,5 @@ def model_stats(model: Module, input_shape: tuple[int, int, int]) -> ModelStats:
             flops += 2 * module.in_features * module.out_features
         elif isinstance(module, BatchNorm2d):
             flops += 4 * channels * height * width  # normalize + affine
-        # Containers and blocks: recurse in construction order. Residual
-        # blocks register conv1, bn1, relu, conv2, bn2, relu, shortcut; the
-        # parameter-free shortcut path contributes no FLOPs, and the
-        # geometry after visiting the main path is the block's output
-        # geometry, which is what downstream layers see.
-        for child in module._children:
-            visit(child)
 
-    visit(model)
     return ModelStats(parameters=parameters, flops=flops)

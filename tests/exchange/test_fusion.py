@@ -1,0 +1,224 @@
+"""Fused-bucket hot path: wire format, codec context, and engine parity.
+
+The fused path must be *numerically invisible* — small tensors travel
+through the lossless bypass codec either way — while cutting frame count
+and header bytes. These tests pin both properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import make_compressor
+from repro.compression.fusion import (
+    Bucket,
+    FusedBucketContext,
+    build_fusion_plan,
+    split_bucket,
+)
+from repro.core.packets import CodecId, FusedWireMessage, WireMessage
+from repro.data import DatasetSpec, SyntheticImageDataset
+from repro.distributed import Cluster, ClusterConfig
+from repro.exchange import EngineConfig, ExchangeEngine
+from repro.nn import CosineDecay, build_resnet
+
+
+def model_factory():
+    return build_resnet(8, base_width=4, seed=7)
+
+
+def make_cluster(fuse: bool, scheme: str = "3LC (s=1.00)") -> Cluster:
+    return Cluster(
+        model_factory,
+        SyntheticImageDataset(DatasetSpec(image_size=12, seed=0)),
+        make_compressor(scheme, seed=0),
+        CosineDecay(0.05, 6),
+        ClusterConfig(
+            num_workers=2,
+            batch_size=8,
+            shard_size=32,
+            seed=0,
+            fuse_small_tensors=fuse,
+        ),
+    )
+
+
+class TestFusionPlan:
+    def test_only_small_tensors_fused(self):
+        plan = build_fusion_plan(
+            {"a": (10, 10), "big": (64, 64), "b": (7,), "c": (3, 3)},
+            threshold=256,
+            bucket_elements=1024,
+        )
+        assert plan.fused_names == {"a", "b", "c"}
+        assert len(plan.buckets) == 1
+        assert plan.buckets[0].names == ("a", "b", "c")
+
+    def test_capacity_splits_buckets(self):
+        plan = build_fusion_plan(
+            {f"t{i}": (100,) for i in range(10)},
+            threshold=256,
+            bucket_elements=250,
+        )
+        assert [b.names for b in plan.buckets] == [
+            ("t0", "t1"), ("t2", "t3"), ("t4", "t5"), ("t6", "t7"), ("t8", "t9"),
+        ]
+        assert all(b.index == i for i, b in enumerate(plan.buckets))
+
+    def test_deterministic_in_registration_order(self):
+        shapes = {"z": (5,), "a": (6,), "m": (7,)}
+        plan = build_fusion_plan(shapes, threshold=256, bucket_elements=1024)
+        assert plan.buckets[0].names == ("z", "a", "m")
+
+    def test_offsets_cover_bucket(self):
+        bucket = Bucket(0, ("x", "y"), ((2, 3), (4,)))
+        assert bucket.total_elements == 10
+        assert bucket.offsets == ((0, 6), (6, 10))
+
+
+class TestFusedWireMessage:
+    def make_message(self) -> FusedWireMessage:
+        flat = np.arange(10, dtype="<f4")
+        inner = WireMessage(
+            codec_id=CodecId.FLOAT32, shape=(10,), payload=flat.tobytes()
+        )
+        return FusedWireMessage(inner=inner, shapes=((2, 3), (4,)))
+
+    def test_roundtrip(self):
+        message = self.make_message()
+        decoded = FusedWireMessage.unpack(message.pack())
+        assert decoded.shapes == message.shapes
+        assert decoded.inner == message.inner
+
+    def test_wire_size_is_packed_length(self):
+        message = self.make_message()
+        assert message.wire_size == len(message.pack())
+
+    def test_element_count(self):
+        assert self.make_message().element_count == 10
+
+    def test_crc_detects_corruption(self):
+        data = bytearray(self.make_message().pack())
+        data[10] ^= 0xFF
+        with pytest.raises(ValueError, match="CRC"):
+            FusedWireMessage.unpack(bytes(data))
+
+    def test_shape_table_must_cover_payload(self):
+        flat = np.arange(10, dtype="<f4")
+        inner = WireMessage(
+            codec_id=CodecId.FLOAT32, shape=(10,), payload=flat.tobytes()
+        )
+        with pytest.raises(ValueError, match="elements"):
+            FusedWireMessage(inner=inner, shapes=((3,),))
+
+    def test_fused_saves_header_bytes_vs_per_tensor(self):
+        """K small tensors fused into one frame must cost fewer wire bytes
+        than K individual float32 frames carrying the same values."""
+        shapes = [(16,)] * 20
+        tensors = [np.random.default_rng(i).normal(size=s).astype("<f4") for i, s in enumerate(shapes)]
+        per_tensor = sum(
+            WireMessage(
+                codec_id=CodecId.FLOAT32, shape=t.shape, payload=t.tobytes()
+            ).wire_size
+            for t in tensors
+        )
+        flat = np.concatenate([t.reshape(-1) for t in tensors])
+        fused = FusedWireMessage(
+            inner=WireMessage(
+                codec_id=CodecId.FLOAT32, shape=flat.shape, payload=flat.tobytes()
+            ),
+            shapes=tuple(t.shape for t in tensors),
+        ).wire_size
+        assert fused < per_tensor
+
+
+class TestFusedBucketContext:
+    def test_reconstruction_is_exact_per_tensor(self):
+        scheme = make_compressor("3LC (s=1.00)", seed=0)
+        bucket = Bucket(0, ("a", "b"), ((3, 2), (5,)))
+        context = scheme.make_fused_bypass_context(bucket, key=("t", 0))
+        rng = np.random.default_rng(0)
+        tensors = {
+            "a": rng.normal(size=(3, 2)).astype(np.float32),
+            "b": rng.normal(size=(5,)).astype(np.float32),
+        }
+        result = context.compress(tensors)
+        # Bypass is lossless: reconstruction equals input bit-for-bit.
+        for name in tensors:
+            np.testing.assert_array_equal(result.parts[name], tensors[name])
+        # Receiver decode path: one codec call, then split.
+        flat = scheme.decompress_fused_bypass(result.message)
+        decoded = split_bucket(flat, bucket)
+        for name in tensors:
+            np.testing.assert_array_equal(decoded[name], tensors[name])
+
+    def test_deferring_scheme_defers_whole_bucket(self):
+        scheme = make_compressor("2 local steps", seed=0)
+        bucket = Bucket(0, ("a",), ((4,),))
+        context = scheme.make_fused_bypass_context(bucket, key=("t", 0))
+        tensor = {"a": np.ones(4, dtype=np.float32)}
+        assert context.compress(tensor) is None  # off-step: deferred
+        result = context.compress(tensor)  # on-step: accumulated 2x
+        np.testing.assert_array_equal(result.parts["a"], 2 * np.ones(4))
+
+
+class TestEngineFusionParity:
+    """Fusion changes framing, never numerics."""
+
+    def test_identical_training_trajectory(self):
+        unfused, fused = make_cluster(False), make_cluster(True)
+        unfused.train(6)
+        fused.train(6)
+        assert [l.train_loss for l in unfused.step_logs] == [
+            l.train_loss for l in fused.step_logs
+        ]
+        assert unfused.model_divergence() == fused.model_divergence()
+        for name, value in unfused.server.state_dict().items():
+            np.testing.assert_array_equal(value, fused.server.state_dict()[name])
+
+    def test_fewer_frames_and_no_byte_regression(self):
+        unfused, fused = make_cluster(False), make_cluster(True)
+        unfused.train(6)
+        fused.train(6)
+        assert fused.traffic.total_messages < unfused.traffic.total_messages
+        assert fused.traffic.total_wire_bytes < unfused.traffic.total_wire_bytes
+        # Same state-change elements crossed the wire either way.
+        assert sum(s.push_elements for s in fused.traffic.steps) == sum(
+            s.push_elements for s in unfused.traffic.steps
+        )
+
+    def test_lossless_scheme_keeps_replicas_synced_when_fused(self):
+        cluster = make_cluster(True, scheme="32-bit float")
+        cluster.train(3)
+        assert cluster.model_divergence() < 1e-5
+
+    def test_fused_tensors_marked_bypassed(self):
+        cluster = make_cluster(True)
+        plan = cluster.fusion_plan
+        assert plan is not None and plan.fused_names
+        assert plan.fused_names <= cluster.server.bypassed
+        assert plan.fused_names <= cluster.workers[0].bypassed
+
+    def test_fusion_rejected_on_sharded_and_ring(self):
+        dataset = SyntheticImageDataset(DatasetSpec(image_size=12, seed=0))
+        for topology in ["sharded", "ring"]:
+            with pytest.raises(ValueError):
+                ExchangeEngine(
+                    model_factory,
+                    dataset,
+                    make_compressor("3LC (s=1.00)", seed=0),
+                    CosineDecay(0.05, 4),
+                    EngineConfig(
+                        num_workers=2,
+                        batch_size=8,
+                        shard_size=32,
+                        topology=topology,
+                        fuse_small_tensors=True,
+                    ),
+                )
+
+    def test_deferring_scheme_composes_with_fusion(self):
+        cluster = make_cluster(True, scheme="2 local steps")
+        cluster.train(4)
+        wire = [s.wire_bytes for s in cluster.traffic.steps]
+        assert wire[0] == 0 and wire[2] == 0  # off-steps fully deferred
+        assert wire[1] > 0 and wire[3] > 0
