@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Barrier granularity vs. achieved overlap (paper §2.1).
+
+The paper credits fine-grained per-layer barriers with hiding communication
+behind backward computation. This benchmark measures exactly how much
+hiding each granularity buys: it trains a small cluster once, records every
+step's transmission plan, then replays the run through the discrete-event
+simulator with the backward timeline coarsened to 1, 2, 4, ... barrier
+groups. One group means "transmit only when backward finishes" (the
+coarse-grained strawman); the full timeline is per-layer scheduling.
+
+Asserted, not just printed: the serialized schedule matches the analytic
+closed form, per-layer scheduling achieves at least as much overlap as the
+single-barrier schedule, and no overlapped schedule is slower than
+serialized.
+
+Run:  python benchmarks/bench_overlap.py [--smoke] [--steps N]
+(also collectable by pytest: ``pytest benchmarks/bench_overlap.py``)
+"""
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from repro.compression import make_compressor
+from repro.data import DatasetSpec, SyntheticImageDataset
+from repro.exchange import EngineConfig, ExchangeEngine
+from repro.netsim import NetworkSimulator, single_server_links
+from repro.network.bandwidth import link
+from repro.network.timing import StepTimeModel
+from repro.nn import CosineDecay, build_resnet
+from repro.nn.stats import profile_backward
+from repro.utils.format import format_table
+
+TIME_MODEL = StepTimeModel(
+    overlap=0.0, per_message_overhead=25e-6, compute_scale=0.05, codec_scale=0.5
+)
+
+
+@dataclass(frozen=True)
+class GranularityRow:
+    groups: int
+    mean_step_seconds: float
+    serialized_seconds: float
+    achieved_overlap: float
+    hidden_fraction: float
+
+    @property
+    def speedup(self) -> float:
+        return self.serialized_seconds / self.mean_step_seconds
+
+
+def run_sweep(
+    *, steps: int, depth: int, base_width: int, link_name: str = "10Mbps"
+) -> tuple[list[GranularityRow], float, float]:
+    """Train once, then simulate every barrier granularity.
+
+    Returns the per-granularity rows plus (simulated serialized mean,
+    analytic closed-form mean) for the calibration check.
+    """
+    dataset = SyntheticImageDataset(DatasetSpec(image_size=12, seed=0))
+    engine = ExchangeEngine(
+        lambda: build_resnet(depth, base_width=base_width, seed=1),
+        dataset,
+        make_compressor("3LC (s=1.00)", seed=0),
+        CosineDecay(0.05, steps),
+        EngineConfig(
+            num_workers=2,
+            batch_size=8,
+            shard_size=64,
+            seed=0,
+            record_transmissions=True,
+        ),
+    )
+    engine.train(steps)
+
+    model = build_resnet(depth, base_width=base_width, seed=1)
+    images, labels = dataset.train_shard(0, 8)
+    timeline = profile_backward(model, images, labels)
+    spec = link(link_name)
+
+    serialized = NetworkSimulator(
+        timeline, single_server_links(spec), TIME_MODEL, overlap=False
+    ).simulate_run(engine.transmissions)
+    analytic = sum(
+        TIME_MODEL.step_seconds(s, spec) for s in engine.traffic.steps
+    ) / len(engine.traffic.steps)
+
+    granularities = [1, 2, 4, 8, len(timeline.layers)]
+    rows = []
+    for groups in dict.fromkeys(g for g in granularities if g <= len(timeline.layers)):
+        sim = NetworkSimulator(
+            timeline.coarsen(groups),
+            single_server_links(spec),
+            TIME_MODEL,
+            overlap=True,
+        )
+        run = sim.simulate_run(engine.transmissions)
+        rows.append(
+            GranularityRow(
+                groups=groups,
+                mean_step_seconds=run.mean_step_seconds,
+                serialized_seconds=serialized.mean_step_seconds,
+                achieved_overlap=run.mean_overlap,
+                hidden_fraction=run.mean_hidden_fraction,
+            )
+        )
+    return rows, serialized.mean_step_seconds, analytic
+
+
+def check_and_render(
+    rows: list[GranularityRow], serialized: float, analytic: float, link_name: str
+) -> str:
+    assert abs(serialized - analytic) / analytic < 0.01, (
+        f"serialized simulation {serialized} != analytic {analytic}"
+    )
+    for row in rows:
+        assert row.mean_step_seconds <= row.serialized_seconds * (1 + 1e-9)
+        assert 0.0 <= row.achieved_overlap <= 1.0
+    finest, coarsest = rows[-1], rows[0]
+    assert finest.achieved_overlap >= coarsest.achieved_overlap - 1e-9
+    # Per-layer barriers must hide strictly more communication than the
+    # coarse single-barrier schedule (the paper's §2.1 claim, measured).
+    assert finest.hidden_fraction > coarsest.hidden_fraction
+    assert finest.mean_step_seconds <= coarsest.mean_step_seconds * (1 + 1e-9)
+
+    table = format_table(
+        ["Barrier groups", "s/step", "Overlap", "Comm hidden", "Speedup vs serialized"],
+        [
+            [
+                str(r.groups),
+                f"{r.mean_step_seconds:.4f}",
+                f"{r.achieved_overlap:.3f}",
+                f"{100 * r.hidden_fraction:.1f}%",
+                f"{r.speedup:.2f}x",
+            ]
+            for r in rows
+        ],
+        title=f"Per-layer overlap vs barrier granularity @ {link_name}",
+    )
+    footer = (
+        f"serialized {serialized:.4f} s/step == analytic closed form "
+        f"{analytic:.4f} s/step (overlap=0)"
+    )
+    return f"{table}\n{footer}"
+
+
+def test_overlap_granularity():
+    """Pytest entry point: smoke-scale sweep with the assertions on."""
+    rows, serialized, analytic = run_sweep(steps=4, depth=8, base_width=4)
+    body = check_and_render(rows, serialized, analytic, "10Mbps")
+    print(f"\n=== Overlap granularity sweep (smoke) ===\n{body}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny configuration for CI"
+    )
+    parser.add_argument("--steps", type=int, default=None)
+    parser.add_argument("--link", default="10Mbps", choices=["10Mbps", "100Mbps", "1Gbps"])
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        steps, depth, width = 4, 8, 4
+    else:
+        steps, depth, width = 24, 14, 8
+    if args.steps is not None:
+        steps = args.steps
+
+    rows, serialized, analytic = run_sweep(
+        steps=steps, depth=depth, base_width=width, link_name=args.link
+    )
+    print(check_and_render(rows, serialized, analytic, args.link))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Serialized vs. per-layer-overlapped step time across link speeds.
+
+The paper's speedup claims assume communication hides behind backward
+computation via fine-grained per-layer barriers (§2.1). This example makes
+that assumption inspectable: it trains a small parameter-server cluster
+once, records every step's transmission plan, and replays the run through
+the discrete-event network simulator (``repro.netsim``) twice per link —
+once fully serialized (compute, then codec, then transfer) and once with
+per-layer overlap scheduling — at the paper's three bandwidths.
+
+The printed table shows where overlap matters: on slow links the step is
+communication-bound and hiding a compute-pass worth of transfer barely
+dents it; near the balance point the overlapped schedule visibly beats the
+serialized one; on fast links there is little communication left to hide.
+The "measured overlap" column is the fraction the analytic StepTimeModel
+previously hardcoded as 0.9.
+
+Run:  python examples/overlap_sweep.py [--steps N]
+"""
+
+import argparse
+
+from repro.compression import make_compressor
+from repro.data import DatasetSpec, SyntheticImageDataset
+from repro.exchange import EngineConfig, ExchangeEngine
+from repro.netsim import NetworkSimulator, single_server_links
+from repro.network.bandwidth import LINKS
+from repro.network.timing import StepTimeModel
+from repro.nn import CosineDecay, build_resnet
+from repro.nn.stats import profile_backward
+from repro.utils.format import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    dataset = SyntheticImageDataset(DatasetSpec(image_size=12, seed=0))
+    model_factory = lambda: build_resnet(8, base_width=8, seed=1)
+    engine = ExchangeEngine(
+        model_factory,
+        dataset,
+        make_compressor("3LC (s=1.00)", seed=0),
+        CosineDecay(0.05, args.steps),
+        EngineConfig(
+            num_workers=args.workers,
+            batch_size=8,
+            shard_size=64,
+            seed=0,
+            record_transmissions=True,
+        ),
+    )
+    engine.train(args.steps)
+
+    # Per-layer backward profile: gradient i becomes transmittable when
+    # its layer's backward slice completes.
+    images, labels = dataset.train_shard(0, 8)
+    timeline = profile_backward(model_factory(), images, labels)
+    print(
+        f"profiled {len(timeline.layers)} backward layers over "
+        f"{args.steps} recorded steps\n"
+    )
+
+    time_model = StepTimeModel(compute_scale=0.05, codec_scale=0.5)
+    rows = []
+    for link_name, spec in LINKS.items():
+        serialized = NetworkSimulator(
+            timeline, single_server_links(spec), time_model, overlap=False
+        ).simulate_run(engine.transmissions)
+        overlapped = NetworkSimulator(
+            timeline, single_server_links(spec), time_model, overlap=True
+        ).simulate_run(engine.transmissions)
+        rows.append(
+            [
+                link_name,
+                f"{1e3 * serialized.mean_step_seconds:.2f} ms",
+                f"{1e3 * overlapped.mean_step_seconds:.2f} ms",
+                f"{serialized.mean_step_seconds / overlapped.mean_step_seconds:.2f}x",
+                f"{overlapped.mean_overlap:.2f}",
+                f"{100 * overlapped.mean_hidden_fraction:.0f}%",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Link",
+                "serialized",
+                "per-layer overlap",
+                "speedup",
+                "measured overlap",
+                "comm hidden",
+            ],
+            rows,
+            title="Serialized vs per-layer-overlapped step time (3LC s=1.00)",
+        )
+    )
+    print(
+        "\nmeasured overlap replaces the StepTimeModel's calibrated 0.9 "
+        "constant;\n'comm hidden' is the share of transfer time that ran "
+        "under other work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -87,9 +87,15 @@ class Compressor(abc.ABC):
     name:
         Scheme label as it appears in the paper's tables (e.g.
         ``"3LC (s=1.75)"``).
+    defers_transmission:
+        True when ``compress`` may return ``None`` to skip a step
+        (N-local-steps style schedule changers). Such schemes cannot run
+        on collectives — a ring hop must carry *something* — so sweeps
+        over ring topologies filter on this flag.
     """
 
     name: str = "abstract"
+    defers_transmission: bool = False
 
     @abc.abstractmethod
     def make_context(

@@ -70,6 +70,7 @@ class LocalStepsCompressor(Compressor):
             raise ValueError(f"period must be >= 1, got {period!r}")
         self.period = int(period)
         self.inner = inner if inner is not None else Float32Compressor()
+        self.defers_transmission = self.period > 1
         self.name = f"{period} local steps"
         if inner is not None and not isinstance(inner, Float32Compressor):
             # Compositions (e.g. local steps over 3LC) carry both labels.

@@ -37,6 +37,7 @@ from repro.distributed.defaults import FUSION_BUCKET_ELEMENTS, SMALL_TENSOR_THRE
 from repro.distributed.worker import Worker
 from repro.exchange.sync import BSPMode, SyncMode, make_sync_mode
 from repro.exchange.topology import ExchangeTopology, make_topology
+from repro.netsim.events import StepTransmissions, TransmissionRecord
 from repro.network.traffic import StepTraffic, TrafficMeter
 from repro.nn.loss import SoftmaxCrossEntropy, accuracy
 from repro.nn.module import Module
@@ -83,6 +84,10 @@ class EngineConfig:
     fuse_small_tensors: bool = False
     #: Bucket capacity in elements for the fusion plan.
     bucket_elements: int = FUSION_BUCKET_ELEMENTS
+    #: Record per-message transmission plans (routes, bytes, frames) for
+    #: the discrete-event network simulator (BSP steps only). Off by
+    #: default: the per-step record lists every wire message.
+    record_transmissions: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -239,6 +244,14 @@ class ExchangeEngine:
             else None
         )
         self.traffic = TrafficMeter()
+        #: Per-step transmission plans for the network simulator (filled
+        #: only when ``record_transmissions`` is on and the mode is BSP).
+        self.transmissions: list[StepTransmissions] = []
+        self._routes: dict[str, str] = (
+            self.topology.transmission_routes(self.service)
+            if config.record_transmissions
+            else {}
+        )
         self.step_logs: list[StepLog] = []
         self._test_cache: tuple[np.ndarray, np.ndarray] | None = None
         self.update_count = 0
@@ -408,12 +421,110 @@ class ExchangeEngine:
             + pull_decompress_seconds
         )
         self.traffic.record(record)
+        if self.engine_config.record_transmissions:
+            self.transmissions.append(
+                self._ps_transmissions(
+                    step, batches, pull_batch, record, pull_decompress_seconds
+                )
+            )
         self.update_count += 1
 
         return StepLog(
             step=step,
             train_loss=float(np.mean([b.loss for b in batches])),
             learning_rate=self.service.schedule(step),
+        )
+
+    def _ps_transmissions(
+        self,
+        step: int,
+        batches,
+        pull_batch,
+        record: StepTraffic,
+        pull_decompress_seconds: float,
+    ) -> StepTransmissions:
+        """Flatten one parameter-service step into simulator events.
+
+        Mirrors the traffic-meter accounting exactly (dropped pushes were
+        still transmitted; deferred messages produce no record), so the
+        simulated serialized schedule reproduces the analytic model's
+        byte and frame totals.
+        """
+        sends: list[TransmissionRecord] = []
+        fusion_plan = self.fusion_plan
+        for position, batch in enumerate(batches):
+            worker_id = self.workers[position].worker_id
+            for name, result in batch.messages.items():
+                if result is None:
+                    continue
+                sends.append(
+                    TransmissionRecord(
+                        name=name,
+                        params=(name,),
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[name],
+                        worker=worker_id,
+                        phase="push",
+                    )
+                )
+            for index, result in batch.fused.items():
+                if result is None:
+                    continue
+                bucket = fusion_plan.buckets[index]
+                sends.append(
+                    TransmissionRecord(
+                        name=f"bucket:{index}",
+                        params=bucket.names,
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[bucket.names[0]],
+                        worker=worker_id,
+                        phase="push",
+                    )
+                )
+        # A shared pull is compressed once but physically transmitted to
+        # every worker: one frame (and one payload copy) per subscriber.
+        fanout = record.pull_fanout
+        for name, result in pull_batch.messages.items():
+            if result is None:
+                continue
+            sends.append(
+                TransmissionRecord(
+                    name=name,
+                    params=(name,),
+                    wire_bytes=result.message.wire_size,
+                    elements=result.message.element_count,
+                    route=self._routes[name],
+                    copies=fanout,
+                    phase="pull",
+                    frames=fanout,
+                )
+            )
+        for index, result in pull_batch.fused.items():
+            if result is None:
+                continue
+            bucket = fusion_plan.buckets[index]
+            sends.append(
+                TransmissionRecord(
+                    name=f"bucket:{index}",
+                    params=bucket.names,
+                    wire_bytes=result.message.wire_size,
+                    elements=result.message.element_count,
+                    route=self._routes[bucket.names[0]],
+                    copies=fanout,
+                    phase="pull",
+                    frames=fanout,
+                )
+            )
+        return StepTransmissions(
+            step=step,
+            compute_seconds=record.compute_seconds,
+            push_compress_seconds=max(b.compress_seconds for b in batches),
+            server_decompress_seconds=pull_batch.decompress_seconds,
+            server_compress_seconds=pull_batch.compress_seconds,
+            pull_decompress_seconds=pull_decompress_seconds,
+            records=tuple(sends),
         )
 
     def _ring_step(self) -> StepLog:
@@ -441,6 +552,32 @@ class ExchangeEngine:
         record.compute_seconds = decision.compute_seconds
         record.codec_seconds = outcome.codec_seconds
         self.traffic.record(record)
+        if config.record_transmissions:
+            # One collective record per tensor, accounted *per link*: bytes
+            # are what one hop link carries and frames are one chunk
+            # message per hop (all N links run their 2(N-1) hops in
+            # parallel; the meter's aggregate count stays all-links). The
+            # per-hop codec time rides in the push-compression pipeline.
+            frames_per_tensor = 2 * (n - 1)
+            self.transmissions.append(
+                StepTransmissions(
+                    step=step,
+                    compute_seconds=decision.compute_seconds,
+                    push_compress_seconds=outcome.codec_seconds,
+                    records=tuple(
+                        TransmissionRecord(
+                            name=name,
+                            params=(name,),
+                            wire_bytes=outcome.per_tensor_link_bytes.get(name, 0),
+                            elements=outcome.per_tensor_elements.get(name, 0),
+                            route=self._routes[name],
+                            phase="collective",
+                            frames=frames_per_tensor,
+                        )
+                        for name in self.service.params
+                    ),
+                )
+            )
         self.update_count += 1
 
         return StepLog(

@@ -72,6 +72,17 @@ class ExchangeTopology(abc.ABC):
     ):
         """Construct the service the engine will step against."""
 
+    def transmission_routes(self, service) -> dict[str, str]:
+        """Map each parameter tensor to the link its messages traverse.
+
+        This is the topology half of the exchange plan the network
+        simulator (:mod:`repro.netsim`) replays: the engine stamps every
+        recorded transmission with its route, and the simulator serializes
+        transfers per route instead of assuming one shared server NIC.
+        The default sends everything through the single ``"server"`` link.
+        """
+        return {name: "server" for name in service.params}
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}({self.name!r})"
 
@@ -139,11 +150,25 @@ class ShardedTopology(ExchangeTopology):
             small_tensor_threshold=small_tensor_threshold,
         )
 
+    def transmission_routes(self, service) -> dict[str, str]:
+        """Each tensor travels through its owning shard's independent NIC."""
+        return {
+            name: f"shard{service.shard_of(name)}" for name in service.params
+        }
+
 
 class RingOutcome:
     """Result of one ring exchange round."""
 
-    __slots__ = ("deltas", "wire_bytes", "codec_seconds", "elements", "max_link_bytes")
+    __slots__ = (
+        "deltas",
+        "wire_bytes",
+        "codec_seconds",
+        "elements",
+        "max_link_bytes",
+        "per_tensor_link_bytes",
+        "per_tensor_elements",
+    )
 
     def __init__(
         self,
@@ -152,12 +177,20 @@ class RingOutcome:
         codec_seconds: float,
         elements: int,
         max_link_bytes: int,
+        per_tensor_link_bytes: dict[str, int] | None = None,
+        per_tensor_elements: dict[str, int] | None = None,
     ):
         self.deltas = deltas
         self.wire_bytes = wire_bytes
         self.codec_seconds = codec_seconds
         self.elements = elements
         self.max_link_bytes = max_link_bytes
+        #: Per-tensor bytes the *busiest single link* carried — the honest
+        #: quantity for ring step time (every link works in parallel; the
+        #: server-NIC model would wrongly charge the all-links sum).
+        self.per_tensor_link_bytes = per_tensor_link_bytes or {}
+        #: Per-tensor transmitted element counts (2 (N-1)/N of the size).
+        self.per_tensor_elements = per_tensor_elements or {}
 
 
 class RingExchangeService:
@@ -226,6 +259,8 @@ class RingExchangeService:
         wire = 0
         max_link = 0
         elements = 0
+        per_tensor_link: dict[str, int] = {}
+        per_tensor_elements: dict[str, int] = {}
         for name, param in self.params.items():
             result = self.rings[name].reduce(
                 [grads[name] for grads in grad_dicts], average=True
@@ -233,7 +268,11 @@ class RingExchangeService:
             reduced[name] = result.outputs[0]
             wire += result.wire_bytes
             max_link = max(max_link, result.max_link_bytes)
-            elements += param.size * 2 * (self.num_workers - 1) // self.num_workers
+            per_tensor_link[name] = result.max_link_bytes
+            per_tensor_elements[name] = (
+                param.size * 2 * (self.num_workers - 1) // self.num_workers
+            )
+            elements += per_tensor_elements[name]
         codec_seconds = time.perf_counter() - t0
 
         lr = self.schedule(self.global_step)
@@ -249,7 +288,15 @@ class RingExchangeService:
         deltas = {
             name: param.data - previous[name] for name, param in self.params.items()
         }
-        return RingOutcome(deltas, wire, codec_seconds, elements, max_link)
+        return RingOutcome(
+            deltas,
+            wire,
+            codec_seconds,
+            elements,
+            max_link,
+            per_tensor_link,
+            per_tensor_elements,
+        )
 
 
 class RingTopology(ExchangeTopology):
@@ -282,6 +329,10 @@ class RingTopology(ExchangeTopology):
             num_workers=num_workers,
             small_tensor_threshold=small_tensor_threshold,
         )
+
+    def transmission_routes(self, service) -> dict[str, str]:
+        """Every tensor circulates the ring's (lockstep) hop links."""
+        return {name: "ring" for name in service.params}
 
 
 #: Registry of topology names accepted by the engine and the harness.

@@ -12,7 +12,9 @@ Usage::
 noisier numbers). ``--steps N`` overrides the standard step budget.
 ``--topology`` / ``--sync-mode`` (plus ``--shards`` / ``--staleness``)
 swap the exchange plan; ``--fuse`` turns on the fused-bucket hot path for
-small tensors.
+small tensors; ``--sim-overlap`` times steps with the discrete-event
+network simulator (per-layer overlap, per-topology links) instead of the
+calibrated overlap constant.
 """
 
 from __future__ import annotations
@@ -20,9 +22,16 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.compression.registry import (
+    RELATED_WORK_SCHEMES,
+    TABLE1_SCHEMES,
+    make_compressor,
+)
 from repro.harness.config import DEFAULT_CONFIG, FAST_CONFIG
 from repro.harness.figures import (
     FAST_SCHEMES,
+    FIGURE7_SCHEMES,
+    OVERVIEW_SCHEMES,
     figure7_curves,
     figure8_sparsity,
     figure9_compressed_size,
@@ -36,16 +45,38 @@ __all__ = ["main"]
 _FIGURE_LINKS = {"fig4": "10Mbps", "fig5": "100Mbps", "fig6": "1Gbps"}
 
 
-def _emit_time_accuracy(runner: ExperimentRunner, command: str) -> None:
+def _drop_deferring(schemes: tuple[str, ...]) -> tuple[str, ...]:
+    """Schemes that transmit every step (ring-compatible subset).
+
+    A ring hop must carry *something* for the reduction to proceed, so
+    schedule-changing schemes (``defers_transmission``) are dropped from
+    ring sweeps instead of crashing mid-command.
+    """
+    return tuple(
+        name
+        for name in schemes
+        if not make_compressor(name, seed=0).defers_transmission
+    )
+
+
+def _emit_time_accuracy(
+    runner: ExperimentRunner,
+    command: str,
+    overview_schemes: tuple[str, ...],
+    fast_schemes: tuple[str, ...],
+) -> None:
     link = _FIGURE_LINKS[command]
     number = command.removeprefix("fig")
     overview = figure_time_accuracy(
-        runner, link, figure_name=f"Figure {number}a (overview) @ {link}"
+        runner,
+        link,
+        overview_schemes,
+        figure_name=f"Figure {number}a (overview) @ {link}",
     )
     fast = figure_time_accuracy(
         runner,
         link,
-        FAST_SCHEMES,
+        fast_schemes,
         figure_name=f"Figure {number}b (fast designs) @ {link}",
     )
     print(overview.text)
@@ -92,6 +123,12 @@ def main(argv: list[str] | None = None) -> int:
         help="exchange small tensors through fused buckets (one frame per bucket)",
     )
     parser.add_argument(
+        "--sim-overlap", action="store_true",
+        help="derive per-link step times from the discrete-event network "
+        "simulator (per-layer overlap scheduling, honest per-topology "
+        "link bottlenecks) instead of the calibrated overlap constant",
+    )
+    parser.add_argument(
         "--save", metavar="PATH", default=None,
         help="archive every training run to a JSON file after the command",
     )
@@ -115,6 +152,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["staleness"] = args.staleness
     if args.fuse:
         overrides["fuse_small_tensors"] = True
+    if args.sim_overlap:
+        overrides["sim_overlap"] = True
     if overrides:
         config = config.scaled(**overrides)
     runner = ExperimentRunner(config)
@@ -124,17 +163,29 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "all"
         else [args.command]
     )
+    table1_schemes = TABLE1_SCHEMES
+    related_schemes = RELATED_WORK_SCHEMES
+    overview_schemes = OVERVIEW_SCHEMES
+    fast_schemes = FAST_SCHEMES
+    figure7_schemes = FIGURE7_SCHEMES
+    if config.topology == "ring":
+        table1_schemes = _drop_deferring(table1_schemes)
+        related_schemes = _drop_deferring(related_schemes)
+        overview_schemes = _drop_deferring(overview_schemes)
+        fast_schemes = _drop_deferring(fast_schemes)
+        figure7_schemes = _drop_deferring(figure7_schemes)
+
     for command in commands:
         if command == "table1":
-            _, text = table1(runner)
+            _, text = table1(runner, table1_schemes)
             print(text)
         elif command == "table2":
             _, text = table2(runner)
             print(text)
         elif command in _FIGURE_LINKS:
-            _emit_time_accuracy(runner, command)
+            _emit_time_accuracy(runner, command, overview_schemes, fast_schemes)
         elif command == "fig7":
-            loss_fig, acc_fig = figure7_curves(runner)
+            loss_fig, acc_fig = figure7_curves(runner, figure7_schemes)
             print(loss_fig.text)
             print()
             print(acc_fig.text)
@@ -145,7 +196,7 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(figure9_compressed_size(runner, "3LC (s=1.75)").text)
         elif command == "related-work":
-            _, text = related_work_table(runner)
+            _, text = related_work_table(runner, related_schemes)
             print(text)
         print()
 

@@ -64,6 +64,11 @@ class ExperimentConfig:
     staleness: int | None = None
     #: Fused-bucket hot path for the small-tensor bypass set.
     fuse_small_tensors: bool = False
+    #: Per-link timing via the discrete-event simulator (``repro.netsim``):
+    #: per-layer overlap scheduling replaces the analytic model's
+    #: calibrated overlap constant, and sharded/ring runs are charged
+    #: per-link instead of through a fictitious shared server NIC.
+    sim_overlap: bool = False
 
     # Training budget and schedule (paper: 25,600 steps, cosine 0.1 -> 0.001
     # scaled by worker count)
@@ -78,11 +83,14 @@ class ExperimentConfig:
     # Scheme seed (stochastic ternary, top-k sampling)
     scheme_seed: int = 0
 
-    # Hardware-substitution time model (calibration in EXPERIMENTS.md)
+    # Hardware-substitution time model (calibration in EXPERIMENTS.md).
+    # per_message_overhead is charged per wire *frame*: an unfused
+    # ResNet-14 step moves a few hundred frames (~= the old flat 2 ms
+    # per-step constant), a fused run proportionally fewer.
     time_model: StepTimeModel = field(
         default_factory=lambda: StepTimeModel(
             overlap=0.9,
-            per_message_overhead=0.002,
+            per_message_overhead=25e-6,
             compute_scale=0.05,
             codec_scale=0.5,
         )
@@ -98,6 +106,11 @@ class ExperimentConfig:
         if self.sync_mode not in SYNC_MODES:
             raise ValueError(
                 f"unknown sync mode {self.sync_mode!r}; expected one of {SYNC_MODES}"
+            )
+        if self.sim_overlap and self.sync_mode != "bsp":
+            raise ValueError(
+                "sim_overlap replays BSP step timelines; async/SSP modes "
+                "have no global step to simulate"
             )
 
     # -- factories ---------------------------------------------------------
@@ -159,6 +172,7 @@ class ExperimentConfig:
             backup_workers=self.backup_workers,
             staleness=self.staleness,
             fuse_small_tensors=self.fuse_small_tensors,
+            record_transmissions=self.sim_overlap,
         )
 
     def schedule(self, total_steps: int) -> CosineDecay:

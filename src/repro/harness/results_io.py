@@ -38,6 +38,11 @@ def run_result_to_dict(result: RunResult) -> dict:
         "mean_step_seconds": dict(result.mean_step_seconds),
         "total_seconds": dict(result.total_seconds),
         "traffic_steps": [asdict(s) for s in result.traffic.steps],
+        "achieved_overlap": (
+            dict(result.achieved_overlap)
+            if result.achieved_overlap is not None
+            else None
+        ),
     }
 
 
@@ -60,6 +65,7 @@ def run_result_from_dict(data: dict) -> RunResult:
         mean_step_seconds=data["mean_step_seconds"],
         total_seconds=data["total_seconds"],
         traffic=meter,
+        achieved_overlap=data.get("achieved_overlap"),
     )
 
 

@@ -52,6 +52,9 @@ class Table1Row:
     speedup_1gbps: float
     accuracy: float
     accuracy_difference: float
+    #: Simulator-measured overlap fraction at 10 Mbps (None for analytic
+    #: runs using the calibrated constant).
+    achieved_overlap: float | None = None
 
 
 @dataclass(frozen=True)
@@ -87,23 +90,36 @@ def table1(
                 speedup_1gbps=_speedup(base, result, "1Gbps"),
                 accuracy=result.final_accuracy,
                 accuracy_difference=result.final_accuracy - base.final_accuracy,
+                achieved_overlap=(
+                    result.achieved_overlap["10Mbps"]
+                    if result.achieved_overlap is not None
+                    else None
+                ),
             )
         )
-    text = format_table(
-        ["Design", "@10Mbps", "@100Mbps", "@1Gbps", "Accuracy(%)", "Diff"],
-        [
-            [
-                r.scheme,
-                f"{r.speedup_10mbps:.2f}x",
-                f"{r.speedup_100mbps:.2f}x",
-                f"{r.speedup_1gbps:.2f}x",
-                f"{100 * r.accuracy:.2f}",
-                f"{100 * r.accuracy_difference:+.2f}",
-            ]
-            for r in rows
-        ],
-        title="Table 1: speedup over baseline and test accuracy (standard steps)",
-    )
+    simulated = any(r.achieved_overlap is not None for r in rows)
+    headers = ["Design", "@10Mbps", "@100Mbps", "@1Gbps", "Accuracy(%)", "Diff"]
+    if simulated:
+        headers.append("Ovl@10M")
+    body = []
+    for r in rows:
+        cells = [
+            r.scheme,
+            f"{r.speedup_10mbps:.2f}x",
+            f"{r.speedup_100mbps:.2f}x",
+            f"{r.speedup_1gbps:.2f}x",
+            f"{100 * r.accuracy:.2f}",
+            f"{100 * r.accuracy_difference:+.2f}",
+        ]
+        if simulated:
+            cells.append(
+                f"{r.achieved_overlap:.2f}" if r.achieved_overlap is not None else "-"
+            )
+        body.append(cells)
+    title = "Table 1: speedup over baseline and test accuracy (standard steps)"
+    if simulated:
+        title += " [simulated per-layer overlap]"
+    text = format_table(headers, body, title=title)
     return rows, text
 
 

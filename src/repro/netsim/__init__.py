@@ -1,0 +1,36 @@
+"""Discrete-event network simulator for per-layer overlap scheduling.
+
+Replays one training step as a timeline of events — per-layer backward
+completions, per-worker codec pipelines, per-link transmissions — and
+reports the honest step time, the *measured* overlap fraction (replacing
+the analytic model's calibrated 0.9 constant), per-link utilization, and
+the critical path. See ARCHITECTURE.md's "how step times are computed".
+"""
+
+from repro.netsim.events import (
+    SimulatedRun,
+    SimulatedStep,
+    StepTransmissions,
+    TransmissionRecord,
+)
+from repro.netsim.links import (
+    LinkModel,
+    ring_links,
+    sharded_links,
+    single_server_links,
+)
+from repro.netsim.scheduler import NetworkSimulator
+from repro.netsim.topology import link_model_for
+
+__all__ = [
+    "TransmissionRecord",
+    "StepTransmissions",
+    "SimulatedStep",
+    "SimulatedRun",
+    "LinkModel",
+    "single_server_links",
+    "sharded_links",
+    "ring_links",
+    "NetworkSimulator",
+    "link_model_for",
+]

@@ -1,0 +1,212 @@
+"""Event data for the discrete-event network simulator.
+
+The simulator replays one training step as a timeline of events: backward
+produces layer gradients in reverse registration order, each gradient (or
+fused bucket) is codec-compressed, and the resulting wire message is
+scheduled onto a modeled link. The exchange engine records the *facts* of
+each step — which messages, how many bytes, which route — as
+:class:`StepTransmissions`; the scheduler turns them into a
+:class:`SimulatedStep` (step time, achieved overlap, per-link utilization,
+critical path).
+
+These dataclasses are pure data with no dependency on the exchange layer,
+so the engine can populate them the same way it populates
+:class:`~repro.network.traffic.StepTraffic` without a layering inversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TransmissionRecord",
+    "StepTransmissions",
+    "SimulatedStep",
+    "SimulatedRun",
+]
+
+#: Transmission phases: ``push`` and ``collective`` payloads can overlap
+#: the backward pass; ``pull`` payloads exist only after the global update.
+PHASES = ("push", "collective", "pull")
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """One wire transmission within a training step.
+
+    Attributes
+    ----------
+    name:
+        Tensor name, or ``"bucket:<i>"`` for a fused bucket, matching the
+        engine's traffic accounting.
+    params:
+        Parameter names whose gradients this message carries. The
+        scheduler uses them to look up gradient-ready times in the
+        backward timeline; a fused bucket lists every member (the bucket
+        transmits only once its *last* member's gradient exists).
+    wire_bytes:
+        Compressed payload bytes per copy on this record's route. For the
+        ring this is the *per-link* volume (what one hop link carries over
+        the whole collective), not the all-links sum.
+    elements:
+        Transmitted element count (used to apportion codec time).
+    route:
+        Link identifier the topology assigned (``"server"``,
+        ``"shard<k>"``, ``"ring"``).
+    worker:
+        Sending worker id for pushes (compression pipelines are
+        per-worker); ``None`` for shared pulls and collectives.
+    copies:
+        Fan-out multiplier: a shared pull traverses the server link once
+        per subscribed worker.
+    phase:
+        One of :data:`PHASES`.
+    frames:
+        Wire frames behind this record (a fused bucket is one frame; a
+        ring tensor is one frame per node per hop). Drives the per-frame
+        protocol overhead.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    wire_bytes: int
+    elements: int
+    route: str
+    worker: int | None = None
+    copies: int = 1
+    phase: str = "push"
+    frames: int = 1
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ValueError(f"phase must be one of {PHASES}, got {self.phase!r}")
+        if self.wire_bytes < 0 or self.elements < 0:
+            raise ValueError(f"{self.name}: negative size")
+        if self.copies < 1:
+            raise ValueError(f"{self.name}: copies must be >= 1")
+        if self.frames < 1:
+            raise ValueError(f"{self.name}: frames must be >= 1")
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes this record puts on its route (all copies)."""
+        return self.wire_bytes * self.copies
+
+
+@dataclass(frozen=True)
+class StepTransmissions:
+    """Everything the simulator needs to replay one training step.
+
+    The codec components mirror the engine's critical-path convention: the
+    recorded :attr:`~repro.network.traffic.StepTraffic.codec_seconds` is
+    exactly ``push_compress + server_decompress + server_compress +
+    pull_decompress``, so a serialized replay reproduces the analytic
+    model's step time.
+    """
+
+    step: int
+    compute_seconds: float
+    push_compress_seconds: float = 0.0
+    server_decompress_seconds: float = 0.0
+    server_compress_seconds: float = 0.0
+    pull_decompress_seconds: float = 0.0
+    records: tuple[TransmissionRecord, ...] = ()
+
+    @property
+    def codec_seconds(self) -> float:
+        return (
+            self.push_compress_seconds
+            + self.server_decompress_seconds
+            + self.server_compress_seconds
+            + self.pull_decompress_seconds
+        )
+
+    @property
+    def total_frames(self) -> int:
+        return sum(r.frames for r in self.records)
+
+
+@dataclass(frozen=True)
+class SimulatedStep:
+    """Simulator output for one step — the honest counterpart of the
+    analytic model's ``step_seconds``.
+
+    ``achieved_overlap`` is expressed in the analytic model's own units:
+    the fraction of (scaled) compute time under which communication
+    actually hid, i.e. the value that makes ``compute + codec +
+    max(0, comm - overlap * compute) + overhead`` reproduce the simulated
+    step time. Feeding it back into a :class:`StepTimeModel` replaces the
+    calibrated 0.9 constant with a measured quantity.
+    """
+
+    step: int
+    step_seconds: float
+    serialized_seconds: float
+    compute_seconds: float
+    codec_seconds: float
+    comm_seconds: float
+    overhead_seconds: float
+    exposed_seconds: float
+    achieved_overlap: float
+    link_utilization: dict[str, float] = field(default_factory=dict)
+    critical_path: tuple[str, ...] = ()
+
+    @property
+    def hidden_seconds(self) -> float:
+        """Communication time that ran concurrently with other work."""
+        return max(0.0, self.comm_seconds - self.exposed_seconds)
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of communication that did not extend the step.
+
+        ``achieved_overlap`` saturates at 1 whenever more than a full
+        compute-pass worth of communication hides (comm-bound regimes);
+        this fraction keeps discriminating there — it is what the barrier
+        granularity benchmark sweeps.
+        """
+        if self.comm_seconds <= 0:
+            return 0.0
+        return self.hidden_seconds / self.comm_seconds
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serialized step time over overlapped step time (>= 1)."""
+        if self.step_seconds <= 0:
+            return 1.0
+        return self.serialized_seconds / self.step_seconds
+
+
+@dataclass(frozen=True)
+class SimulatedRun:
+    """Aggregate of simulated steps over one training run."""
+
+    steps: tuple[SimulatedStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a simulated run needs at least one step")
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.step_seconds for s in self.steps)
+
+    @property
+    def mean_step_seconds(self) -> float:
+        return self.total_seconds / len(self.steps)
+
+    @property
+    def mean_overlap(self) -> float:
+        return sum(s.achieved_overlap for s in self.steps) / len(self.steps)
+
+    @property
+    def mean_hidden_fraction(self) -> float:
+        return sum(s.hidden_fraction for s in self.steps) / len(self.steps)
+
+    @property
+    def mean_link_utilization(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for step in self.steps:
+            for link_id, utilization in step.link_utilization.items():
+                totals[link_id] = totals.get(link_id, 0.0) + utilization
+        return {k: v / len(self.steps) for k, v in totals.items()}

@@ -1,0 +1,279 @@
+"""The discrete-event step scheduler.
+
+One training step is replayed as a timeline:
+
+1. **Backward** runs layer by layer in reverse registration order; the
+   per-layer durations come from a measured
+   :class:`~repro.nn.stats.BackwardTimeline`, rescaled so their sum equals
+   the step's recorded compute seconds (times the hardware-substitution
+   ``compute_scale``). A parameter's gradient exists when its layer's
+   slice of the timeline completes.
+2. **Push compression** is a serial pipeline per worker: each record costs
+   its element-share of the step's measured push-compression seconds, and
+   a fused bucket waits for its *last* member gradient before entering the
+   pipeline.
+3. **Transmission** is FIFO per link: a record starts when it is
+   compressed *and* its route's link is free, and occupies the link for
+   its transfer time plus its frames' protocol overhead.
+4. The **server phase** (decompress + update + pull compress) starts once
+   compute and every push have finished; **pulls** then traverse their
+   links (fan-out copies included) and workers decompress.
+
+With ``overlap=False`` the schedule is fully serialized — compute, then
+all codec, then all transfers — which by construction reproduces the
+analytic :class:`~repro.network.timing.StepTimeModel` closed form at
+``overlap=0``: the equality is the simulator's calibration test, and the
+delta between the two schedules is the honest measure of what per-layer
+barriers buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.netsim.events import SimulatedRun, SimulatedStep, StepTransmissions, TransmissionRecord
+from repro.netsim.links import LinkModel
+from repro.network.timing import StepTimeModel
+from repro.nn.stats import BackwardTimeline
+
+__all__ = ["NetworkSimulator"]
+
+
+class NetworkSimulator:
+    """Replays recorded step transmissions against a link model.
+
+    Parameters
+    ----------
+    timeline:
+        Measured per-layer backward timeline of the trained model (its
+        *fractions* are used; absolute durations are rescaled per step).
+    link_model:
+        The topology's links (see :mod:`repro.netsim.links`).
+    time_model:
+        Supplies the hardware-substitution scales and the per-frame
+        protocol overhead. Its ``overlap`` constant is ignored — measuring
+        that number is this class's purpose.
+    overlap:
+        ``True`` schedules per-layer transmissions while backward still
+        runs; ``False`` serializes compute, codec, and transfer.
+    serialized_baseline:
+        When True (default), each overlapped ``simulate_step`` also runs
+        the serialized schedule so ``SimulatedStep.serialized_seconds``
+        and ``overlap_speedup`` are meaningful. Pass False to skip that
+        second replay (halving simulation cost) when only the overlapped
+        times are consumed; ``serialized_seconds`` then equals
+        ``step_seconds``.
+    """
+
+    def __init__(
+        self,
+        timeline: BackwardTimeline,
+        link_model: LinkModel,
+        time_model: StepTimeModel | None = None,
+        *,
+        overlap: bool = True,
+        serialized_baseline: bool = True,
+    ):
+        self.timeline = timeline
+        self.link_model = link_model
+        self.time_model = time_model or StepTimeModel()
+        self.overlap = bool(overlap)
+        self.serialized_baseline = bool(serialized_baseline)
+        self._ready_fraction = timeline.ready_fraction()
+        # Parameter -> label of the layer that produces its gradient.
+        self._layer_of: dict[str, str] = {}
+        for layer in timeline.layers:
+            for name in layer.params:
+                self._layer_of[name] = layer.label
+
+    # -- public API --------------------------------------------------------
+
+    def simulate_step(self, st: StepTransmissions) -> SimulatedStep:
+        """Replay one step; see the module docstring for the event order."""
+        overlapped = self._replay(st, overlap=self.overlap)
+        if self.overlap and self.serialized_baseline:
+            serialized = self._replay(st, overlap=False)
+            return replace(overlapped, serialized_seconds=serialized.step_seconds)
+        return overlapped
+
+    def simulate_run(self, steps) -> SimulatedRun:
+        """Replay every recorded step of a training run."""
+        simulated = tuple(self.simulate_step(s) for s in steps)
+        if not simulated:
+            raise ValueError(
+                "no recorded transmissions to simulate — was the engine "
+                "built with record_transmissions=True?"
+            )
+        return SimulatedRun(simulated)
+
+    # -- gradient readiness ------------------------------------------------
+
+    def _grad_ready_seconds(self, record: TransmissionRecord, compute: float) -> float:
+        """Time at which every gradient this record carries exists."""
+        if not record.params:
+            return compute
+        # Parameters absent from the timeline (no owning leaf module) are
+        # conservatively ready only when backward completes.
+        return max(
+            self._ready_fraction.get(name, 1.0) * compute for name in record.params
+        )
+
+    def _producing_layer(self, record: TransmissionRecord) -> str:
+        if not record.params:
+            return "backward:end"
+        last = max(
+            record.params, key=lambda name: self._ready_fraction.get(name, 1.0)
+        )
+        return f"backward:{self._layer_of.get(last, 'end')}"
+
+    # -- the event replay --------------------------------------------------
+
+    def _replay(self, st: StepTransmissions, *, overlap: bool) -> SimulatedStep:
+        tm = self.time_model
+        compute = tm.compute_scale * st.compute_seconds
+        pmo = tm.per_message_overhead
+
+        push_records = [r for r in st.records if r.phase in ("push", "collective")]
+        pull_records = [r for r in st.records if r.phase == "pull"]
+
+        # -- push compression: one serial pipeline per sending worker ------
+        push_cost = tm.codec_scale * st.push_compress_seconds
+        pipeline_elements: dict[int | None, int] = {}
+        for record in push_records:
+            pipeline_elements[record.worker] = (
+                pipeline_elements.get(record.worker, 0) + record.elements
+            )
+        compressed_at: dict[int, float] = {}
+        if overlap:
+            pipeline_free: dict[int | None, float] = {}
+            ordered = sorted(
+                range(len(push_records)),
+                key=lambda i: (
+                    self._grad_ready_seconds(push_records[i], compute),
+                    push_records[i].name,
+                ),
+            )
+            for index in ordered:
+                record = push_records[index]
+                total = pipeline_elements[record.worker]
+                cost = push_cost * record.elements / total if total else 0.0
+                start = max(
+                    self._grad_ready_seconds(record, compute),
+                    pipeline_free.get(record.worker, 0.0),
+                )
+                compressed_at[index] = start + cost
+                pipeline_free[record.worker] = compressed_at[index]
+        else:
+            for index in range(len(push_records)):
+                compressed_at[index] = compute + push_cost
+
+        # -- push transmission: FIFO per link ------------------------------
+        link_free: dict[str, float] = {}
+        link_busy: dict[str, float] = {}
+        push_end = compute if not push_records else 0.0
+        bottleneck = None  # (end, record, start_bound_by_link)
+        for index in sorted(
+            compressed_at, key=lambda i: (compressed_at[i], push_records[i].name)
+        ):
+            record = push_records[index]
+            free = link_free.get(record.route, 0.0)
+            start = max(compressed_at[index], free)
+            duration = (
+                self.link_model.transfer_seconds(record.route, record.total_bytes)
+                + pmo * record.frames
+            )
+            end = start + duration
+            link_free[record.route] = end
+            link_busy[record.route] = link_busy.get(record.route, 0.0) + duration
+            if end > push_end:
+                push_end = end
+                bottleneck = (record, start > compressed_at[index] + 1e-15)
+        # The barrier cannot release before the slowest worker's backward;
+        # when that floor binds, the step is compute-bound, not bound by
+        # the last transfer.
+        barrier_floor = compute + (push_cost if not overlap else 0.0)
+        if barrier_floor > push_end:
+            push_end = barrier_floor
+            bottleneck = None
+
+        # -- server phase and pulls ----------------------------------------
+        server_cost = tm.codec_scale * (
+            st.server_decompress_seconds + st.server_compress_seconds
+        )
+        pull_ready = push_end + server_cost
+        phase_end = pull_ready
+        last_pull: TransmissionRecord | None = None
+        for record in sorted(pull_records, key=lambda r: r.name):
+            free = max(pull_ready, link_free.get(record.route, 0.0))
+            duration = (
+                self.link_model.transfer_seconds(record.route, record.total_bytes)
+                + pmo * record.frames
+            )
+            end = free + duration
+            link_free[record.route] = end
+            link_busy[record.route] = link_busy.get(record.route, 0.0) + duration
+            if end > phase_end:
+                phase_end = end
+                last_pull = record
+        pull_cost = tm.codec_scale * st.pull_decompress_seconds
+        step_seconds = phase_end + pull_cost
+
+        # -- bookkeeping ----------------------------------------------------
+        comm = sum(
+            self.link_model.transfer_seconds(r.route, r.total_bytes)
+            for r in st.records
+        )
+        overhead = pmo * st.total_frames
+        codec = push_cost + server_cost + pull_cost
+        exposed = max(0.0, step_seconds - compute - codec - overhead)
+        if compute > 0:
+            achieved = min(1.0, max(0.0, (comm - exposed) / compute))
+        else:
+            achieved = 0.0
+        utilization = {
+            link_id: (link_busy.get(link_id, 0.0) / step_seconds if step_seconds else 0.0)
+            for link_id in self.link_model.link_ids
+        }
+        return SimulatedStep(
+            step=st.step,
+            step_seconds=step_seconds,
+            serialized_seconds=step_seconds,
+            compute_seconds=compute,
+            codec_seconds=codec,
+            comm_seconds=comm,
+            overhead_seconds=overhead,
+            exposed_seconds=exposed,
+            achieved_overlap=achieved if overlap else 0.0,
+            link_utilization=utilization,
+            critical_path=self._critical_path(
+                bottleneck, last_pull, overlap, bool(pull_records)
+            ),
+        )
+
+    def _critical_path(
+        self,
+        bottleneck: tuple[TransmissionRecord, bool] | None,
+        last_pull: TransmissionRecord | None,
+        overlap: bool,
+        has_pulls: bool,
+    ) -> tuple[str, ...]:
+        """Label the chain of events that set this step's duration."""
+        path: list[str] = []
+        if bottleneck is None:
+            path.append("backward:end")
+        else:
+            record, link_bound = bottleneck
+            path.append(
+                self._producing_layer(record) if overlap else "backward:end"
+            )
+            worker = f"@w{record.worker}" if record.worker is not None else ""
+            path.append(f"compress:{record.name}{worker}")
+            if link_bound:
+                path.append(f"queue:{record.route}")
+            path.append(f"xfer:{record.route}:{record.name}")
+        if has_pulls:
+            path.append("server-codec")
+            if last_pull is not None:
+                path.append(f"xfer:{last_pull.route}:{last_pull.name}")
+            path.append("pull-decompress")
+        return tuple(path)

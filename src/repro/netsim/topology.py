@@ -1,0 +1,45 @@
+"""Topology adapters: from an exchange plan to a link model.
+
+The exchange layer stamps every recorded transmission with a *route*
+(:meth:`repro.exchange.topology.ExchangeTopology.transmission_routes`);
+this module builds the matching :class:`~repro.netsim.links.LinkModel`
+from the topology's registry name, so the harness can simulate any
+configuration it can train.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.links import LinkModel, ring_links, sharded_links, single_server_links
+from repro.network.bandwidth import LinkSpec
+
+__all__ = ["link_model_for"]
+
+
+def link_model_for(
+    topology: str,
+    spec: LinkSpec,
+    *,
+    num_shards: int = 2,
+    num_workers: int = 4,
+) -> LinkModel:
+    """Build the link model for one of the engine's exchange topologies.
+
+    Parameters
+    ----------
+    topology:
+        Registry name: ``"single"`` | ``"sharded"`` | ``"ring"``.
+    spec:
+        Per-link bandwidth (all links of a topology share one rate, as in
+        the paper's tc-emulated testbed).
+    num_shards / num_workers:
+        Shape knobs for the sharded and ring models (ignored otherwise).
+    """
+    if topology == "single":
+        return single_server_links(spec)
+    if topology == "sharded":
+        return sharded_links(spec, num_shards)
+    if topology == "ring":
+        return ring_links(spec, num_workers)
+    raise ValueError(
+        f"unknown topology {topology!r}; expected 'single', 'sharded', or 'ring'"
+    )

@@ -8,6 +8,7 @@ converted to seconds by these link specs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["LinkSpec", "LINKS", "link"]
@@ -21,13 +22,27 @@ class LinkSpec:
     bits_per_second: float
 
     def __post_init__(self) -> None:
-        if self.bits_per_second <= 0:
-            raise ValueError("bits_per_second must be positive")
+        if not self.name:
+            raise ValueError("a link needs a non-empty name")
+        rate = self.bits_per_second
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            raise TypeError(
+                f"link {self.name!r}: bits_per_second must be a number, "
+                f"got {type(rate).__name__}"
+            )
+        if not math.isfinite(rate) or rate <= 0:
+            raise ValueError(
+                f"link {self.name!r}: bits_per_second must be a positive "
+                f"finite rate, got {rate!r}"
+            )
 
     def transfer_seconds(self, payload_bytes: float) -> float:
         """Time to move ``payload_bytes`` across the link."""
         if payload_bytes < 0:
-            raise ValueError("payload_bytes must be non-negative")
+            raise ValueError(
+                f"link {self.name!r}: payload_bytes must be non-negative, "
+                f"got {payload_bytes!r}"
+            )
         return 8.0 * payload_bytes / self.bits_per_second
 
 

@@ -76,6 +76,18 @@ class StepTraffic:
         return self.pull_bytes_shared * self.pull_fanout
 
     @property
+    def frames(self) -> int:
+        """Physical wire frames this step — what the per-frame overhead
+        charges.
+
+        A shared pull is *compressed* once (``pull_messages`` counts it
+        once, mirroring the byte fields) but transmitted to every
+        subscribed worker, so each counted pull message crosses the wire
+        ``pull_fanout`` times.
+        """
+        return self.push_messages + self.pull_messages * self.pull_fanout
+
+    @property
     def wire_bytes(self) -> int:
         """Bytes crossing the server NIC this step (in + out)."""
         return self.push_bytes + self.pull_bytes_total

@@ -12,7 +12,7 @@ from repro.nn.checkpoint import load_checkpoint, save_checkpoint
 from repro.nn.conv import Conv2d
 from repro.nn.linear import Flatten, Linear
 from repro.nn.loss import SoftmaxCrossEntropy, accuracy, softmax
-from repro.nn.module import Module, Sequential
+from repro.nn.module import BackwardHookHandle, Module, Sequential
 from repro.nn.norm import BatchNorm2d
 from repro.nn.optimizer import MomentumSGD
 from repro.nn.parameter import Parameter
@@ -24,7 +24,13 @@ from repro.nn.schedule import (
     StepwiseDecay,
     scale_lr_for_workers,
 )
-from repro.nn.stats import ModelStats, model_stats
+from repro.nn.stats import (
+    BackwardTimeline,
+    LayerTiming,
+    ModelStats,
+    model_stats,
+    profile_backward,
+)
 from repro.nn.vgg import build_vgg
 
 __all__ = [
@@ -56,4 +62,8 @@ __all__ = [
     "load_checkpoint",
     "ModelStats",
     "model_stats",
+    "BackwardHookHandle",
+    "BackwardTimeline",
+    "LayerTiming",
+    "profile_backward",
 ]

@@ -14,13 +14,55 @@ Training-mode state (batch-norm batch statistics) is selected by the
 from __future__ import annotations
 
 import abc
-from typing import Iterator
+import functools
+import time
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.nn.parameter import Parameter
 
-__all__ = ["Module", "Sequential"]
+__all__ = ["Module", "Sequential", "BackwardHookHandle"]
+
+
+class BackwardHookHandle:
+    """Removable registration of one backward hook on one module."""
+
+    __slots__ = ("_module", "_hook")
+
+    def __init__(self, module: "Module", hook: Callable):
+        self._module = module
+        self._hook = hook
+
+    def remove(self) -> None:
+        hooks = getattr(self._module, "_backward_hooks", None)
+        if hooks and self._hook in hooks:
+            hooks.remove(self._hook)
+
+
+def _dispatch_backward_hooks(backward):
+    """Wrap a subclass ``backward`` so registered hooks observe each call.
+
+    The wrapper is installed by :meth:`Module.__init_subclass__` on every
+    class that *defines* ``backward``, so existing call sites
+    (``module.backward(grad)``) need no changes. With no hooks registered
+    the cost is one attribute lookup and a truthiness check.
+    """
+
+    @functools.wraps(backward)
+    def wrapped(self, grad_output):
+        hooks = getattr(self, "_backward_hooks", None)
+        if not hooks:
+            return backward(self, grad_output)
+        t0 = time.perf_counter()
+        out = backward(self, grad_output)
+        seconds = time.perf_counter() - t0
+        for hook in tuple(hooks):
+            hook(self, seconds)
+        return out
+
+    wrapped._hook_dispatch = True
+    return wrapped
 
 
 class Module(abc.ABC):
@@ -29,6 +71,13 @@ class Module(abc.ABC):
     def __init__(self):
         self._parameters: list[Parameter] = []
         self._children: list[Module] = []
+        self._backward_hooks: list[Callable] = []
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        backward = cls.__dict__.get("backward")
+        if backward is not None and not getattr(backward, "_hook_dispatch", False):
+            cls.backward = _dispatch_backward_hooks(backward)
 
     # -- construction helpers -------------------------------------------
 
@@ -58,6 +107,29 @@ class Module(abc.ABC):
         yield from self._parameters
         for child in self._children:
             yield from child._iter_parameters()
+
+    # -- backward hooks ----------------------------------------------------
+
+    def register_backward_hook(
+        self, hook: Callable[["Module", float], None]
+    ) -> BackwardHookHandle:
+        """Observe this module's backward calls.
+
+        ``hook(module, seconds)`` fires after each :meth:`backward` returns,
+        with the wall-clock seconds that call took. Hooks are what the
+        network simulator's per-layer profiler
+        (:func:`repro.nn.stats.profile_backward`) builds on: backward
+        execution order *is* gradient production order, so the recorded
+        sequence doubles as the per-layer readiness timeline.
+        """
+        if not callable(hook):
+            raise TypeError(f"hook must be callable, got {type(hook).__name__}")
+        # Modules constructed before hooks existed (unpickled instances)
+        # may lack the slot; create it lazily.
+        if not hasattr(self, "_backward_hooks"):
+            self._backward_hooks = []
+        self._backward_hooks.append(hook)
+        return BackwardHookHandle(self, hook)
 
     def zero_grad(self) -> None:
         """Clear all gradient slots in the subtree."""

@@ -99,6 +99,68 @@ class TestExperimentRunner:
         )
 
 
+class TestSimOverlap:
+    """--sim-overlap end to end: runner, table column, serialization."""
+
+    @pytest.fixture(scope="class")
+    def sim_runner(self):
+        return ExperimentRunner(
+            FAST_CONFIG.scaled(standard_steps=8, sim_overlap=True)
+        )
+
+    def test_runner_populates_achieved_overlap(self, sim_runner):
+        result = sim_runner.run("3LC (s=1.00)", 1.0)
+        assert result.achieved_overlap is not None
+        assert set(result.achieved_overlap) == {"10Mbps", "100Mbps", "1Gbps"}
+        assert all(0.0 <= v <= 1.0 for v in result.achieved_overlap.values())
+        assert all(v > 0 for v in result.mean_step_seconds.values())
+
+    def test_table1_gains_overlap_column(self, sim_runner):
+        rows, text = table1(sim_runner, ("32-bit float", "3LC (s=1.00)"))
+        assert "Ovl@10M" in text
+        assert "[simulated per-layer overlap]" in text
+        assert all(r.achieved_overlap is not None for r in rows)
+
+    def test_achieved_overlap_round_trips(self, sim_runner):
+        from repro.harness.results_io import (
+            run_result_from_dict,
+            run_result_to_dict,
+        )
+
+        result = sim_runner.run("3LC (s=1.00)", 1.0)
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.achieved_overlap == result.achieved_overlap
+
+    def test_analytic_runner_has_no_overlap_column(self, runner):
+        rows, text = table1(runner, ("32-bit float", "3LC (s=1.00)"))
+        assert "Ovl@10M" not in text
+        assert all(r.achieved_overlap is None for r in rows)
+
+    def test_sim_overlap_rejected_for_async(self):
+        with pytest.raises(ValueError, match="BSP"):
+            FAST_CONFIG.scaled(sync_mode="async", sim_overlap=True)
+
+
+class TestRingSchemeFilter:
+    def test_deferring_schemes_flagged(self):
+        from repro.compression.registry import make_compressor
+
+        assert make_compressor("2 local steps", seed=0).defers_transmission
+        assert make_compressor(
+            "2 local steps + 3LC (s=1.00)", seed=0
+        ).defers_transmission
+        assert not make_compressor("3LC (s=1.00)", seed=0).defers_transmission
+        assert not make_compressor("32-bit float", seed=0).defers_transmission
+
+    def test_cli_fig7_on_ring_drops_deferring_schemes(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["fig7", "--fast", "--steps", "4", "--topology", "ring"]) == 0
+        out = capsys.readouterr().out
+        assert "2 local steps" not in out
+        assert "3LC (s=1.00)" in out
+
+
 class TestTables:
     def test_table1_rows_and_shape(self, runner):
         schemes = ("32-bit float", "3LC (s=1.00)", "2 local steps")

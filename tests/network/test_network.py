@@ -31,6 +31,16 @@ class TestLinkSpec:
     def test_validation(self):
         with pytest.raises(ValueError):
             LinkSpec("bad", 0)
+        with pytest.raises(ValueError, match="positive finite"):
+            LinkSpec("bad", -5)
+        with pytest.raises(ValueError, match="positive finite"):
+            LinkSpec("bad", float("inf"))
+        with pytest.raises(ValueError, match="positive finite"):
+            LinkSpec("bad", float("nan"))
+        with pytest.raises(TypeError, match="must be a number"):
+            LinkSpec("bad", "fast")
+        with pytest.raises(ValueError, match="non-empty name"):
+            LinkSpec("", 1e6)
         with pytest.raises(ValueError):
             LinkSpec("x", 1e6).transfer_seconds(-1)
 
@@ -150,13 +160,45 @@ class TestStepTimeModel:
             2 * model.mean_step_seconds(meter, spec)
         )
 
+    def test_overhead_charged_per_frame(self):
+        model = StepTimeModel(overlap=0.0, per_message_overhead=1e-3)
+        few = _step(push_messages=5, pull_messages=5)
+        many = _step(push_messages=50, pull_messages=5)
+        spec = link("1Gbps")
+        # Each counted pull message physically crosses the wire once per
+        # fan-out subscriber (default fanout in _step is 4).
+        assert few.frames == 5 + 5 * 4
+        assert model.overhead_seconds(many) == pytest.approx(0.070)
+        assert model.step_seconds(many, spec) - model.step_seconds(
+            few, spec
+        ) == pytest.approx(45e-3)
+        # Legacy records without frame counts pay no overhead.
+        assert model.overhead_seconds(_step()) == 0.0
+
+    def test_with_overlap_installs_measured_fraction(self):
+        model = StepTimeModel(overlap=0.9, per_message_overhead=0.0)
+        measured = model.with_overlap(0.4)
+        assert measured.overlap == 0.4
+        assert measured.compute_scale == model.compute_scale
+        s = _step(compute_seconds=1.0, codec_seconds=0.0,
+                  push_bytes=100_000_000, pull_bytes_shared=0)
+        assert measured.step_seconds(s, link("1Gbps")) > model.step_seconds(
+            s, link("1Gbps")
+        )
+        with pytest.raises(ValueError):
+            model.with_overlap(1.5)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             StepTimeModel(overlap=1.5)
         with pytest.raises(ValueError):
             StepTimeModel(per_message_overhead=-1)
         with pytest.raises(ValueError):
+            StepTimeModel(per_message_overhead=float("nan"))
+        with pytest.raises(ValueError):
             StepTimeModel(compute_scale=0)
+        with pytest.raises(ValueError):
+            StepTimeModel(codec_scale=-1)
 
 
 class TestExtrapolation:

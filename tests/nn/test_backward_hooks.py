@@ -1,0 +1,133 @@
+"""Backward hooks and the per-layer backward profiler."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BackwardTimeline,
+    LayerTiming,
+    Linear,
+    ReLU,
+    Sequential,
+    build_resnet,
+    profile_backward,
+)
+
+
+def tiny_batch(size=4, features=6):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(size, features)).astype(np.float32)
+    y = rng.integers(0, 3, size=size)
+    return x, y
+
+
+class TestBackwardHooks:
+    def test_hook_fires_with_duration(self):
+        layer = Linear(6, 3, rng=np.random.default_rng(0))
+        calls = []
+        layer.register_backward_hook(lambda m, s: calls.append((m, s)))
+        x, _ = tiny_batch()
+        layer.forward(x, training=True)
+        layer.backward(np.ones((4, 3), dtype=np.float32))
+        assert len(calls) == 1
+        module, seconds = calls[0]
+        assert module is layer
+        assert seconds >= 0.0
+
+    def test_hook_removal(self):
+        layer = Linear(6, 3, rng=np.random.default_rng(0))
+        calls = []
+        handle = layer.register_backward_hook(lambda m, s: calls.append(s))
+        handle.remove()
+        x, _ = tiny_batch()
+        layer.forward(x, training=True)
+        layer.backward(np.ones((4, 3), dtype=np.float32))
+        assert calls == []
+        handle.remove()  # idempotent
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError, match="callable"):
+            Linear(6, 3, rng=np.random.default_rng(0)).register_backward_hook("not a hook")
+
+    def test_hooks_observe_backward_execution_order(self):
+        first = Linear(6, 5, rng=np.random.default_rng(0))
+        second = Linear(5, 3, rng=np.random.default_rng(1))
+        model = Sequential(first, ReLU(), second)
+        order = []
+        for leaf in (first, second):
+            leaf.register_backward_hook(lambda m, s: order.append(m))
+        x, _ = tiny_batch()
+        model.forward(x, training=True)
+        model.backward(np.ones((4, 3), dtype=np.float32))
+        # Backward visits the *last* forward layer first.
+        assert order == [second, first]
+
+
+class TestProfileBackward:
+    def test_resnet_timeline_covers_all_parameters(self):
+        model = build_resnet(8, base_width=4, seed=1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 12, 12)).astype(np.float32)
+        y = rng.integers(0, 10, size=2)
+        timeline = profile_backward(model, x, y, repeats=2)
+        produced = {name for layer in timeline.layers for name in layer.params}
+        assert produced == {p.name for p in model.parameters()}
+        assert timeline.total_seconds > 0
+        assert sum(timeline.fractions) == pytest.approx(1.0)
+
+    def test_ready_fractions_monotone_with_depth(self):
+        # The classifier head backpropagates first, the stem conv last.
+        model = build_resnet(8, base_width=4, seed=1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 12, 12)).astype(np.float32)
+        y = rng.integers(0, 10, size=2)
+        ready = profile_backward(model, x, y, repeats=1).ready_fraction()
+        head = next(n for n in ready if n.startswith("head/"))
+        stem = next(n for n in ready if n.startswith("stem"))
+        assert ready[head] < ready[stem]
+        assert all(0.0 < f <= 1.0 for f in ready.values())
+
+    def test_validation(self):
+        model = build_resnet(8, base_width=4, seed=1)
+        x = np.zeros((2, 3, 12, 12), dtype=np.float32)
+        y = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError, match="repeats"):
+            profile_backward(model, x, y, repeats=0)
+
+
+class TestBackwardTimeline:
+    def timeline(self):
+        return BackwardTimeline(
+            (
+                LayerTiming("l0", 0.2, ("w0",)),
+                LayerTiming("l1", 0.3, ("w1",)),
+                LayerTiming("l2", 0.5, ("w2",)),
+            )
+        )
+
+    def test_fractions_and_ready(self):
+        tl = self.timeline()
+        assert tl.fractions == pytest.approx((0.2, 0.3, 0.5))
+        ready = tl.ready_fraction()
+        assert ready["w0"] == pytest.approx(0.2)
+        assert ready["w2"] == pytest.approx(1.0)
+
+    def test_zero_profile_degrades_to_uniform(self):
+        tl = BackwardTimeline(
+            (LayerTiming("a", 0.0, ("x",)), LayerTiming("b", 0.0, ("y",)))
+        )
+        assert tl.fractions == pytest.approx((0.5, 0.5))
+
+    def test_coarsen(self):
+        tl = self.timeline()
+        merged = tl.coarsen(1)
+        assert len(merged.layers) == 1
+        assert merged.layers[0].params == ("w0", "w1", "w2")
+        assert merged.total_seconds == pytest.approx(tl.total_seconds)
+        assert len(tl.coarsen(10).layers) == 3  # clamped to layer count
+        with pytest.raises(ValueError):
+            tl.coarsen(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BackwardTimeline(())

@@ -69,3 +69,10 @@ def test_sharded_servers():
     out = run_example("sharded_servers.py", "--workers", "2")
     assert "Hottest server link" in out
     assert "3LC (s=1.00)" in out
+
+
+def test_overlap_sweep():
+    out = run_example("overlap_sweep.py", "--steps", "4")
+    assert "per-layer overlap" in out
+    assert "10Mbps" in out and "100Mbps" in out and "1Gbps" in out
+    assert "measured overlap" in out
