@@ -37,7 +37,7 @@ from repro.distributed.defaults import FUSION_BUCKET_ELEMENTS, SMALL_TENSOR_THRE
 from repro.distributed.worker import Worker
 from repro.exchange.sync import BSPMode, SyncMode, make_sync_mode
 from repro.exchange.topology import ExchangeTopology, make_topology
-from repro.netsim.events import StepTransmissions, TransmissionRecord
+from repro.netsim.events import StepTransmissions, TransmissionRecord, UpdateTransmissions
 from repro.network.traffic import StepTraffic, TrafficMeter
 from repro.nn.loss import SoftmaxCrossEntropy, accuracy
 from repro.nn.module import Module
@@ -84,10 +84,17 @@ class EngineConfig:
     fuse_small_tensors: bool = False
     #: Bucket capacity in elements for the fusion plan.
     bucket_elements: int = FUSION_BUCKET_ELEMENTS
-    #: Record per-message transmission plans (routes, bytes, frames) for
-    #: the discrete-event network simulator (BSP steps only). Off by
-    #: default: the per-step record lists every wire message.
+    #: Record transmission plans for the discrete-event network simulator.
+    #: BSP steps append per-step plans to ``ExchangeEngine.transmissions``;
+    #: async/SSP modes append per-update event streams (push/pull records
+    #: with logical timestamps and observed staleness) to
+    #: ``ExchangeEngine.update_events``. Off by default.
     record_transmissions: bool = False
+    #: Replace *measured* per-batch compute time with this constant for
+    #: scheduling (virtual clocks, barrier arrivals) and recording.
+    #: Wall-clock compute noise otherwise makes async scheduling orders
+    #: run-dependent; tests that golden-trace an event stream pin this.
+    fixed_compute_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -102,6 +109,8 @@ class EngineConfig:
             raise ValueError("staleness must be >= 0 or None")
         if self.bucket_elements < 1:
             raise ValueError("bucket_elements must be >= 1")
+        if self.fixed_compute_seconds is not None and self.fixed_compute_seconds <= 0:
+            raise ValueError("fixed_compute_seconds must be > 0 or None")
 
 
 @dataclass(frozen=True)
@@ -243,10 +252,24 @@ class ExchangeEngine:
             if isinstance(self.sync, BSPMode)
             else None
         )
+        if (
+            config.record_transmissions
+            and not self.sync.synchronous
+            and scheme.defers_transmission
+        ):
+            raise ValueError(
+                f"scheme defers transmissions, but recording "
+                f"{self.sync.name!r} event streams needs a push every "
+                "update; drop deferring schemes from async/SSP sweeps"
+            )
         self.traffic = TrafficMeter()
         #: Per-step transmission plans for the network simulator (filled
         #: only when ``record_transmissions`` is on and the mode is BSP).
         self.transmissions: list[StepTransmissions] = []
+        #: Per-update event streams for the event-driven simulator (filled
+        #: only when ``record_transmissions`` is on and the mode is
+        #: async/SSP).
+        self.update_events: list[UpdateTransmissions] = []
         self._routes: dict[str, str] = (
             self.topology.transmission_routes(self.service)
             if config.record_transmissions
@@ -283,6 +306,9 @@ class ExchangeEngine:
             }
             self._clock = {worker.worker_id: 0.0 for worker in self.workers}
             self._local_steps = {worker.worker_id: 0 for worker in self.workers}
+            # Global model version each worker last pulled: the commit-time
+            # gap to it is the update's observed staleness.
+            self._pull_step = {worker.worker_id: 0 for worker in self.workers}
 
     # -- properties --------------------------------------------------------
 
@@ -320,12 +346,17 @@ class ExchangeEngine:
                 evals.append(ExchangeEngine.evaluate(self, test_size=test_size))
         return evals
 
+    def _compute_base(self, batch) -> float:
+        """Compute seconds used for scheduling: measured, unless pinned."""
+        fixed = self.engine_config.fixed_compute_seconds
+        return fixed if fixed is not None else batch.compute_seconds
+
     def _arrivals(self, batches) -> dict[int, float]:
         """Straggler-scaled push-arrival times for the barrier."""
         step = self.service.global_step
         straggler = self.engine_config.straggler
         return {
-            worker.worker_id: batches[i].compute_seconds
+            worker.worker_id: self._compute_base(batches[i])
             * (straggler.multiplier(worker.worker_id, step) if straggler else 1.0)
             for i, worker in enumerate(self.workers)
         }
@@ -603,17 +634,18 @@ class ExchangeEngine:
         batch = worker.train_step()
 
         config = self.engine_config
+        local_step = self._local_steps[wid]
         multiplier = (
-            config.straggler.multiplier(wid, self._local_steps[wid])
-            if config.straggler
-            else 1.0
+            config.straggler.multiplier(wid, local_step) if config.straggler else 1.0
         )
-        self._clock[wid] += batch.compute_seconds * multiplier
+        compute_seconds = self._compute_base(batch) * multiplier
+        self._clock[wid] += compute_seconds
         self._local_steps[wid] += 1
 
         # The service applies this worker's (stale) gradient immediately.
         step = self.service.global_step
-        self.service.step([batch.messages], divisor=1)
+        staleness = step - self._pull_step[wid]
+        pull_batch = self.service.step([batch.messages], divisor=1)
         self.update_count += 1
 
         # Individual pull: compress (global - worker_view) deltas for this
@@ -624,14 +656,30 @@ class ExchangeEngine:
             num_workers=1,
             model_elements=self._model_elements(),
         )
-        for result in batch.messages.values():
+        pushes: list[TransmissionRecord] = []
+        recording = config.record_transmissions
+        for name, result in batch.messages.items():
             if result is None:
                 continue
             record.push_bytes += result.message.wire_size
             record.push_elements += result.message.element_count
             record.push_messages += 1
+            if recording:
+                pushes.append(
+                    TransmissionRecord(
+                        name=name,
+                        params=(name,),
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[name],
+                        worker=wid,
+                        phase="push",
+                    )
+                )
         deltas: dict[str, np.ndarray] = {}
+        pulls: list[TransmissionRecord] = []
         last = self._last_global[wid]
+        t0 = time.perf_counter()
         for name, param in self.service.params.items():
             context = self._pull_contexts[wid][name]
             increment = param.data - last[name]
@@ -643,8 +691,47 @@ class ExchangeEngine:
             record.pull_bytes_shared += result.message.wire_size
             record.pull_elements += result.message.element_count
             record.pull_messages += 1
+            if recording:
+                pulls.append(
+                    TransmissionRecord(
+                        name=name,
+                        params=(name,),
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[name],
+                        worker=wid,
+                        phase="pull",
+                    )
+                )
+        pull_compress_seconds = time.perf_counter() - t0
+        self._pull_step[wid] = self.service.global_step
         worker.apply_pull(deltas)
+        # Honest per-update accounting: this scheduling quantum computed on
+        # one worker and serialized one apply on the server (the discarded
+        # shared-pull compression stays uncharged).
+        record.compute_seconds = compute_seconds
+        record.codec_seconds = (
+            batch.compress_seconds
+            + pull_batch.decompress_seconds
+            + pull_compress_seconds
+        )
         self.traffic.record(record)
+        if recording:
+            self.update_events.append(
+                UpdateTransmissions(
+                    update=self.update_count - 1,
+                    worker=wid,
+                    local_step=local_step,
+                    global_step=step,
+                    staleness=staleness,
+                    clock_seconds=self._clock[wid],
+                    compute_seconds=compute_seconds,
+                    push_compress_seconds=batch.compress_seconds,
+                    server_seconds=pull_batch.decompress_seconds,
+                    pull_compress_seconds=pull_compress_seconds,
+                    records=tuple(pushes + pulls),
+                )
+            )
 
         return StepLog(
             step=step,

@@ -46,11 +46,14 @@ _FIGURE_LINKS = {"fig4": "10Mbps", "fig5": "100Mbps", "fig6": "1Gbps"}
 
 
 def _drop_deferring(schemes: tuple[str, ...]) -> tuple[str, ...]:
-    """Schemes that transmit every step (ring-compatible subset).
+    """Schemes that transmit every step (ring/event-recording subset).
 
-    A ring hop must carry *something* for the reduction to proceed, so
-    schedule-changing schemes (``defers_transmission``) are dropped from
-    ring sweeps instead of crashing mid-command.
+    A ring hop must carry *something* for the reduction to proceed, and an
+    async/SSP *event stream* records a push per update, so schedule-changing
+    schemes (``defers_transmission``) are dropped from ring sweeps and from
+    simulated (``--sim-overlap``) async/SSP sweeps instead of crashing
+    mid-command. Plain async/SSP training tolerates deferral (updates ride
+    the error buffers), so unsimulated sweeps keep those rows.
     """
     return tuple(
         name
@@ -126,7 +129,9 @@ def main(argv: list[str] | None = None) -> int:
         "--sim-overlap", action="store_true",
         help="derive per-link step times from the discrete-event network "
         "simulator (per-layer overlap scheduling, honest per-topology "
-        "link bottlenecks) instead of the calibrated overlap constant",
+        "link bottlenecks) instead of the calibrated overlap constant; "
+        "with --sync-mode async|ssp this replays per-update event streams "
+        "(per-worker virtual clocks, blocking SSP barriers)",
     )
     parser.add_argument(
         "--save", metavar="PATH", default=None,
@@ -141,6 +146,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards requires --topology sharded")
     if args.staleness is not None and args.sync_mode != "ssp":
         parser.error("--staleness requires --sync-mode ssp")
+    if args.sync_mode == "ssp" and args.staleness is None:
+        parser.error("--sync-mode ssp requires --staleness")
     overrides = {}
     if args.topology is not None:
         overrides["topology"] = args.topology
@@ -168,7 +175,9 @@ def main(argv: list[str] | None = None) -> int:
     overview_schemes = OVERVIEW_SCHEMES
     fast_schemes = FAST_SCHEMES
     figure7_schemes = FIGURE7_SCHEMES
-    if config.topology == "ring":
+    if config.topology == "ring" or (
+        config.sim_overlap and config.sync_mode in ("async", "ssp")
+    ):
         table1_schemes = _drop_deferring(table1_schemes)
         related_schemes = _drop_deferring(related_schemes)
         overview_schemes = _drop_deferring(overview_schemes)

@@ -68,6 +68,9 @@ class ExperimentConfig:
     #: per-layer overlap scheduling replaces the analytic model's
     #: calibrated overlap constant, and sharded/ring runs are charged
     #: per-link instead of through a fictitious shared server NIC.
+    #: Async/SSP runs replay per-update event streams through the
+    #: event-driven scheduler (per-worker virtual clocks, FIFO links,
+    #: blocking SSP barriers) instead of BSP step plans.
     sim_overlap: bool = False
 
     # Training budget and schedule (paper: 25,600 steps, cosine 0.1 -> 0.001
@@ -107,11 +110,8 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown sync mode {self.sync_mode!r}; expected one of {SYNC_MODES}"
             )
-        if self.sim_overlap and self.sync_mode != "bsp":
-            raise ValueError(
-                "sim_overlap replays BSP step timelines; async/SSP modes "
-                "have no global step to simulate"
-            )
+        if self.sync_mode == "ssp" and self.staleness is None:
+            raise ValueError("sync_mode='ssp' requires a staleness bound")
 
     # -- factories ---------------------------------------------------------
 

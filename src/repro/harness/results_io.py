@@ -38,9 +38,29 @@ def run_result_to_dict(result: RunResult) -> dict:
         "mean_step_seconds": dict(result.mean_step_seconds),
         "total_seconds": dict(result.total_seconds),
         "traffic_steps": [asdict(s) for s in result.traffic.steps],
+        # None means "the simulator didn't run" and must survive the round
+        # trip as None (not 0.0 or {}) — consumers branch on it.
         "achieved_overlap": (
             dict(result.achieved_overlap)
             if result.achieved_overlap is not None
+            else None
+        ),
+        "per_worker_throughput": (
+            {
+                link: {str(worker): value for worker, value in throughput.items()}
+                for link, throughput in result.per_worker_throughput.items()
+            }
+            if result.per_worker_throughput is not None
+            else None
+        ),
+        "staleness_distribution": (
+            {str(k): v for k, v in result.staleness_distribution.items()}
+            if result.staleness_distribution is not None
+            else None
+        ),
+        "link_utilization": (
+            {link: dict(util) for link, util in result.link_utilization.items()}
+            if result.link_utilization is not None
             else None
         ),
     }
@@ -52,6 +72,16 @@ def run_result_from_dict(data: dict) -> RunResult:
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported results format version {version!r}")
     meter = TrafficMeter(steps=[StepTraffic(**s) for s in data["traffic_steps"]])
+    # JSON object keys are strings; worker ids and staleness values are ints.
+    per_worker = data.get("per_worker_throughput")
+    if per_worker is not None:
+        per_worker = {
+            link: {int(worker): value for worker, value in throughput.items()}
+            for link, throughput in per_worker.items()
+        }
+    staleness = data.get("staleness_distribution")
+    if staleness is not None:
+        staleness = {int(k): v for k, v in staleness.items()}
     return RunResult(
         scheme=data["scheme"],
         fraction=data["fraction"],
@@ -66,6 +96,9 @@ def run_result_from_dict(data: dict) -> RunResult:
         total_seconds=data["total_seconds"],
         traffic=meter,
         achieved_overlap=data.get("achieved_overlap"),
+        per_worker_throughput=per_worker,
+        staleness_distribution=staleness,
+        link_utilization=data.get("link_utilization"),
     )
 
 

@@ -4,14 +4,22 @@ Replays one training step as a timeline of events — per-layer backward
 completions, per-worker codec pipelines, per-link transmissions — and
 reports the honest step time, the *measured* overlap fraction (replacing
 the analytic model's calibrated 0.9 constant), per-link utilization, and
-the critical path. See ARCHITECTURE.md's "how step times are computed".
+the critical path. Async/SSP runs replay per-*update* event streams
+instead (:class:`EventDrivenSimulator`): per-worker virtual clocks, FIFO
+link interleaving, and blocking SSP barriers, reporting per-worker
+throughput and the effective staleness distribution. See
+ARCHITECTURE.md's "how step times are computed".
 """
 
 from repro.netsim.events import (
+    SimulatedExchange,
     SimulatedRun,
     SimulatedStep,
+    SimulatedUpdate,
     StepTransmissions,
     TransmissionRecord,
+    UpdateTransmissions,
+    updates_from_bsp_steps,
 )
 from repro.netsim.links import (
     LinkModel,
@@ -19,18 +27,23 @@ from repro.netsim.links import (
     sharded_links,
     single_server_links,
 )
-from repro.netsim.scheduler import NetworkSimulator
+from repro.netsim.scheduler import EventDrivenSimulator, NetworkSimulator
 from repro.netsim.topology import link_model_for
 
 __all__ = [
     "TransmissionRecord",
     "StepTransmissions",
+    "UpdateTransmissions",
     "SimulatedStep",
     "SimulatedRun",
+    "SimulatedUpdate",
+    "SimulatedExchange",
+    "updates_from_bsp_steps",
     "LinkModel",
     "single_server_links",
     "sharded_links",
     "ring_links",
     "NetworkSimulator",
+    "EventDrivenSimulator",
     "link_model_for",
 ]

@@ -16,13 +16,17 @@ so the engine can populate them the same way it populates
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 __all__ = [
     "TransmissionRecord",
     "StepTransmissions",
+    "UpdateTransmissions",
     "SimulatedStep",
     "SimulatedRun",
+    "SimulatedUpdate",
+    "SimulatedExchange",
+    "updates_from_bsp_steps",
 ]
 
 #: Transmission phases: ``push`` and ``collective`` payloads can overlap
@@ -127,6 +131,128 @@ class StepTransmissions:
 
 
 @dataclass(frozen=True)
+class UpdateTransmissions:
+    """Everything the simulator needs to replay one async/SSP update.
+
+    Event-driven modes have no global step: the scheduling quantum is one
+    worker's push/apply/pull round-trip, so the engine records one event
+    per *update* instead of one plan per step. Logical timestamps pin the
+    event into the global order (``update`` is the commit index), the
+    worker's virtual clock locates it in modelled time, and ``staleness``
+    is the number of global model versions the pushed gradient was behind
+    at commit — the quantity whose distribution the simulator reports.
+
+    The codec components follow the engine's measurement convention:
+    ``push_compress`` is the worker's compression of this update's pushes,
+    ``server_seconds`` the server's decompress + apply, ``pull_compress``
+    the server-side compression of this worker's individual delta stream,
+    and ``pull_decompress`` the worker-side decode (zero today — the
+    engine applies the compression result's reconstruction directly).
+    """
+
+    #: Commit index in the global update order (logical timestamp).
+    update: int
+    worker: int
+    #: The worker's local step index (0-based) this update corresponds to.
+    local_step: int
+    #: Global model version the push was applied at (pre-apply).
+    global_step: int
+    #: Global versions between this worker's last pull and this commit.
+    staleness: int
+    #: Worker virtual clock (straggler-scaled compute time accumulated by
+    #: the engine) when the update was dispatched.
+    clock_seconds: float
+    compute_seconds: float
+    push_compress_seconds: float = 0.0
+    server_seconds: float = 0.0
+    pull_compress_seconds: float = 0.0
+    pull_decompress_seconds: float = 0.0
+    records: tuple[TransmissionRecord, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.staleness < 0:
+            raise ValueError(f"update {self.update}: negative staleness")
+
+    @property
+    def codec_seconds(self) -> float:
+        return (
+            self.push_compress_seconds
+            + self.server_seconds
+            + self.pull_compress_seconds
+            + self.pull_decompress_seconds
+        )
+
+    @property
+    def push_records(self) -> tuple[TransmissionRecord, ...]:
+        return tuple(r for r in self.records if r.phase in ("push", "collective"))
+
+    @property
+    def pull_records(self) -> tuple[TransmissionRecord, ...]:
+        return tuple(r for r in self.records if r.phase == "pull")
+
+    @property
+    def total_frames(self) -> int:
+        return sum(r.frames for r in self.records)
+
+
+def updates_from_bsp_steps(
+    steps, num_workers: int
+) -> tuple[UpdateTransmissions, ...]:
+    """Reshape a BSP recording into the lock-step update stream that an
+    SSP system at ``staleness=0`` would execute.
+
+    Each BSP step becomes one update per worker: push records keep their
+    recorded sending worker (collective records, which have none, ride
+    with worker 0), every worker receives one copy of each shared pull,
+    and the serialized server costs are split evenly so regrouping the
+    generation reproduces the step's totals exactly. This is the bridge
+    the staleness-0 parity test walks: feeding the result to the
+    event-driven scheduler must reproduce the BSP schedule.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    updates: list[UpdateTransmissions] = []
+    for local_step, st in enumerate(steps):
+        for worker in range(num_workers):
+            records: list[TransmissionRecord] = []
+            for r in st.records:
+                if r.phase == "pull":
+                    if r.frames < r.copies:
+                        raise ValueError(
+                            f"pull record {r.name!r} has {r.frames} frames "
+                            f"for {r.copies} copies; cannot split one "
+                            "physical copy per worker"
+                        )
+                    if worker < r.copies:
+                        # Conserve the frame total across the split so the
+                        # regrouped generation pays identical per-frame
+                        # overhead (remainder frames ride the first copies).
+                        frames = r.frames // r.copies + (
+                            1 if worker < r.frames % r.copies else 0
+                        )
+                        records.append(replace(r, copies=1, frames=frames))
+                elif (r.worker if r.worker is not None else 0) == worker:
+                    records.append(r)
+            updates.append(
+                UpdateTransmissions(
+                    update=local_step * num_workers + worker,
+                    worker=worker,
+                    local_step=local_step,
+                    global_step=local_step,
+                    staleness=0,
+                    clock_seconds=0.0,
+                    compute_seconds=st.compute_seconds,
+                    push_compress_seconds=st.push_compress_seconds,
+                    server_seconds=st.server_decompress_seconds / num_workers,
+                    pull_compress_seconds=st.server_compress_seconds / num_workers,
+                    pull_decompress_seconds=st.pull_decompress_seconds,
+                    records=tuple(records),
+                )
+            )
+    return tuple(updates)
+
+
+@dataclass(frozen=True)
 class SimulatedStep:
     """Simulator output for one step — the honest counterpart of the
     analytic model's ``step_seconds``.
@@ -210,3 +336,98 @@ class SimulatedRun:
             for link_id, utilization in step.link_utilization.items():
                 totals[link_id] = totals.get(link_id, 0.0) + utilization
         return {k: v / len(self.steps) for k, v in totals.items()}
+
+
+@dataclass(frozen=True)
+class SimulatedUpdate:
+    """Simulator output for one async/SSP update: where it sat on the
+    modelled timeline and how stale its gradient was."""
+
+    update: int
+    worker: int
+    #: When the worker began computing the gradient (after any SSP gate).
+    start_seconds: float
+    #: When the server applied the push (the global commit point).
+    commit_seconds: float
+    #: When the worker had decoded its pull and could proceed.
+    done_seconds: float
+    staleness: int
+
+
+@dataclass(frozen=True)
+class SimulatedExchange:
+    """Aggregate of one event-driven (async/SSP) simulated run.
+
+    ``achieved_overlap`` is the *measured* fraction of link-busy time that
+    ran concurrently with some worker's backward pass — the event-driven
+    counterpart of :attr:`SimulatedStep.hidden_fraction` (per-worker
+    compute has no single denominator once workers free-run, so the
+    communication-normalized fraction is the honest report).
+    ``serialized_seconds`` is the one-global-chain baseline (every
+    compute, codec, and transfer strictly sequential), so the ratio to
+    ``total_seconds`` measures what asynchrony plus overlap bought.
+    """
+
+    updates: tuple[SimulatedUpdate, ...]
+    total_seconds: float
+    compute_seconds: float
+    codec_seconds: float
+    comm_seconds: float
+    overhead_seconds: float
+    serialized_seconds: float
+    achieved_overlap: float
+    link_utilization: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.updates:
+            raise ValueError("a simulated exchange needs at least one update")
+
+    @property
+    def mean_update_seconds(self) -> float:
+        return self.total_seconds / len(self.updates)
+
+    @property
+    def updates_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return len(self.updates) / self.total_seconds
+
+    @property
+    def per_worker_updates(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for u in self.updates:
+            counts[u.worker] = counts.get(u.worker, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def per_worker_throughput(self) -> dict[int, float]:
+        """Committed updates per simulated second, per worker."""
+        if self.total_seconds <= 0:
+            return {w: 0.0 for w in self.per_worker_updates}
+        return {
+            worker: count / self.total_seconds
+            for worker, count in self.per_worker_updates.items()
+        }
+
+    @property
+    def staleness_histogram(self) -> dict[int, int]:
+        """Effective staleness distribution over committed updates."""
+        histogram: dict[int, int] = {}
+        for u in self.updates:
+            histogram[u.staleness] = histogram.get(u.staleness, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    @property
+    def mean_staleness(self) -> float:
+        return sum(u.staleness for u in self.updates) / len(self.updates)
+
+    @property
+    def max_staleness(self) -> int:
+        return max(u.staleness for u in self.updates)
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serialized chain time over event-driven wall time (>= 1)."""
+        if self.total_seconds <= 0:
+            return 1.0
+        return self.serialized_seconds / self.total_seconds

@@ -29,14 +29,25 @@ barriers buy.
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import replace
+from itertools import count
 
-from repro.netsim.events import SimulatedRun, SimulatedStep, StepTransmissions, TransmissionRecord
+from repro.netsim.events import (
+    SimulatedExchange,
+    SimulatedRun,
+    SimulatedStep,
+    SimulatedUpdate,
+    StepTransmissions,
+    TransmissionRecord,
+    UpdateTransmissions,
+)
 from repro.netsim.links import LinkModel
 from repro.network.timing import StepTimeModel
 from repro.nn.stats import BackwardTimeline
 
-__all__ = ["NetworkSimulator"]
+__all__ = ["NetworkSimulator", "EventDrivenSimulator"]
 
 
 class NetworkSimulator:
@@ -126,6 +137,50 @@ class NetworkSimulator:
         )
         return f"backward:{self._layer_of.get(last, 'end')}"
 
+    def _push_compressed_at(
+        self,
+        push_records,
+        compute: float,
+        push_cost: float,
+        *,
+        overlap: bool,
+    ) -> dict[int, float]:
+        """Compression-done times (relative to compute start) per record.
+
+        One serial pipeline per sending worker: records enter in
+        gradient-ready order and cost their element-share of the push
+        compression budget. Shared by the step replay and the per-update
+        event replay — the staleness-0 parity anchor requires the two to
+        schedule compression identically.
+        """
+        if not overlap:
+            return {i: compute + push_cost for i in range(len(push_records))}
+        pipeline_elements: dict[int | None, int] = {}
+        for record in push_records:
+            pipeline_elements[record.worker] = (
+                pipeline_elements.get(record.worker, 0) + record.elements
+            )
+        compressed_at: dict[int, float] = {}
+        pipeline_free: dict[int | None, float] = {}
+        ordered = sorted(
+            range(len(push_records)),
+            key=lambda i: (
+                self._grad_ready_seconds(push_records[i], compute),
+                push_records[i].name,
+            ),
+        )
+        for index in ordered:
+            record = push_records[index]
+            total = pipeline_elements[record.worker]
+            cost = push_cost * record.elements / total if total else 0.0
+            start = max(
+                self._grad_ready_seconds(record, compute),
+                pipeline_free.get(record.worker, 0.0),
+            )
+            compressed_at[index] = start + cost
+            pipeline_free[record.worker] = compressed_at[index]
+        return compressed_at
+
     # -- the event replay --------------------------------------------------
 
     def _replay(self, st: StepTransmissions, *, overlap: bool) -> SimulatedStep:
@@ -138,34 +193,9 @@ class NetworkSimulator:
 
         # -- push compression: one serial pipeline per sending worker ------
         push_cost = tm.codec_scale * st.push_compress_seconds
-        pipeline_elements: dict[int | None, int] = {}
-        for record in push_records:
-            pipeline_elements[record.worker] = (
-                pipeline_elements.get(record.worker, 0) + record.elements
-            )
-        compressed_at: dict[int, float] = {}
-        if overlap:
-            pipeline_free: dict[int | None, float] = {}
-            ordered = sorted(
-                range(len(push_records)),
-                key=lambda i: (
-                    self._grad_ready_seconds(push_records[i], compute),
-                    push_records[i].name,
-                ),
-            )
-            for index in ordered:
-                record = push_records[index]
-                total = pipeline_elements[record.worker]
-                cost = push_cost * record.elements / total if total else 0.0
-                start = max(
-                    self._grad_ready_seconds(record, compute),
-                    pipeline_free.get(record.worker, 0.0),
-                )
-                compressed_at[index] = start + cost
-                pipeline_free[record.worker] = compressed_at[index]
-        else:
-            for index in range(len(push_records)):
-                compressed_at[index] = compute + push_cost
+        compressed_at = self._push_compressed_at(
+            push_records, compute, push_cost, overlap=overlap
+        )
 
         # -- push transmission: FIFO per link ------------------------------
         link_free: dict[str, float] = {}
@@ -277,3 +307,402 @@ class NetworkSimulator:
                 path.append(f"xfer:{last_pull.route}:{last_pull.name}")
             path.append("pull-decompress")
         return tuple(path)
+
+
+# Event priorities: at equal timestamps, finish in-flight work (transfers,
+# server commits) before dispatching new work, so ready/gate state is
+# current when a worker starts its next local step.
+_P_XFER, _P_COMMIT, _P_PULLS, _P_ENQUEUE, _P_START = range(5)
+
+
+class EventDrivenSimulator:
+    """Replays recorded async/SSP update streams against a link model.
+
+    Where :class:`NetworkSimulator` replays one *global step* at a time,
+    this scheduler replays a stream of per-update events
+    (:class:`~repro.netsim.events.UpdateTransmissions`) with a virtual
+    clock per worker:
+
+    * each worker cycles compute → push compression → push transfer →
+      server apply (the commit) → individual pull transfer → pull decode,
+      with compute/codec durations taken from the recording;
+    * links are FIFO shared resources — updates from different workers
+      interleave in arrival order, so a hot server NIC honestly delays
+      whoever pushed last;
+    * the server is a serial resource: one decompress+apply+pull-compress
+      at a time, in push-arrival order;
+    * under SSP, a worker whose next local step would exceed the staleness
+      bound *blocks* until the lagging workers' commits release it — the
+      barrier is an event on the timeline, not a constant.
+
+    ``staleness=None`` is fully asynchronous (no gate); ``staleness=0``
+    degenerates to lock-step execution, which the simulator replays as
+    synchronized generations through the step scheduler — by construction
+    (and by test) the staleness-0 schedule reproduces the BSP schedule,
+    anchoring the event-driven modes to the calibrated BSP path.
+
+    With ``overlap=True``, push records enter the worker's compression
+    pipeline as their layer gradients become ready (same per-layer
+    timeline as the step scheduler); ``overlap=False`` holds every push
+    until compute and compression fully finish. Cross-worker pipelining is
+    inherent to the event-driven modes and happens in both cases;
+    ``SimulatedExchange.serialized_seconds`` reports the one-global-chain
+    baseline for comparison.
+    """
+
+    def __init__(
+        self,
+        timeline: BackwardTimeline,
+        link_model: LinkModel,
+        time_model: StepTimeModel | None = None,
+        *,
+        staleness: int | None = None,
+        overlap: bool = True,
+    ):
+        if staleness is not None and staleness < 0:
+            raise ValueError("staleness must be >= 0 or None")
+        self.staleness = staleness
+        self.overlap = bool(overlap)
+        self.link_model = link_model
+        self.time_model = time_model or StepTimeModel()
+        # The step scheduler carries the per-layer readiness machinery and
+        # replays the lock-step (staleness=0) generations.
+        self._steps = NetworkSimulator(
+            timeline,
+            link_model,
+            self.time_model,
+            overlap=overlap,
+            serialized_baseline=False,
+        )
+
+    # -- public API --------------------------------------------------------
+
+    def simulate(self, updates) -> SimulatedExchange:
+        """Replay a recorded update stream; see the class docstring."""
+        events = tuple(sorted(updates, key=lambda e: e.update))
+        if not events:
+            raise ValueError(
+                "no recorded update events to simulate — was the engine "
+                "built with record_transmissions=True in an async/SSP mode?"
+            )
+        if self.staleness == 0:
+            return self._simulate_lockstep(events)
+        return self._simulate_events(events)
+
+    # -- staleness=0: synchronized generations -----------------------------
+
+    @staticmethod
+    def _generation_step(generation: list[UpdateTransmissions]) -> StepTransmissions:
+        """Fold one lock-step generation into an equivalent BSP step.
+
+        Workers run in parallel (max compute / push-compress / pull
+        decode); the server serializes every update's apply and pull
+        compression (sums). The inverse of
+        :func:`~repro.netsim.events.updates_from_bsp_steps`.
+        """
+        return StepTransmissions(
+            step=generation[0].local_step,
+            compute_seconds=max(e.compute_seconds for e in generation),
+            push_compress_seconds=max(e.push_compress_seconds for e in generation),
+            server_decompress_seconds=sum(e.server_seconds for e in generation),
+            server_compress_seconds=sum(e.pull_compress_seconds for e in generation),
+            pull_decompress_seconds=max(
+                e.pull_decompress_seconds for e in generation
+            ),
+            records=tuple(r for e in generation for r in e.records),
+        )
+
+    def _simulate_lockstep(self, events) -> SimulatedExchange:
+        generations: dict[int, list[UpdateTransmissions]] = {}
+        for e in events:
+            generations.setdefault(e.local_step, []).append(e)
+        now = 0.0
+        sim_updates: list[SimulatedUpdate] = []
+        compute = codec = comm = overhead = hidden = 0.0
+        busy: dict[str, float] = {}
+        for local_step in sorted(generations):
+            generation = generations[local_step]
+            step = self._steps._replay(
+                self._generation_step(generation), overlap=self.overlap
+            )
+            end = now + step.step_seconds
+            sim_updates.extend(
+                SimulatedUpdate(
+                    update=e.update,
+                    worker=e.worker,
+                    start_seconds=now,
+                    commit_seconds=end,
+                    done_seconds=end,
+                    staleness=e.staleness,
+                )
+                for e in generation
+            )
+            compute += step.compute_seconds
+            codec += step.codec_seconds
+            comm += step.comm_seconds
+            overhead += step.overhead_seconds
+            hidden += step.hidden_seconds
+            for link_id, utilization in step.link_utilization.items():
+                busy[link_id] = busy.get(link_id, 0.0) + (
+                    utilization * step.step_seconds
+                )
+            now = end
+        return SimulatedExchange(
+            updates=tuple(sim_updates),
+            total_seconds=now,
+            compute_seconds=compute,
+            codec_seconds=codec,
+            comm_seconds=comm,
+            overhead_seconds=overhead,
+            serialized_seconds=compute + codec + comm + overhead,
+            achieved_overlap=(hidden / comm) if comm > 0 else 0.0,
+            link_utilization={
+                link_id: (busy.get(link_id, 0.0) / now if now else 0.0)
+                for link_id in self.link_model.link_ids
+            },
+        )
+
+    # -- async / staleness>0: the discrete-event loop ----------------------
+
+    def _simulate_events(self, events) -> SimulatedExchange:
+        tm = self.time_model
+        codec_scale = tm.codec_scale
+        pmo = tm.per_message_overhead
+
+        by_worker: dict[int, list[UpdateTransmissions]] = {}
+        for e in events:
+            by_worker.setdefault(e.worker, []).append(e)
+        workers = sorted(by_worker)
+
+        next_index = {w: 0 for w in workers}
+        ready = {w: 0.0 for w in workers}
+        committed = {w: 0 for w in workers}
+        blocked: set[int] = set()
+
+        link_queue: dict[str, deque] = {}
+        link_serving: dict[str, bool] = {}
+        link_busy: dict[str, float] = {}
+        server_free = 0.0
+
+        compute_intervals: list[tuple[float, float]] = []
+        transfer_intervals: list[tuple[float, float]] = []
+        finished: list[SimulatedUpdate] = []
+        totals = {"compute": 0.0, "codec": 0.0}
+
+        heap: list = []
+        sequence = count()
+
+        def schedule(time: float, priority: int, fn) -> None:
+            heapq.heappush(heap, (time, priority, next(sequence), fn))
+
+        def gate_open(w: int) -> bool:
+            """May worker ``w`` start its next local step now?"""
+            if self.staleness is None:
+                return True
+            k = next_index[w]
+            floor = k - self.staleness
+            return all(
+                committed[v] >= min(floor, len(by_worker[v])) for v in workers
+            )
+
+        # -- shared links: FIFO service in arrival order -------------------
+        def enqueue(route: str, duration: float, on_done, now: float) -> None:
+            queue = link_queue.setdefault(route, deque())
+            queue.append((duration, on_done))
+            if not link_serving.get(route, False):
+                serve_next(route, now)
+
+        def serve_next(route: str, now: float) -> None:
+            queue = link_queue[route]
+            if not queue:
+                link_serving[route] = False
+                return
+            link_serving[route] = True
+            duration, on_done = queue.popleft()
+            end = now + duration
+            transfer_intervals.append((now, end))
+            link_busy[route] = link_busy.get(route, 0.0) + duration
+
+            def finish(t: float) -> None:
+                on_done(t)
+                serve_next(route, t)
+
+            schedule(end, _P_XFER, finish)
+
+        # -- worker state machine ------------------------------------------
+        def start_update(w: int, now: float) -> None:
+            e = by_worker[w][next_index[w]]
+            compute = tm.compute_scale * e.compute_seconds
+            compute_end = now + compute
+            compute_intervals.append((now, compute_end))
+            totals["compute"] += compute
+            push_cost = codec_scale * e.push_compress_seconds
+            totals["codec"] += push_cost + codec_scale * (
+                e.server_seconds + e.pull_compress_seconds + e.pull_decompress_seconds
+            )
+            pushes = e.push_records
+            flight = {"event": e, "start": now, "pushes_left": len(pushes)}
+
+            if not pushes:
+                schedule(
+                    compute_end + push_cost,
+                    _P_ENQUEUE,
+                    lambda t, f=flight: pushes_arrived(f, t),
+                )
+                return
+            # Same per-worker compression pipeline as the step replay,
+            # offset to this update's compute start.
+            compressed_at = self._steps._push_compressed_at(
+                pushes, compute, push_cost, overlap=self.overlap
+            )
+            for index, record in enumerate(pushes):
+                schedule(
+                    now + compressed_at[index],
+                    _P_ENQUEUE,
+                    lambda t, r=record, f=flight: enqueue(
+                        r.route,
+                        self.link_model.transfer_seconds(r.route, r.total_bytes)
+                        + pmo * r.frames,
+                        lambda td, f=f: push_arrived(f, td),
+                        t,
+                    ),
+                )
+
+        def push_arrived(flight: dict, now: float) -> None:
+            flight["pushes_left"] -= 1
+            if flight["pushes_left"] == 0:
+                pushes_arrived(flight, now)
+
+        def pushes_arrived(flight: dict, now: float) -> None:
+            """All of this update's pushes reached the server: serialize
+            the apply (commit) and the per-worker pull compression."""
+            nonlocal server_free
+            e = flight["event"]
+            commit = max(now, server_free) + codec_scale * e.server_seconds
+            pulls_ready = commit + codec_scale * e.pull_compress_seconds
+            server_free = pulls_ready
+            flight["commit"] = commit
+            schedule(commit, _P_COMMIT, lambda t, f=flight: committed_at(f, t))
+            schedule(pulls_ready, _P_PULLS, lambda t, f=flight: send_pulls(f, t))
+
+        def committed_at(flight: dict, now: float) -> None:
+            w = flight["event"].worker
+            committed[w] += 1
+            for v in sorted(blocked):
+                if gate_open(v):
+                    blocked.discard(v)
+                    schedule(
+                        max(ready[v], now), _P_START, lambda t, v=v: start_update(v, t)
+                    )
+
+        def send_pulls(flight: dict, now: float) -> None:
+            e = flight["event"]
+            pulls = e.pull_records
+            flight["pulls_left"] = len(pulls)
+            if not pulls:
+                update_done(flight, now)
+                return
+            for record in pulls:
+                enqueue(
+                    record.route,
+                    self.link_model.transfer_seconds(record.route, record.total_bytes)
+                    + pmo * record.frames,
+                    lambda t, f=flight: pull_arrived(f, t),
+                    now,
+                )
+
+        def pull_arrived(flight: dict, now: float) -> None:
+            flight["pulls_left"] -= 1
+            if flight["pulls_left"] == 0:
+                update_done(flight, now)
+
+        def update_done(flight: dict, now: float) -> None:
+            e = flight["event"]
+            w = e.worker
+            done = now + codec_scale * e.pull_decompress_seconds
+            ready[w] = done
+            finished.append(
+                SimulatedUpdate(
+                    update=e.update,
+                    worker=w,
+                    start_seconds=flight["start"],
+                    commit_seconds=flight["commit"],
+                    done_seconds=done,
+                    staleness=e.staleness,
+                )
+            )
+            next_index[w] += 1
+            if next_index[w] < len(by_worker[w]):
+                if gate_open(w):
+                    schedule(done, _P_START, lambda t, w=w: start_update(w, t))
+                else:
+                    blocked.add(w)
+
+        for w in workers:
+            if gate_open(w):
+                schedule(0.0, _P_START, lambda t, w=w: start_update(w, t))
+            else:  # pragma: no cover - first steps are never gated
+                blocked.add(w)
+
+        while heap:
+            time, _, _, fn = heapq.heappop(heap)
+            fn(time)
+
+        if len(finished) != len(events):  # pragma: no cover - invariant
+            raise RuntimeError(
+                f"event replay finished {len(finished)}/{len(events)} updates; "
+                "the recorded stream is not a consistent SSP schedule"
+            )
+
+        total = max(u.done_seconds for u in finished)
+        comm = sum(
+            self.link_model.transfer_seconds(r.route, r.total_bytes)
+            for e in events
+            for r in e.records
+        )
+        overhead = pmo * sum(e.total_frames for e in events)
+        return SimulatedExchange(
+            updates=tuple(sorted(finished, key=lambda u: u.update)),
+            total_seconds=total,
+            compute_seconds=totals["compute"],
+            codec_seconds=totals["codec"],
+            comm_seconds=comm,
+            overhead_seconds=overhead,
+            serialized_seconds=totals["compute"] + totals["codec"] + comm + overhead,
+            achieved_overlap=_hidden_fraction(compute_intervals, transfer_intervals),
+            link_utilization={
+                link_id: (link_busy.get(link_id, 0.0) / total if total else 0.0)
+                for link_id in self.link_model.link_ids
+            },
+        )
+
+
+def _hidden_fraction(
+    compute_intervals: list[tuple[float, float]],
+    transfer_intervals: list[tuple[float, float]],
+) -> float:
+    """Measured share of link-busy time that ran under some worker's
+    compute — the event-driven overlap metric (no modelling, pure
+    interval intersection on the simulated timeline)."""
+    total = sum(end - start for start, end in transfer_intervals)
+    if total <= 0:
+        return 0.0
+    merged: list[list[float]] = []
+    for start, end in sorted(compute_intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    # Both interval lists are sorted, so one pointer sweep suffices: a
+    # compute interval ending before this transfer's start cannot overlap
+    # any later transfer either. O((T + C) log T) instead of O(T * C).
+    hidden = 0.0
+    base = 0
+    for start, end in sorted(transfer_intervals):
+        while base < len(merged) and merged[base][1] <= start:
+            base += 1
+        for c_start, c_end in merged[base:]:
+            if c_start >= end:
+                break
+            hidden += max(0.0, min(end, c_end) - max(start, c_start))
+    return hidden / total
