@@ -28,6 +28,9 @@ from repro.exchange.sync import (
 from repro.exchange.topology import (
     TOPOLOGIES,
     ExchangeTopology,
+    HierarchicalExchangeService,
+    HierarchicalOutcome,
+    HierarchicalTopology,
     RingExchangeService,
     RingOutcome,
     RingTopology,
@@ -53,6 +56,9 @@ __all__ = [
     "RingTopology",
     "RingExchangeService",
     "RingOutcome",
+    "HierarchicalTopology",
+    "HierarchicalExchangeService",
+    "HierarchicalOutcome",
     "make_topology",
     "TOPOLOGIES",
 ]

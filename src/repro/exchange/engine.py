@@ -36,7 +36,11 @@ from repro.distributed.barriers import StragglerSpec
 from repro.distributed.defaults import FUSION_BUCKET_ELEMENTS, SMALL_TENSOR_THRESHOLD
 from repro.distributed.worker import Worker
 from repro.exchange.sync import BSPMode, SyncMode, make_sync_mode
-from repro.exchange.topology import ExchangeTopology, make_topology
+from repro.exchange.topology import (
+    ExchangeTopology,
+    HierarchicalExchangeService,
+    make_topology,
+)
 from repro.netsim.events import StepTransmissions, TransmissionRecord, UpdateTransmissions
 from repro.network.traffic import StepTraffic, TrafficMeter
 from repro.nn.loss import SoftmaxCrossEntropy, accuracy
@@ -66,10 +70,16 @@ class EngineConfig:
     small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD
     augment_pad: int = 2
     seed: int = 0
-    #: Exchange plan: "single" | "sharded" | "ring".
+    #: Exchange plan: "single" | "sharded" | "ring" | "hier".
     topology: str = "single"
     #: Synchronization: "bsp" | "async" | "ssp".
     sync_mode: str = "bsp"
+    #: Hierarchical topology shape: ``racks`` contiguous racks of
+    #: ``rack_size`` workers (must multiply to ``num_workers``); the
+    #: cross-rack tier reuses the single-server or sharded service.
+    racks: int = 2
+    rack_size: int = 2
+    hier_upper: str = "single"
     #: Backup workers (paper §2.1, BSP only): a global step proceeds once
     #: ``num_workers - backup_workers`` pushes arrive; the rest are dropped.
     backup_workers: int = 0
@@ -111,6 +121,24 @@ class EngineConfig:
             raise ValueError("bucket_elements must be >= 1")
         if self.fixed_compute_seconds is not None and self.fixed_compute_seconds <= 0:
             raise ValueError("fixed_compute_seconds must be > 0 or None")
+        if self.topology == "hier":
+            if self.racks < 1:
+                raise ValueError(f"racks must be >= 1, got {self.racks}")
+            if self.rack_size < 2:
+                raise ValueError(
+                    f"a rack ring needs >= 2 workers, got rack_size={self.rack_size}"
+                )
+            if self.racks * self.rack_size != self.num_workers:
+                raise ValueError(
+                    f"num_workers={self.num_workers} is not divisible into "
+                    f"{self.racks} racks of {self.rack_size} "
+                    "(racks * rack_size must equal num_workers)"
+                )
+            if self.sync_mode in ("async", "ssp") and self.racks < 2:
+                raise ValueError(
+                    "async/SSP hierarchical runs need >= 2 racks; one rack "
+                    "has no cross-rack tier to relax"
+                )
 
 
 @dataclass(frozen=True)
@@ -170,9 +198,15 @@ class ExchangeEngine:
             staleness=config.staleness,
         )
         self.topology: ExchangeTopology = make_topology(
-            config.topology, num_shards=config.num_shards
+            config.topology,
+            num_shards=config.num_shards,
+            racks=config.racks,
+            rack_size=config.rack_size,
+            hier_upper=config.hier_upper,
         )
-        if self.topology.wants_raw_gradients and not isinstance(self.sync, BSPMode):
+        if not self.topology.supports_event_modes and not isinstance(
+            self.sync, BSPMode
+        ):
             raise ValueError(
                 f"topology {self.topology.name!r} is a synchronous collective; "
                 f"it cannot run under sync mode {self.sync.name!r}"
@@ -279,36 +313,43 @@ class ExchangeEngine:
         self._test_cache: tuple[np.ndarray, np.ndarray] | None = None
         self.update_count = 0
 
-        # Event-driven state (async / SSP modes).
+        # Event-driven state (async / SSP modes). The scheduling unit is
+        # one worker — or one *rack* under the hierarchical topology,
+        # which is synchronous inside a rack and asynchronous across
+        # racks (racks push their ring-reduced aggregate independently).
         if not self.sync.synchronous:
             prefix = self.sync.pull_key_prefix
+            units = (
+                list(range(config.racks))
+                if self._is_hierarchical
+                else [worker.worker_id for worker in self.workers]
+            )
             self._pull_contexts = {
-                worker.worker_id: {
+                unit: {
                     name: (
                         scheme.make_bypass_context(
-                            param.shape, key=(prefix, worker.worker_id, name)
+                            param.shape, key=(prefix, unit, name)
                         )
                         if name in self.service.bypassed
                         else scheme.make_context(
-                            param.shape, key=(prefix, worker.worker_id, name)
+                            param.shape, key=(prefix, unit, name)
                         )
                     )
                     for name, param in self.service.params.items()
                 }
-                for worker in self.workers
+                for unit in units
             }
-            # Global state at each worker's last pull: the pull context is
+            # Global state at each unit's last pull: the pull context is
             # fed only the increment since then; its own error buffer
             # carries whatever compression deferred.
             self._last_global = {
-                worker.worker_id: self.service.state_dict()
-                for worker in self.workers
+                unit: self.service.state_dict() for unit in units
             }
-            self._clock = {worker.worker_id: 0.0 for worker in self.workers}
-            self._local_steps = {worker.worker_id: 0 for worker in self.workers}
-            # Global model version each worker last pulled: the commit-time
+            self._clock = {unit: 0.0 for unit in units}
+            self._local_steps = {unit: 0 for unit in units}
+            # Global model version each unit last pulled: the commit-time
             # gap to it is the update's observed staleness.
-            self._pull_step = {worker.worker_id: 0 for worker in self.workers}
+            self._pull_step = {unit: 0 for unit in units}
 
     # -- properties --------------------------------------------------------
 
@@ -316,15 +357,30 @@ class ExchangeEngine:
     def global_step(self) -> int:
         return self.service.global_step
 
+    @property
+    def _is_hierarchical(self) -> bool:
+        return isinstance(self.service, HierarchicalExchangeService)
+
     def _model_elements(self) -> int:
         return sum(p.size for p in self.service.params.values())
+
+    def _rack_workers(self, rack: int) -> list[Worker]:
+        """The contiguous worker group forming one rack."""
+        size = self.engine_config.rack_size
+        return self.workers[rack * size : (rack + 1) * size]
 
     # -- training ----------------------------------------------------------
 
     def train_step(self) -> StepLog:
         """Run one scheduling quantum: a full BSP step, or one async update."""
         if not self.sync.synchronous:
-            log = self._async_update()
+            log = (
+                self._hier_async_update()
+                if self._is_hierarchical
+                else self._async_update()
+            )
+        elif self._is_hierarchical:
+            log = self._hier_step()
         elif self.topology.wants_raw_gradients:
             log = self._ring_step()
         else:
@@ -617,6 +673,167 @@ class ExchangeEngine:
             learning_rate=self.service.schedule(step),
         )
 
+    def _hier_step(self) -> StepLog:
+        """One BSP step over the two-tier exchange: rack rings, then the
+        cross-rack service, then the shared deltas fan back down."""
+        step = self.service.global_step
+        config = self.engine_config
+
+        batches = [worker.train_step_raw() for worker in self.workers]
+        decision = self.barrier.decide(self._arrivals(batches))
+        outcome = self.service.exchange([b.grads for b in batches])
+        for worker in self.workers:
+            worker.apply_pull(outcome.deltas)
+
+        racks, rack_size = config.racks, config.rack_size
+        has_cross = racks > 1
+        record = StepTraffic(
+            step=step,
+            # Every worker receives one physical copy of each shared
+            # cross-rack pull: one copy per rack crosses the uplink, then
+            # rack_size - 1 more circulate the rack ring.
+            pull_fanout=config.num_workers if has_cross else 0,
+            num_workers=config.num_workers,
+            model_elements=self._model_elements(),
+        )
+        record.push_bytes = outcome.intra_wire_bytes + outcome.cross_push_bytes
+        record.push_elements = outcome.intra_elements + outcome.cross_push_elements
+        cross_push_count = sum(
+            1
+            for messages in outcome.cross_push_results
+            for result in messages.values()
+            if result is not None
+        )
+        record.push_messages = outcome.ring_frames + cross_push_count
+        record.pull_bytes_shared = outcome.cross_pull_bytes
+        record.pull_elements = outcome.cross_pull_elements
+        record.pull_messages = sum(
+            1 for result in outcome.pull_messages.values() if result is not None
+        )
+        record.intra_rack_bytes = (
+            outcome.intra_wire_bytes
+            + outcome.cross_pull_bytes * racks * (rack_size - 1)
+        )
+        record.cross_rack_bytes = (
+            outcome.cross_push_bytes + outcome.cross_pull_bytes * racks
+        )
+        record.compute_seconds = decision.compute_seconds
+        # Critical path: the slowest rack's serial (ring + uplink codec)
+        # pipeline, the upper service's serialized decompress + compress,
+        # and one shared decode of the pulled deltas.
+        record.codec_seconds = (
+            outcome.push_compress_seconds
+            + outcome.server_decompress_seconds
+            + outcome.server_compress_seconds
+            + outcome.pull_decompress_seconds
+        )
+        self.traffic.record(record)
+        if config.record_transmissions:
+            self.transmissions.append(
+                StepTransmissions(
+                    step=step,
+                    compute_seconds=decision.compute_seconds,
+                    push_compress_seconds=outcome.push_compress_seconds,
+                    server_decompress_seconds=outcome.server_decompress_seconds,
+                    server_compress_seconds=outcome.server_compress_seconds,
+                    pull_decompress_seconds=outcome.pull_decompress_seconds,
+                    records=tuple(
+                        self._hier_push_records(outcome)
+                        + self._hier_pull_records(outcome)
+                    ),
+                )
+            )
+        self.update_count += 1
+
+        return StepLog(
+            step=step,
+            train_loss=float(np.mean([b.loss for b in batches])),
+            learning_rate=self.service.schedule(step),
+        )
+
+    def _hier_push_records(
+        self, outcome
+    ) -> list[TransmissionRecord]:
+        """Tier-coupled upward records: per-rack collectives on the fast
+        rack channels, then per-rack compressed aggregates on the cross
+        uplinks, each depending on its rack's collective."""
+        rack_size = self.engine_config.rack_size
+        frames_per_tensor = 2 * (rack_size - 1)
+        records: list[TransmissionRecord] = []
+        for position, rack in enumerate(outcome.rack_indices):
+            leader = rack * rack_size
+            link_bytes = outcome.per_rack_link_bytes[position]
+            for name in self.service.params:
+                records.append(
+                    TransmissionRecord(
+                        name=f"{name}@rack{rack}",
+                        params=(name,),
+                        wire_bytes=link_bytes.get(name, 0),
+                        elements=outcome.per_tensor_elements.get(name, 0),
+                        route=f"rack{rack}",
+                        worker=leader,
+                        phase="collective",
+                        frames=frames_per_tensor,
+                    )
+                )
+        for position, rack in enumerate(outcome.rack_indices):
+            if position >= len(outcome.cross_push_results):
+                break
+            leader = rack * rack_size
+            for name, result in outcome.cross_push_results[position].items():
+                if result is None:
+                    continue
+                records.append(
+                    TransmissionRecord(
+                        name=f"{name}@up{rack}",
+                        params=(name,),
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[name],
+                        worker=leader,
+                        phase="push",
+                        depends_on=(f"{name}@rack{rack}",),
+                    )
+                )
+        return records
+
+    def _hier_pull_records(self, outcome) -> list[TransmissionRecord]:
+        """Downward records for a BSP step: one shared pull copy per rack
+        over the cross tier, then an intra-rack pipeline broadcast per
+        rack depending on it."""
+        racks = self.engine_config.racks
+        rack_size = self.engine_config.rack_size
+        records: list[TransmissionRecord] = []
+        for name, result in outcome.pull_messages.items():
+            if result is None:
+                continue
+            records.append(
+                TransmissionRecord(
+                    name=name,
+                    params=(name,),
+                    wire_bytes=result.message.wire_size,
+                    elements=result.message.element_count,
+                    route=self._routes[name],
+                    copies=racks,
+                    phase="pull",
+                    frames=racks,
+                )
+            )
+            for rack in range(racks):
+                records.append(
+                    TransmissionRecord(
+                        name=f"{name}@bcast{rack}",
+                        params=(name,),
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=f"rack{rack}",
+                        phase="pull",
+                        frames=rack_size - 1,
+                        depends_on=(name,),
+                    )
+                )
+        return records
+
     # -- event-driven scheduling (async / SSP) -----------------------------
 
     def _next_worker(self) -> int:
@@ -736,6 +953,141 @@ class ExchangeEngine:
         return StepLog(
             step=step,
             train_loss=batch.loss,
+            learning_rate=self.service.schedule(step),
+        )
+
+    def _hier_async_update(self) -> StepLog:
+        """One rack's asynchronous update: the rack steps synchronously
+        (ring all-reduce over its members), then exchanges with the
+        cross-rack service on its own clock — intra-rack BSP, inter-rack
+        async/SSP, with staleness observed at rack granularity."""
+        rack = self._next_worker()
+        workers = self._rack_workers(rack)
+        batches = [worker.train_step_raw() for worker in workers]
+
+        config = self.engine_config
+        rack_size = config.rack_size
+        local_step = self._local_steps[rack]
+        straggler = config.straggler
+        # The rack commits when its slowest member finishes computing.
+        compute_seconds = max(
+            self._compute_base(batch)
+            * (
+                straggler.multiplier(worker.worker_id, local_step)
+                if straggler
+                else 1.0
+            )
+            for worker, batch in zip(workers, batches)
+        )
+        self._clock[rack] += compute_seconds
+        self._local_steps[rack] += 1
+
+        step = self.service.global_step
+        staleness = step - self._pull_step[rack]
+        outcome = self.service.rack_exchange(rack, [b.grads for b in batches])
+        self.update_count += 1
+
+        record = StepTraffic(
+            step=self.update_count - 1,
+            # This rack's pull: one copy over the uplink plus the
+            # rack-internal re-broadcast — one physical copy per member.
+            pull_fanout=rack_size,
+            num_workers=rack_size,
+            model_elements=self._model_elements(),
+        )
+        record.push_bytes = outcome.intra_wire_bytes + outcome.cross_push_bytes
+        record.push_elements = outcome.intra_elements + outcome.cross_push_elements
+        cross_push_count = sum(
+            1
+            for result in outcome.cross_push_results[0].values()
+            if result is not None
+        )
+        record.push_messages = outcome.ring_frames + cross_push_count
+        record.intra_rack_bytes = outcome.intra_wire_bytes
+        record.cross_rack_bytes = outcome.cross_push_bytes
+
+        recording = config.record_transmissions
+        pushes: list[TransmissionRecord] = (
+            self._hier_push_records(outcome) if recording else []
+        )
+
+        # Individual pull: compress (global - rack_view) deltas for this
+        # rack only, via its personal error-feedback contexts; the result
+        # crosses the uplink once and circulates the rack ring.
+        deltas: dict[str, np.ndarray] = {}
+        pulls: list[TransmissionRecord] = []
+        last = self._last_global[rack]
+        t0 = time.perf_counter()
+        for name, param in self.service.params.items():
+            context = self._pull_contexts[rack][name]
+            increment = param.data - last[name]
+            last[name] = param.data.copy()
+            result = context.compress(increment)
+            if result is None:  # deferred (local-steps); buffered in context
+                continue
+            deltas[name] = result.reconstruction
+            record.pull_bytes_shared += result.message.wire_size
+            record.pull_elements += result.message.element_count
+            record.pull_messages += 1
+            record.cross_rack_bytes += result.message.wire_size
+            record.intra_rack_bytes += result.message.wire_size * (rack_size - 1)
+            if recording:
+                pulls.append(
+                    TransmissionRecord(
+                        name=f"{name}@down{rack}",
+                        params=(name,),
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[name],
+                        worker=rack,
+                        phase="pull",
+                    )
+                )
+                pulls.append(
+                    TransmissionRecord(
+                        name=f"{name}@bcast{rack}",
+                        params=(name,),
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=f"rack{rack}",
+                        worker=rack,
+                        phase="pull",
+                        frames=rack_size - 1,
+                        depends_on=(f"{name}@down{rack}",),
+                    )
+                )
+        pull_compress_seconds = time.perf_counter() - t0
+        self._pull_step[rack] = self.service.global_step
+        for worker in workers:
+            worker.apply_pull(deltas)
+
+        record.compute_seconds = compute_seconds
+        record.codec_seconds = (
+            outcome.push_compress_seconds
+            + outcome.server_decompress_seconds
+            + pull_compress_seconds
+        )
+        self.traffic.record(record)
+        if recording:
+            self.update_events.append(
+                UpdateTransmissions(
+                    update=self.update_count - 1,
+                    worker=rack,
+                    local_step=local_step,
+                    global_step=step,
+                    staleness=staleness,
+                    clock_seconds=self._clock[rack],
+                    compute_seconds=compute_seconds,
+                    push_compress_seconds=outcome.push_compress_seconds,
+                    server_seconds=outcome.server_decompress_seconds,
+                    pull_compress_seconds=pull_compress_seconds,
+                    records=tuple(pushes + pulls),
+                )
+            )
+
+        return StepLog(
+            step=step,
+            train_loss=float(np.mean([b.loss for b in batches])),
             learning_rate=self.service.schedule(step),
         )
 

@@ -14,6 +14,12 @@ topologies ship:
   compression, the serverless alternative the paper contrasts against.
   Workers hand over *raw* gradients (``wants_raw_gradients``); compression
   happens inside the collective, so per-worker push contexts do not exist.
+* :class:`HierarchicalTopology` — the first *composed* topology: workers
+  are grouped into racks, each rack runs a ring all-reduce over its fast
+  local links, and one 3LC-compressed aggregate per rack crosses the
+  scarce uplink to a cross-rack parameter service (a single server or a
+  sharded service, reused as the upper tier). This is the regime the
+  paper targets — compression matters most where bandwidth is scarcest.
 
 All services expose the :class:`~repro.distributed.server.ParameterServer`
 surface the engine relies on: ``step``/``exchange``, ``state_dict``,
@@ -24,10 +30,11 @@ from __future__ import annotations
 
 import abc
 import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compression.base import Compressor
+from repro.compression.base import Compressor, CompressionResult
 from repro.compression.fusion import FusionPlan
 from repro.distributed.allreduce import RingAllReduce
 from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
@@ -43,6 +50,9 @@ __all__ = [
     "RingTopology",
     "RingExchangeService",
     "RingOutcome",
+    "HierarchicalTopology",
+    "HierarchicalExchangeService",
+    "HierarchicalOutcome",
     "make_topology",
     "TOPOLOGIES",
 ]
@@ -57,6 +67,11 @@ class ExchangeTopology(abc.ABC):
     wants_raw_gradients: bool = False
     #: True when the topology can exchange fused small-tensor buckets.
     supports_fusion: bool = False
+    #: True when the topology can run under async/SSP scheduling. A flat
+    #: ring cannot (the collective is globally synchronous); the
+    #: hierarchical topology can — racks are synchronous internally but
+    #: exchange with the cross-rack service asynchronously.
+    supports_event_modes: bool = True
 
     @abc.abstractmethod
     def build_service(
@@ -304,6 +319,7 @@ class RingTopology(ExchangeTopology):
 
     name = "ring"
     wants_raw_gradients = True
+    supports_event_modes = False
 
     def build_service(
         self,
@@ -335,11 +351,504 @@ class RingTopology(ExchangeTopology):
         return {name: "ring" for name in service.params}
 
 
+@dataclass
+class HierarchicalOutcome:
+    """Result of one hierarchical exchange (a full BSP step, or one
+    rack's asynchronous update).
+
+    Intra-rack quantities follow the ring conventions: ``intra_wire_bytes``
+    is the all-links sum while ``per_rack_link_bytes`` holds each rack's
+    busiest-single-link bytes per tensor (the honest per-channel volume
+    the simulator schedules). Cross-rack quantities are point-to-point:
+    compressed rack aggregates up, shared compressed deltas down.
+    """
+
+    #: Model deltas every worker applies (``None`` for async rack
+    #: updates — the engine compresses per-rack pull increments itself).
+    deltas: dict[str, np.ndarray] | None
+    #: Which racks participated (all of them for a BSP step).
+    rack_indices: tuple[int, ...]
+    #: Per participating rack: tensor -> busiest-hop-link bytes.
+    per_rack_link_bytes: tuple[dict[str, int], ...]
+    #: Per-tensor transmitted elements on one rack ring (2 (W-1)/W of it).
+    per_tensor_elements: dict[str, int]
+    intra_wire_bytes: int
+    intra_elements: int
+    #: Total intra-rack wire frames (all hop links of all racks).
+    ring_frames: int
+    #: Per participating rack: ring-reduce codec seconds.
+    rack_codec_seconds: tuple[float, ...]
+    #: Per participating rack: cross-push results keyed by tensor.
+    cross_push_results: tuple[dict[str, CompressionResult | None], ...]
+    #: Per participating rack: uplink compression seconds.
+    cross_compress_seconds: tuple[float, ...]
+    cross_push_bytes: int
+    cross_push_elements: int
+    #: Shared cross-rack pull messages (BSP only; empty for rack updates).
+    pull_messages: dict[str, CompressionResult | None] = field(
+        default_factory=dict
+    )
+    cross_pull_bytes: int = 0
+    cross_pull_elements: int = 0
+    server_decompress_seconds: float = 0.0
+    server_compress_seconds: float = 0.0
+    pull_decompress_seconds: float = 0.0
+
+    @property
+    def push_compress_seconds(self) -> float:
+        """Slowest rack's serial (ring codec + uplink compress) pipeline —
+        the critical-path push-compression convention."""
+        return max(
+            codec + compress
+            for codec, compress in zip(
+                self.rack_codec_seconds, self.cross_compress_seconds
+            )
+        )
+
+
+class HierarchicalExchangeService:
+    """Two-tier exchange: rack-local rings feeding a cross-rack service.
+
+    Workers are grouped into ``racks`` contiguous racks of ``rack_size``
+    (worker ``w`` lives in rack ``w // rack_size``). One exchange runs in
+    two dependent phases:
+
+    1. **intra-rack** — every rack ring-all-reduces its members' raw
+       gradients over the fast local links (per-hop compression contexts,
+       exactly as :class:`RingExchangeService`), producing one averaged
+       gradient per rack;
+    2. **cross-rack** — each rack compresses its aggregate through a
+       persistent per-rack uplink context (3LC error feedback corrects
+       the scarce link across steps) and pushes it to the upper
+       parameter service — a :class:`~repro.distributed.server.ParameterServer`
+       or a :class:`~repro.distributed.sharding.ShardedParameterService`
+       reused unchanged — which aggregates over racks, updates the global
+       model, and compresses shared model deltas that flow back down one
+       copy per rack and are then re-broadcast over the rack rings.
+
+    With a single rack no cross-rack tier exists (the service *is* in the
+    rack), so the exchange degenerates to a wrapped
+    :class:`RingExchangeService` — bit-exact with ``RingTopology`` by
+    construction, which the hierarchical parity test pins.
+
+    Per-rack ring contexts are independent objects but share stream keys
+    across racks (the underlying :class:`RingAllReduce` keys by
+    ``(phase, sender, chunk)``); stochastic schemes therefore draw the
+    same per-hop streams in every rack, which is deterministic and keeps
+    the 1-rack case exactly the plain ring.
+    """
+
+    wants_raw_gradients = True
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        optimizer_factory,
+        schedule: Schedule,
+        scheme: Compressor,
+        *,
+        racks: int,
+        rack_size: int,
+        upper_worker_slots: int | None = None,
+        upper: str = "single",
+        num_shards: int = 2,
+        small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD,
+    ):
+        if racks < 1:
+            raise ValueError(f"racks must be >= 1, got {racks}")
+        if rack_size < 2:
+            raise ValueError(
+                f"a rack ring needs >= 2 workers, got rack_size={rack_size}"
+            )
+        self.racks = int(racks)
+        self.rack_size = int(rack_size)
+        self.schedule = schedule
+        self.scheme = scheme
+        self.small_tensor_threshold = int(small_tensor_threshold)
+        self.upper: ParameterServer | ShardedParameterService | None = None
+        self._flat: RingExchangeService | None = None
+
+        if self.racks == 1:
+            # One rack: every worker shares the fast fabric with the
+            # parameter state; no bytes cross a rack boundary and the
+            # exchange IS the plain ring.
+            self._flat = RingExchangeService(
+                parameters,
+                optimizer_factory(),
+                schedule,
+                scheme,
+                num_workers=self.rack_size,
+                small_tensor_threshold=small_tensor_threshold,
+            )
+            self.params = self._flat.params
+            self.rack_rings = [self._flat.rings]
+            self.cross_push_contexts: list[dict] = []
+            return
+
+        if upper_worker_slots is None:
+            upper_worker_slots = self.racks
+        if upper == "single":
+            self.upper = ParameterServer(
+                parameters,
+                optimizer_factory(),
+                schedule,
+                scheme,
+                upper_worker_slots,
+                small_tensor_threshold=small_tensor_threshold,
+            )
+        elif upper == "sharded":
+            self.upper = ShardedParameterService(
+                parameters,
+                optimizer_factory,
+                schedule,
+                scheme,
+                num_workers=upper_worker_slots,
+                num_shards=num_shards,
+                small_tensor_threshold=small_tensor_threshold,
+            )
+        else:
+            raise ValueError(
+                f"unknown upper tier {upper!r}; expected 'single' or 'sharded'"
+            )
+        self.params = self.upper.params
+        bypassed = self.bypassed
+        self.rack_rings = [
+            {
+                name: RingAllReduce(
+                    self.rack_size,
+                    param.shape,
+                    compressor=None if name in bypassed else scheme,
+                )
+                for name, param in self.params.items()
+            }
+            for _ in range(self.racks)
+        ]
+        # Persistent per-rack uplink contexts: error feedback corrects the
+        # scarce cross-rack link across training steps (paper Figure 2a,
+        # applied at rack granularity).
+        self.cross_push_contexts = [
+            {
+                name: (
+                    scheme.make_bypass_context(
+                        param.shape, key=("hpush", rack, name)
+                    )
+                    if name in bypassed
+                    else scheme.make_context(param.shape, key=("hpush", rack, name))
+                )
+                for name, param in self.params.items()
+            }
+            for rack in range(self.racks)
+        ]
+
+    # -- ParameterServer surface -------------------------------------------
+
+    @property
+    def bypassed(self) -> set[str]:
+        return self._flat.bypassed if self._flat is not None else self.upper.bypassed
+
+    @property
+    def global_step(self) -> int:
+        return (
+            self._flat.global_step
+            if self._flat is not None
+            else self.upper.global_step
+        )
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return (
+            self._flat.state_dict()
+            if self._flat is not None
+            else self.upper.state_dict()
+        )
+
+    def cross_routes(self) -> dict[str, str]:
+        """Map each tensor to the cross-rack link its aggregate traverses."""
+        if self._flat is not None:
+            return {name: "rack0" for name in self.params}
+        if isinstance(self.upper, ShardedParameterService):
+            return {
+                name: f"cross:shard{self.upper.shard_of(name)}"
+                for name in self.params
+            }
+        return {name: "cross" for name in self.params}
+
+    # -- the two-phase exchange --------------------------------------------
+
+    def _reduce_rack(
+        self, rack: int, grad_dicts: list[dict[str, np.ndarray]]
+    ) -> tuple[dict[str, np.ndarray], dict[str, int], int, float]:
+        """Phase 1 for one rack: ring-reduce its members' gradients.
+
+        Returns (rack-averaged gradients, per-tensor busiest-link bytes,
+        all-links wire bytes, codec seconds).
+        """
+        t0 = time.perf_counter()
+        reduced: dict[str, np.ndarray] = {}
+        link_bytes: dict[str, int] = {}
+        wire = 0
+        for name in self.params:
+            result = self.rack_rings[rack][name].reduce(
+                [grads[name] for grads in grad_dicts], average=True
+            )
+            reduced[name] = result.outputs[0]
+            link_bytes[name] = result.max_link_bytes
+            wire += result.wire_bytes
+        return reduced, link_bytes, wire, time.perf_counter() - t0
+
+    def _compress_uplink(
+        self, rack: int, rack_grads: dict[str, np.ndarray]
+    ) -> tuple[dict[str, CompressionResult | None], float]:
+        """Phase 2 (up) for one rack: compress the aggregate for the core."""
+        t0 = time.perf_counter()
+        messages = {
+            name: self.cross_push_contexts[rack][name].compress(rack_grads[name])
+            for name in self.params
+        }
+        return messages, time.perf_counter() - t0
+
+    def _per_tensor_elements(self) -> dict[str, int]:
+        w = self.rack_size
+        return {
+            name: param.size * 2 * (w - 1) // w
+            for name, param in self.params.items()
+        }
+
+    def _ring_frames(self, racks: int) -> int:
+        w = self.rack_size
+        return len(self.params) * 2 * (w - 1) * w * racks
+
+    def exchange(
+        self, grad_dicts: list[dict[str, np.ndarray]]
+    ) -> HierarchicalOutcome:
+        """One full BSP step: every rack reduces, then the core aggregates."""
+        expected = self.racks * self.rack_size
+        if len(grad_dicts) != expected:
+            raise ValueError(
+                f"expected {expected} gradient sets "
+                f"({self.racks} racks x {self.rack_size}), got {len(grad_dicts)}"
+            )
+        per_tensor_elements = self._per_tensor_elements()
+        if self._flat is not None:
+            out = self._flat.exchange(grad_dicts)
+            return HierarchicalOutcome(
+                deltas=out.deltas,
+                rack_indices=(0,),
+                per_rack_link_bytes=(out.per_tensor_link_bytes,),
+                per_tensor_elements=per_tensor_elements,
+                intra_wire_bytes=out.wire_bytes,
+                intra_elements=out.elements,
+                ring_frames=self._ring_frames(1),
+                rack_codec_seconds=(out.codec_seconds,),
+                cross_push_results=(),
+                cross_compress_seconds=(0.0,),
+                cross_push_bytes=0,
+                cross_push_elements=0,
+            )
+
+        rack_grads: list[dict[str, np.ndarray]] = []
+        per_rack_link_bytes: list[dict[str, int]] = []
+        rack_codec: list[float] = []
+        intra_wire = 0
+        for rack in range(self.racks):
+            group = grad_dicts[rack * self.rack_size : (rack + 1) * self.rack_size]
+            reduced, link_bytes, wire, codec = self._reduce_rack(rack, group)
+            rack_grads.append(reduced)
+            per_rack_link_bytes.append(link_bytes)
+            rack_codec.append(codec)
+            intra_wire += wire
+        intra_elements = self.racks * sum(per_tensor_elements.values())
+
+        cross_results: list[dict[str, CompressionResult | None]] = []
+        cross_compress: list[float] = []
+        cross_bytes = cross_elements = 0
+        for rack in range(self.racks):
+            messages, seconds = self._compress_uplink(rack, rack_grads[rack])
+            cross_results.append(messages)
+            cross_compress.append(seconds)
+            for result in messages.values():
+                if result is None:
+                    continue
+                cross_bytes += result.message.wire_size
+                cross_elements += result.message.element_count
+
+        pull_batch = self.upper.step(cross_results, divisor=self.racks)
+
+        t0 = time.perf_counter()
+        deltas: dict[str, np.ndarray] = {}
+        pull_bytes = pull_elements = 0
+        for name, result in pull_batch.messages.items():
+            if result is None:
+                continue
+            deltas[name] = self.upper.decompress_pull(name, result.message)
+            pull_bytes += result.message.wire_size
+            pull_elements += result.message.element_count
+        pull_decompress = time.perf_counter() - t0
+
+        return HierarchicalOutcome(
+            deltas=deltas,
+            rack_indices=tuple(range(self.racks)),
+            per_rack_link_bytes=tuple(per_rack_link_bytes),
+            per_tensor_elements=per_tensor_elements,
+            intra_wire_bytes=intra_wire,
+            intra_elements=intra_elements,
+            ring_frames=self._ring_frames(self.racks),
+            rack_codec_seconds=tuple(rack_codec),
+            cross_push_results=tuple(cross_results),
+            cross_compress_seconds=tuple(cross_compress),
+            cross_push_bytes=cross_bytes,
+            cross_push_elements=cross_elements,
+            pull_messages=pull_batch.messages,
+            cross_pull_bytes=pull_bytes,
+            cross_pull_elements=pull_elements,
+            server_decompress_seconds=pull_batch.decompress_seconds,
+            server_compress_seconds=pull_batch.compress_seconds,
+            pull_decompress_seconds=pull_decompress,
+        )
+
+    def rack_exchange(
+        self, rack: int, grad_dicts: list[dict[str, np.ndarray]]
+    ) -> HierarchicalOutcome:
+        """One rack's asynchronous update: the rack reduces internally and
+        pushes its aggregate alone (``divisor=1``); the engine handles the
+        per-rack pull stream through its own error-feedback contexts."""
+        if self._flat is not None:
+            raise RuntimeError(
+                "asynchronous hierarchical exchange needs >= 2 racks; "
+                "a single rack is plain (synchronous) ring training"
+            )
+        if not (0 <= rack < self.racks):
+            raise ValueError(f"rack must be in [0, {self.racks}), got {rack}")
+        if len(grad_dicts) != self.rack_size:
+            raise ValueError(
+                f"expected {self.rack_size} gradient sets for one rack, "
+                f"got {len(grad_dicts)}"
+            )
+        per_tensor_elements = self._per_tensor_elements()
+        reduced, link_bytes, wire, codec = self._reduce_rack(rack, grad_dicts)
+        messages, compress_seconds = self._compress_uplink(rack, reduced)
+        cross_bytes = cross_elements = 0
+        for result in messages.values():
+            if result is None:
+                continue
+            cross_bytes += result.message.wire_size
+            cross_elements += result.message.element_count
+        pull_batch = self.upper.step([messages], divisor=1)
+        return HierarchicalOutcome(
+            deltas=None,
+            rack_indices=(rack,),
+            per_rack_link_bytes=(link_bytes,),
+            per_tensor_elements=per_tensor_elements,
+            intra_wire_bytes=wire,
+            intra_elements=sum(per_tensor_elements.values()),
+            ring_frames=self._ring_frames(1),
+            rack_codec_seconds=(codec,),
+            cross_push_results=(messages,),
+            cross_compress_seconds=(compress_seconds,),
+            cross_push_bytes=cross_bytes,
+            cross_push_elements=cross_elements,
+            # Async convention (matching the flat parameter server): the
+            # discarded shared-pull compression stays uncharged.
+            server_decompress_seconds=pull_batch.decompress_seconds,
+            server_compress_seconds=0.0,
+        )
+
+
+class HierarchicalTopology(ExchangeTopology):
+    """Rack-local rings feeding a cross-rack parameter service."""
+
+    wants_raw_gradients = True
+    supports_event_modes = True
+
+    def __init__(
+        self,
+        racks: int = 2,
+        rack_size: int = 2,
+        *,
+        upper: str = "single",
+        num_shards: int = 2,
+    ):
+        if racks < 1:
+            raise ValueError(f"racks must be >= 1, got {racks}")
+        if rack_size < 2:
+            raise ValueError(
+                f"a rack ring needs >= 2 workers, got rack_size={rack_size}"
+            )
+        if upper not in ("single", "sharded"):
+            raise ValueError(
+                f"unknown upper tier {upper!r}; expected 'single' or 'sharded'"
+            )
+        self.racks = int(racks)
+        self.rack_size = int(rack_size)
+        self.upper = upper
+        self.num_shards = int(num_shards)
+        suffix = f", upper={upper}" if upper != "single" else ""
+        self.name = f"hier(racks={racks}, rack={rack_size}{suffix})"
+
+    def build_service(
+        self,
+        parameters,
+        optimizer_factory,
+        schedule,
+        scheme,
+        *,
+        num_workers,
+        small_tensor_threshold=SMALL_TENSOR_THRESHOLD,
+        fusion_plan=None,
+    ) -> HierarchicalExchangeService:
+        if fusion_plan is not None:
+            raise ValueError(
+                "the hierarchical exchange moves raw gradients through rack "
+                "rings; fused buckets only apply to point-to-point framing"
+            )
+        # The engine passes the sync mode's aggregation slot count:
+        # the full worker count for BSP (every rack pushes each step) or 1
+        # for async/SSP (racks commit one at a time).
+        if num_workers == 1:
+            if self.racks < 2:
+                raise ValueError(
+                    "async/SSP hierarchical runs need >= 2 racks; one rack "
+                    "has no cross-rack tier to relax"
+                )
+            upper_slots = 1
+        else:
+            if num_workers != self.racks * self.rack_size:
+                raise ValueError(
+                    f"num_workers={num_workers} is not {self.racks} racks of "
+                    f"{self.rack_size} (racks * rack_size must equal the "
+                    "worker count)"
+                )
+            upper_slots = self.racks
+        return HierarchicalExchangeService(
+            parameters,
+            optimizer_factory,
+            schedule,
+            scheme,
+            racks=self.racks,
+            rack_size=self.rack_size,
+            upper_worker_slots=upper_slots,
+            upper=self.upper,
+            num_shards=self.num_shards,
+            small_tensor_threshold=small_tensor_threshold,
+        )
+
+    def transmission_routes(self, service) -> dict[str, str]:
+        """Cross-rack route per tensor (intra-rack collective and
+        broadcast records are stamped ``rack<r>`` by the engine)."""
+        return service.cross_routes()
+
+
 #: Registry of topology names accepted by the engine and the harness.
-TOPOLOGIES = ("single", "sharded", "ring")
+TOPOLOGIES = ("single", "sharded", "ring", "hier")
 
 
-def make_topology(name: str, *, num_shards: int = 2) -> ExchangeTopology:
+def make_topology(
+    name: str,
+    *,
+    num_shards: int = 2,
+    racks: int = 2,
+    rack_size: int = 2,
+    hier_upper: str = "single",
+) -> ExchangeTopology:
     """Construct a topology from its registry name and knobs."""
     if name == "single":
         return SingleServerTopology()
@@ -347,4 +856,8 @@ def make_topology(name: str, *, num_shards: int = 2) -> ExchangeTopology:
         return ShardedTopology(num_shards)
     if name == "ring":
         return RingTopology()
+    if name == "hier":
+        return HierarchicalTopology(
+            racks, rack_size, upper=hier_upper, num_shards=num_shards
+        )
     raise ValueError(f"unknown topology {name!r}; expected one of {TOPOLOGIES}")

@@ -10,10 +10,12 @@ Usage::
 
 ``--fast`` uses the miniature configuration (seconds instead of minutes;
 noisier numbers). ``--steps N`` overrides the standard step budget.
-``--topology`` / ``--sync-mode`` (plus ``--shards`` / ``--staleness``)
-swap the exchange plan; ``--fuse`` turns on the fused-bucket hot path for
-small tensors; ``--sim-overlap`` times steps with the discrete-event
-network simulator (per-layer overlap, per-topology links) instead of the
+``--topology`` / ``--sync-mode`` (plus ``--shards`` / ``--staleness``,
+and ``--racks`` / ``--rack-size`` / ``--cross-bw`` / ``--cross-rtt`` for
+the hierarchical topology) swap the exchange plan; ``--fuse`` turns on
+the fused-bucket hot path for small tensors; ``--sim-overlap`` times
+steps with the discrete-event network simulator (per-layer overlap,
+per-topology links — two dependent tiers for ``hier``) instead of the
 calibrated overlap constant.
 """
 
@@ -46,14 +48,16 @@ _FIGURE_LINKS = {"fig4": "10Mbps", "fig5": "100Mbps", "fig6": "1Gbps"}
 
 
 def _drop_deferring(schemes: tuple[str, ...]) -> tuple[str, ...]:
-    """Schemes that transmit every step (ring/event-recording subset).
+    """Schemes that transmit every step (collective/event-recording subset).
 
-    A ring hop must carry *something* for the reduction to proceed, and an
-    async/SSP *event stream* records a push per update, so schedule-changing
-    schemes (``defers_transmission``) are dropped from ring sweeps and from
-    simulated (``--sim-overlap``) async/SSP sweeps instead of crashing
-    mid-command. Plain async/SSP training tolerates deferral (updates ride
-    the error buffers), so unsimulated sweeps keep those rows.
+    A ring hop must carry *something* for the reduction to proceed — this
+    covers the flat ring and the hierarchical topology's rack rings — and
+    an async/SSP *event stream* records a push per update, so
+    schedule-changing schemes (``defers_transmission``) are dropped from
+    those sweeps and from simulated (``--sim-overlap``) async/SSP sweeps
+    instead of crashing mid-command. Plain async/SSP training tolerates
+    deferral (updates ride the error buffers), so unsimulated sweeps keep
+    those rows.
     """
     return tuple(
         name
@@ -106,7 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         "--steps", type=int, default=None, help="override the standard step budget"
     )
     parser.add_argument(
-        "--topology", choices=["single", "sharded", "ring"], default=None,
+        "--topology", choices=["single", "sharded", "ring", "hier"], default=None,
         help="exchange topology (default: single parameter server)",
     )
     parser.add_argument(
@@ -120,6 +124,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--staleness", type=int, default=None,
         help="staleness bound for --sync-mode ssp",
+    )
+    parser.add_argument(
+        "--racks", type=int, default=None,
+        help="rack count for --topology hier (racks * rack-size must "
+        "equal the worker count)",
+    )
+    parser.add_argument(
+        "--rack-size", type=int, default=None,
+        help="workers per rack for --topology hier (>= 2: each rack runs "
+        "a local ring all-reduce)",
+    )
+    parser.add_argument(
+        "--cross-bw", type=float, default=None, metavar="FRACTION",
+        help="cross-rack uplink rate as a fraction of the swept link rate "
+        "(default 0.1; --topology hier only)",
+    )
+    parser.add_argument(
+        "--cross-rtt", type=float, default=None, metavar="SECONDS",
+        help="per-frame propagation delay on cross-rack uplinks "
+        "(default 0; --topology hier only)",
     )
     parser.add_argument(
         "--fuse", action="store_true",
@@ -142,12 +166,31 @@ def main(argv: list[str] | None = None) -> int:
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
     if args.steps is not None:
         config = config.scaled(standard_steps=args.steps)
+    # Flag/topology coherence checks name the offending value so a long
+    # sweep command fails with an actionable message, not a bare rule.
     if args.shards is not None and args.topology != "sharded":
-        parser.error("--shards requires --topology sharded")
+        parser.error(
+            f"--shards {args.shards} requires --topology sharded "
+            f"(got --topology {args.topology or 'single'})"
+        )
     if args.staleness is not None and args.sync_mode != "ssp":
-        parser.error("--staleness requires --sync-mode ssp")
+        parser.error(
+            f"--staleness {args.staleness} requires --sync-mode ssp "
+            f"(got --sync-mode {args.sync_mode or 'bsp'})"
+        )
     if args.sync_mode == "ssp" and args.staleness is None:
         parser.error("--sync-mode ssp requires --staleness")
+    for flag, value in (
+        ("--racks", args.racks),
+        ("--rack-size", args.rack_size),
+        ("--cross-bw", args.cross_bw),
+        ("--cross-rtt", args.cross_rtt),
+    ):
+        if value is not None and args.topology != "hier":
+            parser.error(
+                f"{flag} {value} requires --topology hier "
+                f"(got --topology {args.topology or 'single'})"
+            )
     overrides = {}
     if args.topology is not None:
         overrides["topology"] = args.topology
@@ -157,12 +200,24 @@ def main(argv: list[str] | None = None) -> int:
         overrides["num_shards"] = args.shards
     if args.staleness is not None:
         overrides["staleness"] = args.staleness
+    if args.racks is not None:
+        overrides["racks"] = args.racks
+    if args.rack_size is not None:
+        overrides["rack_size"] = args.rack_size
+    if args.cross_bw is not None:
+        overrides["cross_bw_fraction"] = args.cross_bw
+    if args.cross_rtt is not None:
+        overrides["cross_rtt_seconds"] = args.cross_rtt
     if args.fuse:
         overrides["fuse_small_tensors"] = True
     if args.sim_overlap:
         overrides["sim_overlap"] = True
     if overrides:
-        config = config.scaled(**overrides)
+        try:
+            config = config.scaled(**overrides)
+        except ValueError as error:
+            # e.g. a worker count not divisible into racks of rack-size.
+            parser.error(str(error))
     runner = ExperimentRunner(config)
 
     commands = (
@@ -175,7 +230,7 @@ def main(argv: list[str] | None = None) -> int:
     overview_schemes = OVERVIEW_SCHEMES
     fast_schemes = FAST_SCHEMES
     figure7_schemes = FIGURE7_SCHEMES
-    if config.topology == "ring" or (
+    if config.topology in ("ring", "hier") or (
         config.sim_overlap and config.sync_mode in ("async", "ssp")
     ):
         table1_schemes = _drop_deferring(table1_schemes)

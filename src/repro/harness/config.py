@@ -56,12 +56,25 @@ class ExperimentConfig:
     cluster_seed: int = 0
 
     # Exchange plan (paper: single parameter server, BSP). The unified
-    # engine also runs sharded and ring topologies and async/SSP modes.
+    # engine also runs sharded, ring, and hierarchical topologies and
+    # async/SSP modes.
     topology: str = "single"
     sync_mode: str = "bsp"
     num_shards: int = 2
     backup_workers: int = 0
     staleness: int | None = None
+    #: Hierarchical topology shape: ``racks`` racks of ``rack_size``
+    #: workers (must multiply to ``num_workers``), with the cross-rack
+    #: tier reusing the single or sharded parameter service.
+    racks: int = 2
+    rack_size: int = 2
+    hier_upper: str = "single"
+    #: Cross-rack uplink rate as a fraction of the swept link rate (the
+    #: Table 1 columns keep meaning "the fabric's per-link rate"; the
+    #: core is this much scarcer — the regime the paper targets).
+    cross_bw_fraction: float = 0.1
+    #: Per-frame propagation delay on the cross-rack uplinks.
+    cross_rtt_seconds: float = 0.0
     #: Fused-bucket hot path for the small-tensor bypass set.
     fuse_small_tensors: bool = False
     #: Per-link timing via the discrete-event simulator (``repro.netsim``):
@@ -112,6 +125,32 @@ class ExperimentConfig:
             )
         if self.sync_mode == "ssp" and self.staleness is None:
             raise ValueError("sync_mode='ssp' requires a staleness bound")
+        if self.topology == "hier":
+            if self.racks < 1:
+                raise ValueError(f"racks must be >= 1, got {self.racks}")
+            if self.rack_size < 2:
+                raise ValueError(
+                    f"a rack ring needs >= 2 workers, got rack_size={self.rack_size}"
+                )
+            if self.hier_upper not in ("single", "sharded"):
+                raise ValueError(
+                    f"unknown upper tier {self.hier_upper!r}; "
+                    "expected 'single' or 'sharded'"
+                )
+            if self.racks * self.rack_size != self.num_workers:
+                raise ValueError(
+                    f"num_workers={self.num_workers} is not divisible into "
+                    f"{self.racks} racks of {self.rack_size} "
+                    "(racks * rack_size must equal num_workers)"
+                )
+            if self.cross_bw_fraction <= 0:
+                raise ValueError(
+                    f"cross_bw_fraction must be > 0, got {self.cross_bw_fraction!r}"
+                )
+            if self.cross_rtt_seconds < 0:
+                raise ValueError(
+                    f"cross_rtt_seconds must be >= 0, got {self.cross_rtt_seconds!r}"
+                )
 
     # -- factories ---------------------------------------------------------
 
@@ -171,6 +210,9 @@ class ExperimentConfig:
             num_shards=self.num_shards,
             backup_workers=self.backup_workers,
             staleness=self.staleness,
+            racks=self.racks,
+            rack_size=self.rack_size,
+            hier_upper=self.hier_upper,
             fuse_small_tensors=self.fuse_small_tensors,
             record_transmissions=self.sim_overlap,
         )

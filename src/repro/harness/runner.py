@@ -61,9 +61,13 @@ class RunResult:
     per_worker_throughput / staleness_distribution / link_utilization:
         Event-driven (async/SSP) simulator reports, ``None`` otherwise:
         committed updates per simulated second per worker (keyed by link
-        then worker id), the observed effective-staleness histogram
-        (global model versions between pull and commit — link
-        independent), and per-link busy fractions.
+        then worker id; under the hierarchical topology the scheduling
+        unit — and therefore the "worker" key — is a rack), the observed
+        effective-staleness histogram (global model versions between pull
+        and commit — link independent), and per-link busy fractions.
+        ``link_utilization`` is also populated for simulated *BSP* runs
+        (mean per-link busy fraction over steps), which is how the
+        hierarchical topology reports per-tier utilization.
     """
 
     scheme: str
@@ -107,6 +111,21 @@ class ExperimentRunner:
             images, labels = self._dataset.train_shard(0, self.config.batch_size)
             self._timeline = profile_backward(model, images, labels)
         return self._timeline
+
+    def _link_model(self, link):
+        """The simulated topology's link model at one swept link rate."""
+        config = self.config
+        return link_model_for(
+            config.topology,
+            link,
+            num_shards=config.num_shards,
+            num_workers=config.num_workers,
+            racks=config.racks,
+            rack_size=config.rack_size,
+            cross_bw_fraction=config.cross_bw_fraction,
+            cross_rtt_seconds=config.cross_rtt_seconds,
+            hier_upper=config.hier_upper,
+        )
 
     def run(self, scheme_name: str, fraction: float = 1.0) -> RunResult:
         """Train (or fetch the cached run of) one scheme at one budget."""
@@ -153,12 +172,7 @@ class ExperimentRunner:
             for name, link in LINKS.items():
                 simulator = EventDrivenSimulator(
                     timeline,
-                    link_model_for(
-                        config.topology,
-                        link,
-                        num_shards=config.num_shards,
-                        num_workers=config.num_workers,
-                    ),
+                    self._link_model(link),
                     config.time_model,
                     staleness=config.staleness if config.sync_mode == "ssp" else None,
                     overlap=True,
@@ -178,15 +192,11 @@ class ExperimentRunner:
             # transmissions through the discrete-event simulator.
             timeline = self.backward_timeline()
             mean_step, total, achieved = {}, {}, {}
+            link_utilization = {}
             for name, link in LINKS.items():
                 simulator = NetworkSimulator(
                     timeline,
-                    link_model_for(
-                        config.topology,
-                        link,
-                        num_shards=config.num_shards,
-                        num_workers=config.num_workers,
-                    ),
+                    self._link_model(link),
                     config.time_model,
                     overlap=True,
                     # Tables consume only the overlapped times; skip the
@@ -197,6 +207,7 @@ class ExperimentRunner:
                 mean_step[name] = sim_run.mean_step_seconds
                 total[name] = sim_run.total_seconds
                 achieved[name] = sim_run.mean_overlap
+                link_utilization[name] = sim_run.mean_link_utilization
         else:
             mean_step = {
                 name: config.time_model.mean_step_seconds(meter, link)

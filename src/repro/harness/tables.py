@@ -55,6 +55,12 @@ class Table1Row:
     #: Simulator-measured overlap fraction at 10 Mbps (None for analytic
     #: runs using the calibrated constant).
     achieved_overlap: float | None = None
+    #: Mean per-step traffic split of hierarchical runs, in megabytes
+    #: (None for flat topologies): bytes that stayed on rack-local links
+    #: vs. bytes that crossed the scarce rack uplinks — the column pair
+    #: that shows where compression actually pays.
+    intra_rack_mb: float | None = None
+    cross_rack_mb: float | None = None
 
 
 @dataclass(frozen=True)
@@ -82,6 +88,9 @@ def table1(
     rows = []
     for name in schemes:
         result = results[name]
+        meter = result.traffic
+        hierarchical = meter.total_cross_rack_bytes > 0
+        steps = max(1, len(meter.steps))
         rows.append(
             Table1Row(
                 scheme=name,
@@ -95,15 +104,28 @@ def table1(
                     if result.achieved_overlap is not None
                     else None
                 ),
+                intra_rack_mb=(
+                    meter.total_intra_rack_bytes / steps / 1e6
+                    if hierarchical
+                    else None
+                ),
+                cross_rack_mb=(
+                    meter.total_cross_rack_bytes / steps / 1e6
+                    if hierarchical
+                    else None
+                ),
             )
         )
     simulated = any(r.achieved_overlap is not None for r in rows)
     event_driven = any(
         results[name].staleness_distribution is not None for name in schemes
     )
+    tiered = any(r.cross_rack_mb is not None for r in rows)
     headers = ["Design", "@10Mbps", "@100Mbps", "@1Gbps", "Accuracy(%)", "Diff"]
     if simulated:
         headers.append("Ovl@10M")
+    if tiered:
+        headers.extend(["Intra(MB/step)", "Cross(MB/step)"])
     body = []
     for r in rows:
         cells = [
@@ -117,6 +139,13 @@ def table1(
         if simulated:
             cells.append(
                 f"{r.achieved_overlap:.2f}" if r.achieved_overlap is not None else "-"
+            )
+        if tiered:
+            cells.append(
+                f"{r.intra_rack_mb:.3f}" if r.intra_rack_mb is not None else "-"
+            )
+            cells.append(
+                f"{r.cross_rack_mb:.3f}" if r.cross_rack_mb is not None else "-"
             )
         body.append(cells)
     title = "Table 1: speedup over baseline and test accuracy (standard steps)"

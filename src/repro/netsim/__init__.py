@@ -23,11 +23,18 @@ from repro.netsim.events import (
 )
 from repro.netsim.links import (
     LinkModel,
+    hierarchical_links,
     ring_links,
     sharded_links,
     single_server_links,
 )
-from repro.netsim.scheduler import EventDrivenSimulator, NetworkSimulator
+from repro.netsim.scheduler import (
+    EventDrivenSimulator,
+    NetworkSimulator,
+    dependency_waves,
+    per_tier_serialized_seconds,
+    wire_occupancy_seconds,
+)
 from repro.netsim.topology import link_model_for
 
 __all__ = [
@@ -43,7 +50,11 @@ __all__ = [
     "single_server_links",
     "sharded_links",
     "ring_links",
+    "hierarchical_links",
     "NetworkSimulator",
     "EventDrivenSimulator",
+    "dependency_waves",
+    "wire_occupancy_seconds",
+    "per_tier_serialized_seconds",
     "link_model_for",
 ]

@@ -68,7 +68,14 @@ class TransmissionRecord:
     frames:
         Wire frames behind this record (a fused bucket is one frame; a
         ring tensor is one frame per node per hop). Drives the per-frame
-        protocol overhead.
+        protocol overhead and the per-frame link RTT.
+    depends_on:
+        Names of records (in the same step or update) whose *transfers*
+        must complete before this record may enter its link queue — the
+        hierarchical topology's tier coupling: a cross-rack push carries
+        a rack-reduced gradient, so it depends on that rack's collective;
+        an intra-rack broadcast depends on the cross-rack pull it
+        redistributes. Empty for flat topologies.
     """
 
     name: str
@@ -80,6 +87,7 @@ class TransmissionRecord:
     copies: int = 1
     phase: str = "push"
     frames: int = 1
+    depends_on: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.phase not in PHASES:
@@ -90,6 +98,8 @@ class TransmissionRecord:
             raise ValueError(f"{self.name}: copies must be >= 1")
         if self.frames < 1:
             raise ValueError(f"{self.name}: frames must be >= 1")
+        if self.name in self.depends_on:
+            raise ValueError(f"{self.name}: record cannot depend on itself")
 
     @property
     def total_bytes(self) -> int:

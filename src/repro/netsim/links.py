@@ -18,6 +18,12 @@ Three shapes ship, one per exchange topology:
   identical volume in a ring collective; a record's ``wire_bytes`` is the
   *per-link* volume, so the channel's serialized time equals any single
   hop link's.
+* :func:`hierarchical_links` — the first *composed* model: one fast
+  ``"rack<r>"`` channel per rack (the rack's ring hop links, collapsed
+  as for :func:`ring_links`) plus the slow cross-rack tier (a shared
+  ``"cross"`` core link, or ``"cross:shard<k>"`` NICs when the upper
+  tier is sharded). Intra- and cross-tier specs are independent —
+  asymmetric bandwidth and RTT is the regime the paper targets.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ __all__ = [
     "single_server_links",
     "sharded_links",
     "ring_links",
+    "hierarchical_links",
 ]
 
 
@@ -104,3 +111,38 @@ def ring_links(spec: LinkSpec, num_workers: int) -> LinkModel:
     if num_workers < 2:
         raise ValueError(f"a ring needs >= 2 workers, got {num_workers}")
     return LinkModel(f"ring(n={num_workers})", {"ring": spec})
+
+
+def hierarchical_links(
+    intra: LinkSpec,
+    cross: LinkSpec,
+    *,
+    racks: int,
+    rack_size: int,
+    upper: str = "single",
+    num_shards: int = 2,
+) -> LinkModel:
+    """The two-tier fabric: per-rack ring channels feeding the core.
+
+    Each rack's hop links collapse to one ``"rack<r>"`` channel (as in
+    :func:`ring_links` — records carry per-link volume). The cross-rack
+    tier mirrors the upper parameter service: one shared ``"cross"``
+    core link for a single upper server, or independent
+    ``"cross:shard<k>"`` NICs when the upper tier is sharded.
+    """
+    if racks < 1:
+        raise ValueError(f"racks must be >= 1, got {racks}")
+    if rack_size < 2:
+        raise ValueError(f"a rack ring needs >= 2 workers, got {rack_size}")
+    links = {f"rack{index}": intra for index in range(racks)}
+    if upper == "single":
+        links["cross"] = cross
+    elif upper == "sharded":
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        links.update({f"cross:shard{index}": cross for index in range(num_shards)})
+    else:
+        raise ValueError(
+            f"unknown upper tier {upper!r}; expected 'single' or 'sharded'"
+        )
+    return LinkModel(f"hier(racks={racks}, rack={rack_size})", links)

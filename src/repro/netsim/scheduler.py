@@ -14,10 +14,17 @@ One training step is replayed as a timeline:
    pipeline.
 3. **Transmission** is FIFO per link: a record starts when it is
    compressed *and* its route's link is free, and occupies the link for
-   its transfer time plus its frames' protocol overhead.
+   its transfer time plus its frames' protocol overhead and per-frame
+   link RTT. Records with ``depends_on`` (the hierarchical topology's
+   tier coupling) additionally wait for the named records' transfers:
+   with overlap they pipeline per record (a rack's cross push leaves as
+   soon as *that* rack's collective lands), serialized they wait for the
+   whole previous tier — which is what makes the serialized schedule
+   equal the analytic per-tier sum.
 4. The **server phase** (decompress + update + pull compress) starts once
    compute and every push have finished; **pulls** then traverse their
-   links (fan-out copies included) and workers decompress.
+   links (fan-out copies included, dependency tiers in order) and workers
+   decompress.
 
 With ``overlap=False`` the schedule is fully serialized — compute, then
 all codec, then all transfers — which by construction reproduces the
@@ -47,7 +54,105 @@ from repro.netsim.links import LinkModel
 from repro.network.timing import StepTimeModel
 from repro.nn.stats import BackwardTimeline
 
-__all__ = ["NetworkSimulator", "EventDrivenSimulator"]
+__all__ = [
+    "NetworkSimulator",
+    "EventDrivenSimulator",
+    "dependency_waves",
+    "wire_occupancy_seconds",
+    "per_tier_serialized_seconds",
+]
+
+
+def wire_occupancy_seconds(
+    link_model: LinkModel, time_model: StepTimeModel, record: TransmissionRecord
+) -> float:
+    """Time one record holds its link: transfer plus per-frame protocol
+    overhead plus per-frame link RTT."""
+    spec = link_model.spec(record.route)
+    return (
+        spec.transfer_seconds(record.total_bytes)
+        + (time_model.per_message_overhead + spec.rtt_seconds) * record.frames
+    )
+
+
+def per_tier_serialized_seconds(
+    st: StepTransmissions,
+    link_model: LinkModel,
+    time_model: StepTimeModel,
+) -> float:
+    """The analytic two-tier closed form for one hierarchical step at
+    ``overlap=0``: tiers are fully staged, channels within one tier run
+    in parallel (max over routes), transfers on one channel serialize
+    (sum per route) — compute + push codec + intra collectives + cross
+    pushes + server codec + cross pulls + intra broadcasts + pull codec.
+
+    The serialized dependency-wave replay reproduces this exactly; the
+    equality (to 1e-9) is the hierarchical calibration test, shared by
+    ``tests/netsim/test_hier_sim.py`` and ``benchmarks/bench_hier.py``.
+    """
+
+    def staged(records) -> float:
+        by_route: dict[str, float] = {}
+        for record in records:
+            by_route[record.route] = by_route.get(
+                record.route, 0.0
+            ) + wire_occupancy_seconds(link_model, time_model, record)
+        return max(by_route.values(), default=0.0)
+
+    pulls = [r for r in st.records if r.phase == "pull"]
+    return (
+        time_model.compute_scale * st.compute_seconds
+        + time_model.codec_scale * st.push_compress_seconds
+        + staged([r for r in st.records if r.phase == "collective"])
+        + staged([r for r in st.records if r.phase == "push"])
+        + time_model.codec_scale
+        * (st.server_decompress_seconds + st.server_compress_seconds)
+        + staged([r for r in pulls if not r.depends_on])
+        + staged([r for r in pulls if r.depends_on])
+        + time_model.codec_scale * st.pull_decompress_seconds
+    )
+
+
+def dependency_waves(
+    records, external_names: frozenset[str] | set[str] = frozenset()
+) -> list[list[int]]:
+    """Group record indices into dependency tiers.
+
+    Wave ``k`` holds records whose ``depends_on`` names all resolve to
+    records in earlier waves (or to ``external_names``, which count as
+    already complete — pull records may depend on push-phase records).
+    Unknown names and circular dependencies are rejected with a clear
+    error; matching is by record name, and when several records share a
+    name a dependent waits for the *last* of them.
+    """
+    known = {r.name for r in records} | set(external_names)
+    for record in records:
+        missing = [d for d in record.depends_on if d not in known]
+        if missing:
+            raise ValueError(
+                f"record {record.name!r} depends on unknown "
+                f"record(s): {missing}"
+            )
+    placed: set[str] = set(external_names)
+    unresolved = list(range(len(records)))
+    waves: list[list[int]] = []
+    while unresolved:
+        wave = [
+            index
+            for index in unresolved
+            if all(d in placed for d in records[index].depends_on)
+        ]
+        if not wave:
+            stuck = ", ".join(records[i].name for i in unresolved)
+            raise ValueError(f"circular record dependencies among: {stuck}")
+        wave_set = set(wave)
+        unresolved = [i for i in unresolved if i not in wave_set]
+        # A name "lands" only once every record bearing it is placed.
+        wave_names = {records[i].name for i in wave}
+        pending = {records[i].name for i in unresolved}
+        placed |= wave_names - pending
+        waves.append(wave)
+    return waves
 
 
 class NetworkSimulator:
@@ -181,12 +286,15 @@ class NetworkSimulator:
             pipeline_free[record.worker] = compressed_at[index]
         return compressed_at
 
+    def _occupancy_seconds(self, record: TransmissionRecord) -> float:
+        return wire_occupancy_seconds(self.link_model, self.time_model, record)
+
     # -- the event replay --------------------------------------------------
 
     def _replay(self, st: StepTransmissions, *, overlap: bool) -> SimulatedStep:
         tm = self.time_model
-        compute = tm.compute_scale * st.compute_seconds
         pmo = tm.per_message_overhead
+        compute = tm.compute_scale * st.compute_seconds
 
         push_records = [r for r in st.records if r.phase in ("push", "collective")]
         pull_records = [r for r in st.records if r.phase == "pull"]
@@ -197,27 +305,47 @@ class NetworkSimulator:
             push_records, compute, push_cost, overlap=overlap
         )
 
-        # -- push transmission: FIFO per link ------------------------------
+        # -- push transmission: FIFO per link, in dependency tiers ---------
         link_free: dict[str, float] = {}
         link_busy: dict[str, float] = {}
+        end_by_name: dict[str, float] = {}
         push_end = compute if not push_records else 0.0
-        bottleneck = None  # (end, record, start_bound_by_link)
-        for index in sorted(
-            compressed_at, key=lambda i: (compressed_at[i], push_records[i].name)
-        ):
-            record = push_records[index]
-            free = link_free.get(record.route, 0.0)
-            start = max(compressed_at[index], free)
-            duration = (
-                self.link_model.transfer_seconds(record.route, record.total_bytes)
-                + pmo * record.frames
-            )
-            end = start + duration
-            link_free[record.route] = end
-            link_busy[record.route] = link_busy.get(record.route, 0.0) + duration
-            if end > push_end:
-                push_end = end
-                bottleneck = (record, start > compressed_at[index] + 1e-15)
+        bottleneck = None  # (record, start_bound_by_link)
+        tier_floor = 0.0  # serialized mode: previous tier's last transfer
+        for wave in dependency_waves(push_records):
+            ready: dict[int, float] = {}
+            for index in wave:
+                record = push_records[index]
+                if overlap:
+                    dep_end = max(
+                        (end_by_name[d] for d in record.depends_on), default=0.0
+                    )
+                else:
+                    # Serialized schedules are fully staged: a tier starts
+                    # only after the whole previous tier has landed, which
+                    # is what makes the schedule equal the analytic
+                    # per-tier sum (the hierarchical calibration test).
+                    dep_end = tier_floor if record.depends_on else 0.0
+                ready[index] = max(compressed_at[index], dep_end)
+            wave_end = 0.0
+            for index in sorted(
+                ready, key=lambda i: (ready[i], push_records[i].name)
+            ):
+                record = push_records[index]
+                free = link_free.get(record.route, 0.0)
+                start = max(ready[index], free)
+                duration = self._occupancy_seconds(record)
+                end = start + duration
+                link_free[record.route] = end
+                link_busy[record.route] = link_busy.get(record.route, 0.0) + duration
+                end_by_name[record.name] = max(
+                    end_by_name.get(record.name, 0.0), end
+                )
+                wave_end = max(wave_end, end)
+                if end > push_end:
+                    push_end = end
+                    bottleneck = (record, start > ready[index] + 1e-15)
+            tier_floor = max(tier_floor, wave_end)
         # The barrier cannot release before the slowest worker's backward;
         # when that floor binds, the step is compute-bound, not bound by
         # the last transfer.
@@ -233,18 +361,32 @@ class NetworkSimulator:
         pull_ready = push_end + server_cost
         phase_end = pull_ready
         last_pull: TransmissionRecord | None = None
-        for record in sorted(pull_records, key=lambda r: r.name):
-            free = max(pull_ready, link_free.get(record.route, 0.0))
-            duration = (
-                self.link_model.transfer_seconds(record.route, record.total_bytes)
-                + pmo * record.frames
-            )
-            end = free + duration
-            link_free[record.route] = end
-            link_busy[record.route] = link_busy.get(record.route, 0.0) + duration
-            if end > phase_end:
-                phase_end = end
-                last_pull = record
+        push_names = frozenset(r.name for r in push_records)
+        tier_floor = pull_ready
+        for wave in dependency_waves(pull_records, push_names):
+            wave_end = tier_floor
+            for index in sorted(wave, key=lambda i: pull_records[i].name):
+                record = pull_records[index]
+                if overlap:
+                    dep_end = max(
+                        (end_by_name.get(d, 0.0) for d in record.depends_on),
+                        default=0.0,
+                    )
+                else:
+                    dep_end = tier_floor if record.depends_on else 0.0
+                free = max(pull_ready, dep_end, link_free.get(record.route, 0.0))
+                duration = self._occupancy_seconds(record)
+                end = free + duration
+                link_free[record.route] = end
+                link_busy[record.route] = link_busy.get(record.route, 0.0) + duration
+                end_by_name[record.name] = max(
+                    end_by_name.get(record.name, 0.0), end
+                )
+                wave_end = max(wave_end, end)
+                if end > phase_end:
+                    phase_end = end
+                    last_pull = record
+            tier_floor = wave_end
         pull_cost = tm.codec_scale * st.pull_decompress_seconds
         step_seconds = phase_end + pull_cost
 
@@ -253,7 +395,10 @@ class NetworkSimulator:
             self.link_model.transfer_seconds(r.route, r.total_bytes)
             for r in st.records
         )
-        overhead = pmo * st.total_frames
+        overhead = sum(
+            (pmo + self.link_model.spec(r.route).rtt_seconds) * r.frames
+            for r in st.records
+        )
         codec = push_cost + server_cost + pull_cost
         exposed = max(0.0, step_seconds - compute - codec - overhead)
         if compute > 0:
@@ -385,6 +530,11 @@ class EventDrivenSimulator:
                 "no recorded update events to simulate — was the engine "
                 "built with record_transmissions=True in an async/SSP mode?"
             )
+        for e in events:
+            # Surface unknown/circular record dependencies up front with
+            # the step scheduler's error messages instead of deadlocking
+            # the event loop.
+            dependency_waves(e.records)
         if self.staleness == 0:
             return self._simulate_lockstep(events)
         return self._simulate_events(events)
@@ -541,7 +691,12 @@ class EventDrivenSimulator:
                 e.server_seconds + e.pull_compress_seconds + e.pull_decompress_seconds
             )
             pushes = e.push_records
-            flight = {"event": e, "start": now, "pushes_left": len(pushes)}
+            flight = {
+                "event": e,
+                "start": now,
+                "pushes_left": len(pushes),
+                "push_done": {},
+            }
 
             if not pushes:
                 schedule(
@@ -551,25 +706,56 @@ class EventDrivenSimulator:
                 )
                 return
             # Same per-worker compression pipeline as the step replay,
-            # offset to this update's compute start.
+            # offset to this update's compute start. Records with
+            # dependencies (hierarchical tier coupling) enter their link
+            # queue only once every named record's transfer completed.
             compressed_at = self._steps._push_compressed_at(
                 pushes, compute, push_cost, overlap=self.overlap
             )
-            for index, record in enumerate(pushes):
-                schedule(
-                    now + compressed_at[index],
-                    _P_ENQUEUE,
-                    lambda t, r=record, f=flight: enqueue(
-                        r.route,
-                        self.link_model.transfer_seconds(r.route, r.total_bytes)
-                        + pmo * r.frames,
-                        lambda td, f=f: push_arrived(f, td),
-                        t,
-                    ),
+            waiting: dict[int, tuple[str, ...]] = {}
+
+            def enqueue_push(index: int, t: float) -> None:
+                record = pushes[index]
+                enqueue(
+                    record.route,
+                    self._steps._occupancy_seconds(record),
+                    lambda td, i=index: push_arrived(flight, i, td),
+                    t,
                 )
 
-        def push_arrived(flight: dict, now: float) -> None:
+            def release_ready(now_t: float) -> None:
+                done = flight["push_done"]
+                for index in sorted(waiting):
+                    if all(d in done for d in waiting[index]):
+                        del waiting[index]
+                        # The record enters its link queue only once both
+                        # its dependencies landed (now_t) and its own
+                        # compression slot passed — schedule the enqueue
+                        # rather than queueing early, so a busy link does
+                        # not serve it before it is compressed.
+                        schedule(
+                            max(now_t, now + compressed_at[index]),
+                            _P_ENQUEUE,
+                            lambda t, i=index: enqueue_push(i, t),
+                        )
+
+            flight["release_pushes"] = release_ready
+            for index, record in enumerate(pushes):
+                if record.depends_on:
+                    waiting[index] = record.depends_on
+                else:
+                    schedule(
+                        now + compressed_at[index],
+                        _P_ENQUEUE,
+                        lambda t, i=index: enqueue_push(i, t),
+                    )
+
+        def push_arrived(flight: dict, index: int, now: float) -> None:
+            record = flight["event"].push_records[index]
+            done = flight["push_done"]
+            done[record.name] = max(done.get(record.name, 0.0), now)
             flight["pushes_left"] -= 1
+            flight["release_pushes"](now)
             if flight["pushes_left"] == 0:
                 pushes_arrived(flight, now)
 
@@ -602,17 +788,43 @@ class EventDrivenSimulator:
             if not pulls:
                 update_done(flight, now)
                 return
-            for record in pulls:
+            # Push transfers all landed before the server phase, so a pull
+            # depending on a push-phase record is immediately ready; a
+            # pull depending on another pull (the intra-rack broadcast of
+            # a cross-rack delta) waits for that transfer.
+            satisfied = {r.name for r in e.push_records}
+            waiting: dict[int, tuple[str, ...]] = {}
+
+            def enqueue_pull(index: int, t: float) -> None:
+                record = pulls[index]
                 enqueue(
                     record.route,
-                    self.link_model.transfer_seconds(record.route, record.total_bytes)
-                    + pmo * record.frames,
-                    lambda t, f=flight: pull_arrived(f, t),
-                    now,
+                    self._steps._occupancy_seconds(record),
+                    lambda td, i=index: pull_arrived(flight, i, td),
+                    t,
                 )
 
-        def pull_arrived(flight: dict, now: float) -> None:
+            def release_ready(now_t: float) -> None:
+                for index in sorted(waiting):
+                    if all(d in satisfied for d in waiting[index]):
+                        del waiting[index]
+                        enqueue_pull(index, now_t)
+
+            flight["release_pulls"] = release_ready
+            flight["pull_satisfied"] = satisfied
+            for index, record in enumerate(pulls):
+                if record.depends_on and not all(
+                    d in satisfied for d in record.depends_on
+                ):
+                    waiting[index] = record.depends_on
+                else:
+                    enqueue_pull(index, now)
+
+        def pull_arrived(flight: dict, index: int, now: float) -> None:
+            record = flight["event"].pull_records[index]
+            flight["pull_satisfied"].add(record.name)
             flight["pulls_left"] -= 1
+            flight["release_pulls"](now)
             if flight["pulls_left"] == 0:
                 update_done(flight, now)
 
@@ -660,7 +872,11 @@ class EventDrivenSimulator:
             for e in events
             for r in e.records
         )
-        overhead = pmo * sum(e.total_frames for e in events)
+        overhead = sum(
+            (pmo + self.link_model.spec(r.route).rtt_seconds) * r.frames
+            for e in events
+            for r in e.records
+        )
         return SimulatedExchange(
             updates=tuple(sorted(finished, key=lambda u: u.update)),
             total_seconds=total,

@@ -16,10 +16,17 @@ __all__ = ["LinkSpec", "LINKS", "link"]
 
 @dataclass(frozen=True)
 class LinkSpec:
-    """A symmetric point-to-point link with a fixed data rate."""
+    """A symmetric point-to-point link with a fixed data rate.
+
+    ``rtt_seconds`` is the propagation delay charged once per wire frame
+    by the discrete-event simulators (a ring hop pipeline pays it per
+    hop; a WAN uplink pays it per message). Pure-bandwidth links keep
+    the default of 0.0, preserving the paper's tc-emulated testbed.
+    """
 
     name: str
     bits_per_second: float
+    rtt_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -34,6 +41,17 @@ class LinkSpec:
             raise ValueError(
                 f"link {self.name!r}: bits_per_second must be a positive "
                 f"finite rate, got {rate!r}"
+            )
+        rtt = self.rtt_seconds
+        if not isinstance(rtt, (int, float)) or isinstance(rtt, bool):
+            raise TypeError(
+                f"link {self.name!r}: rtt_seconds must be a number, "
+                f"got {type(rtt).__name__}"
+            )
+        if not math.isfinite(rtt) or rtt < 0:
+            raise ValueError(
+                f"link {self.name!r}: rtt_seconds must be >= 0 and finite, "
+                f"got {rtt!r}"
             )
 
     def transfer_seconds(self, payload_bytes: float) -> float:

@@ -70,6 +70,14 @@ class StepTraffic:
     #: proportional to these counts.
     push_messages: int = 0
     pull_messages: int = 0
+    #: Two-tier byte split (hierarchical topology only; zero elsewhere):
+    #: bytes that stayed on fast rack-local links (ring collectives plus
+    #: the intra-rack re-broadcast of pulled deltas) vs. bytes that
+    #: crossed the scarce rack uplinks (compressed rack aggregates up,
+    #: one shared-delta copy per rack down). When set, they partition
+    #: ``wire_bytes`` exactly — Table 1's intra/cross columns sum these.
+    intra_rack_bytes: int = 0
+    cross_rack_bytes: int = 0
 
     @property
     def pull_bytes_total(self) -> int:
@@ -129,6 +137,16 @@ class TrafficMeter:
     @property
     def total_wire_bytes(self) -> int:
         return sum(s.wire_bytes for s in self.steps)
+
+    @property
+    def total_intra_rack_bytes(self) -> int:
+        """Bytes that stayed on rack-local links (hierarchical runs)."""
+        return sum(s.intra_rack_bytes for s in self.steps)
+
+    @property
+    def total_cross_rack_bytes(self) -> int:
+        """Bytes that crossed rack uplinks (hierarchical runs)."""
+        return sum(s.cross_rack_bytes for s in self.steps)
 
     @property
     def total_baseline_bytes(self) -> int:

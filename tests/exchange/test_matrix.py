@@ -38,6 +38,10 @@ def make_engine(topology: str, sync_mode: str, scheme: str, **overrides):
         topology=topology,
         sync_mode=sync_mode,
     )
+    if topology == "hier":
+        # Two racks of two: exercises both tiers (intra rings + cross
+        # service) and satisfies the async requirement of >= 2 racks.
+        kwargs.update(num_workers=4, racks=2, rack_size=2)
     if sync_mode == "ssp":
         kwargs["staleness"] = 1
     kwargs.update(overrides)

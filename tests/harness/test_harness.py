@@ -254,6 +254,152 @@ class TestEventDrivenSimOverlap:
         assert "3LC (s=1.00)" in out
 
 
+class TestHierarchicalHarness:
+    """--topology hier end to end: runner, Table 1 split, CLI validation."""
+
+    @pytest.fixture(scope="class")
+    def hier_runner(self):
+        return ExperimentRunner(
+            FAST_CONFIG.scaled(
+                num_workers=4,
+                topology="hier",
+                racks=2,
+                rack_size=2,
+                standard_steps=6,
+                sim_overlap=True,
+            )
+        )
+
+    def test_runner_reports_per_tier_utilization(self, hier_runner):
+        result = hier_runner.run("3LC (s=1.00)", 1.0)
+        assert result.achieved_overlap is not None
+        assert result.link_utilization is not None
+        utilization = result.link_utilization["10Mbps"]
+        assert set(utilization) == {"rack0", "rack1", "cross"}
+        # The 10x-scarcer core is the busy tier.
+        assert utilization["cross"] > utilization["rack0"]
+        meter = result.traffic
+        assert meter.total_cross_rack_bytes > 0
+        assert (
+            meter.total_intra_rack_bytes + meter.total_cross_rack_bytes
+            == meter.total_wire_bytes
+        )
+
+    def test_table1_gains_traffic_split_columns(self, hier_runner):
+        rows, text = table1(hier_runner, ("32-bit float", "3LC (s=1.00)"))
+        assert "Intra(MB/step)" in text and "Cross(MB/step)" in text
+        assert "Ovl@10M" in text
+        for row in rows:
+            assert row.intra_rack_mb is not None and row.intra_rack_mb > 0
+            assert row.cross_rack_mb is not None and row.cross_rack_mb > 0
+        # Compression shrinks the scarce tier.
+        assert rows[1].cross_rack_mb < rows[0].cross_rack_mb
+
+    def test_flat_table1_has_no_split_columns(self, runner):
+        _, text = table1(runner, ("32-bit float", "3LC (s=1.00)"))
+        assert "Intra(MB/step)" not in text
+
+    def test_traffic_split_round_trips(self, hier_runner):
+        from repro.harness.results_io import (
+            run_result_from_dict,
+            run_result_to_dict,
+        )
+
+        result = hier_runner.run("3LC (s=1.00)", 1.0)
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert [s.intra_rack_bytes for s in restored.traffic.steps] == [
+            s.intra_rack_bytes for s in result.traffic.steps
+        ]
+        assert [s.cross_rack_bytes for s in restored.traffic.steps] == [
+            s.cross_rack_bytes for s in result.traffic.steps
+        ]
+        assert restored.link_utilization == result.link_utilization
+
+    def test_event_driven_hier_runner(self):
+        runner = ExperimentRunner(
+            FAST_CONFIG.scaled(
+                num_workers=4,
+                topology="hier",
+                racks=2,
+                rack_size=2,
+                standard_steps=6,
+                sim_overlap=True,
+                sync_mode="async",
+            )
+        )
+        result = runner.run("3LC (s=1.00)", 1.0)
+        # Scheduling units are racks: two throughput keys, not four.
+        throughput = result.per_worker_throughput["10Mbps"]
+        assert set(throughput) == {0, 1}
+        utilization = result.link_utilization["10Mbps"]
+        assert set(utilization) == {"rack0", "rack1", "cross"}
+        assert sum(result.staleness_distribution.values()) == result.steps
+
+    def test_config_rejects_mismatched_rack_shape(self):
+        with pytest.raises(ValueError, match="not divisible into"):
+            FAST_CONFIG.scaled(topology="hier", racks=2, rack_size=3)
+        with pytest.raises(ValueError, match="cross_bw_fraction"):
+            FAST_CONFIG.scaled(
+                num_workers=4, topology="hier", cross_bw_fraction=0.0
+            )
+
+    def test_cli_flag_validation_names_offending_values(self, capsys):
+        from repro.harness.cli import main
+
+        cases = [
+            (["table1", "--fast", "--racks", "3"], "--racks 3 requires --topology hier"),
+            (
+                ["table1", "--fast", "--rack-size", "2"],
+                "--rack-size 2 requires --topology hier",
+            ),
+            (
+                ["table1", "--fast", "--cross-bw", "0.5"],
+                "--cross-bw 0.5 requires --topology hier",
+            ),
+            (
+                ["table1", "--fast", "--shards", "4", "--topology", "ring"],
+                "--shards 4 requires --topology sharded (got --topology ring)",
+            ),
+            (
+                ["table1", "--fast", "--staleness", "2"],
+                "--staleness 2 requires --sync-mode ssp (got --sync-mode bsp)",
+            ),
+            (
+                ["table1", "--fast", "--topology", "hier", "--racks", "3"],
+                "not divisible into 3 racks",
+            ),
+            (
+                # racks * rack_size == num_workers, but a 1-worker "rack"
+                # has no ring: must fail at parse time, not mid-run.
+                [
+                    "table1", "--fast", "--topology", "hier",
+                    "--racks", "2", "--rack-size", "1",
+                ],
+                "rack ring needs >= 2",
+            ),
+        ]
+        for argv, fragment in cases:
+            with pytest.raises(SystemExit):
+                main(argv)
+            assert fragment in capsys.readouterr().err
+
+    def test_cli_hier_drops_deferring_schemes(self, capsys):
+        from repro.harness.cli import main
+
+        assert (
+            main(
+                [
+                    "fig7", "--fast", "--steps", "4",
+                    "--topology", "hier", "--racks", "1", "--rack-size", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 local steps" not in out
+        assert "3LC (s=1.00)" in out
+
+
 class TestRingSchemeFilter:
     def test_deferring_schemes_flagged(self):
         from repro.compression.registry import make_compressor

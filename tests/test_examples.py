@@ -76,3 +76,11 @@ def test_overlap_sweep():
     assert "per-layer overlap" in out
     assert "10Mbps" in out and "100Mbps" in out and "1Gbps" in out
     assert "measured overlap" in out
+
+
+def test_hier_sweep():
+    out = run_example("hier_sweep.py", "--steps", "4")
+    assert "Two-tier step time" in out
+    assert "MB intra-rack" in out and "MB cross-rack" in out
+    assert "cross util" in out and "rack util" in out
+    assert "10Mbps" in out and "1Gbps" in out
