@@ -136,23 +136,49 @@ class Compressor(abc.ABC):
 
         return Float32Compressor().decompress(message)
 
-    def make_fused_bypass_context(self, bucket, *, key: tuple[object, ...] = ()):
-        """Bucket-aware bypass context: one codec call for a whole bucket.
+    def make_fused_context(
+        self, bucket, *, key: tuple[object, ...] = (), lossy: bool = False
+    ):
+        """Bucket-aware context: one codec call for a whole bucket.
 
         The fused-bucket hot path concatenates many small tensors into one
-        flat buffer and runs the bypass codec once, paying one frame header
-        instead of one per tensor. Deferring schemes compose: the fused
-        context defers the entire bucket whenever the per-tensor bypass
-        would have deferred each member.
+        flat buffer and runs a codec once, paying one frame header instead
+        of one per tensor. ``lossy=False`` (the exact mode) runs the raw
+        float32 *bypass* codec, so fused transmission is bit-identical to
+        per-tensor bypass framing; ``lossy=True`` runs the scheme's own
+        codec over the concatenated bucket — one shared quantization scale
+        (and one error-feedback buffer) per bucket instead of per tensor.
+        Deferring schemes compose either way: the fused context defers the
+        entire bucket whenever the inner context defers.
         """
         from repro.compression.fusion import FusedBucketContext
 
-        inner = self.make_bypass_context((bucket.total_elements,), key=key)
+        shape = (bucket.total_elements,)
+        inner = (
+            self.make_context(shape, key=key)
+            if lossy
+            else self.make_bypass_context(shape, key=key)
+        )
         return FusedBucketContext(bucket, inner)
 
-    def decompress_fused_bypass(self, message) -> np.ndarray:
-        """Decode a fused bypass frame to the flat bucket (one codec call)."""
+    def make_fused_bypass_context(self, bucket, *, key: tuple[object, ...] = ()):
+        """Exact-mode fused context (kept for the historical name)."""
+        return self.make_fused_context(bucket, key=key, lossy=False)
+
+    def decompress_fused(self, message, *, lossy: bool = False) -> np.ndarray:
+        """Decode a fused frame to the flat bucket (one codec call).
+
+        ``lossy`` must match the plan the sender compressed under — it is
+        plan-wide, never per-message, so receivers read it off their own
+        copy of the :class:`~repro.compression.fusion.FusionPlan`.
+        """
+        if lossy:
+            return self.decompress(message.inner)
         return self.decompress_bypass(message.inner)
+
+    def decompress_fused_bypass(self, message) -> np.ndarray:
+        """Decode an exact-mode fused frame (kept for the historical name)."""
+        return self.decompress_fused(message, lossy=False)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}({self.name!r})"

@@ -10,16 +10,28 @@ that hot path to the reproduction.
 
 A :class:`FusionPlan` deterministically assigns every below-threshold tensor
 to a :class:`Bucket` (both sides of a link derive the identical plan from the
-parameter list, so bucket membership never travels on the wire). A
-:class:`FusedBucketContext` owns one inner
+parameter list, so bucket membership never travels on the wire). Plans are
+**partition-aware**: :func:`build_fusion_plan` accepts a ``partition``
+function mapping each tensor name to a destination key — a shard of a
+:class:`~repro.distributed.sharding.ShardedParameterService`, the cross-rack
+uplink of a hierarchical exchange — and never lets a bucket span two keys,
+so one fused frame always has exactly one destination on the wire.
+
+A :class:`FusedBucketContext` owns one inner
 :class:`~repro.compression.base.CompressorContext` of the bucket's flat shape
 and compresses the concatenated bucket with a single codec call, framing the
 result as one :class:`~repro.core.packets.FusedWireMessage` — one header and
 one CRC instead of dozens.
 
-Fusion is applied to the small-tensor *bypass* path (raw float32 codec), so
-it is numerically exact: fused and per-tensor transmission reconstruct
-bit-identical values, only framing and call count change.
+Two codec modes exist per plan:
+
+* **exact** (``lossy=False``, the default) — the inner context is the raw
+  float32 *bypass* codec, so fused and per-tensor transmission reconstruct
+  bit-identical values; only framing and call count change.
+* **lossy** (``lossy=True``) — the inner context is the scheme's own lossy
+  codec applied once to the whole concatenated bucket, i.e. one *shared*
+  quantization scale per bucket instead of one per tensor. Cheaper on the
+  wire; the accuracy cost is measured in ``benchmarks/bench_fusion.py``.
 """
 
 from __future__ import annotations
@@ -44,11 +56,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Bucket:
-    """One fused bucket: an ordered set of tensors sharing a frame."""
+    """One fused bucket: an ordered set of tensors sharing a frame.
+
+    ``group`` is the partition key every member maps to (``None`` for
+    unpartitioned plans): the single wire destination this bucket's frames
+    travel to — a shard index, a cross-rack uplink label. Hashable so
+    services can key per-destination routing on it.
+    """
 
     index: int
     names: tuple[str, ...]
     shapes: tuple[tuple[int, ...], ...]
+    group: object | None = None
 
     def __post_init__(self) -> None:
         if len(self.names) != len(self.shapes):
@@ -77,13 +96,49 @@ class Bucket:
 
 @dataclass(frozen=True)
 class FusionPlan:
-    """Deterministic assignment of small tensors to fused buckets."""
+    """Deterministic assignment of small tensors to fused buckets.
+
+    ``lossy`` selects the bucket codec mode (see the module docstring);
+    every context and decode call derived from the plan follows it, so the
+    flag travels with the plan instead of being threaded separately through
+    workers, servers, and shards.
+
+    Bucket indices are global identifiers, not positions: a
+    :class:`~repro.distributed.sharding.ShardedParameterService` hands each
+    shard a sub-plan holding only its buckets *with their original
+    indices*, so push/pull dicts keyed by index merge without translation.
+    Use :meth:`bucket` to resolve an index.
+    """
 
     buckets: tuple[Bucket, ...]
+    lossy: bool = False
 
     @property
     def fused_names(self) -> frozenset[str]:
         return frozenset(n for b in self.buckets for n in b.names)
+
+    @cached_property
+    def _by_index(self) -> dict[int, Bucket]:
+        return {b.index: b for b in self.buckets}
+
+    def bucket(self, index: int) -> Bucket:
+        """Resolve a (global) bucket index."""
+        try:
+            return self._by_index[index]
+        except KeyError:
+            raise KeyError(f"plan has no bucket with index {index}") from None
+
+    def restrict(self, indices) -> "FusionPlan | None":
+        """Sub-plan holding only ``indices``, original indices preserved.
+
+        Returns ``None`` when the restriction is empty, matching the
+        "no plan" convention everywhere else.
+        """
+        wanted = set(indices)
+        kept = tuple(b for b in self.buckets if b.index in wanted)
+        if not kept:
+            return None
+        return FusionPlan(kept, lossy=self.lossy)
 
     def __len__(self) -> int:
         return len(self.buckets)
@@ -94,40 +149,60 @@ def build_fusion_plan(
     *,
     threshold: int,
     bucket_elements: int,
+    partition=None,
+    lossy: bool = False,
 ) -> FusionPlan:
     """Group every below-threshold tensor into capacity-bounded buckets.
 
     Tensors are visited in dict (= parameter registration) order, so every
     node derives the identical plan. A bucket closes when adding the next
     tensor would exceed ``bucket_elements`` (a single oversized tensor still
-    gets its own bucket, though the threshold normally prevents that).
+    gets its own bucket, though the threshold normally prevents that) — or
+    when the next tensor's ``partition(name)`` key differs from the open
+    bucket's, so no bucket ever spans two wire destinations. Partition keys
+    must be hashable; ``partition=None`` means a single unpartitioned group.
     """
     if bucket_elements < 1:
         raise ValueError(f"bucket_elements must be >= 1, got {bucket_elements}")
-    buckets: list[Bucket] = []
-    names: list[str] = []
-    bucket_shapes: list[tuple[int, ...]] = []
-    used = 0
-
-    def close() -> None:
-        nonlocal names, bucket_shapes, used
-        if names:
-            buckets.append(
-                Bucket(len(buckets), tuple(names), tuple(bucket_shapes))
-            )
-            names, bucket_shapes, used = [], [], 0
-
+    # Group by destination first (first-appearance order), then pack each
+    # group independently: two tensors that interleave in registration
+    # order but live on different shards still pack densely within their
+    # own destination's buckets.
+    grouped: dict[object, list[tuple[str, tuple[int, ...]]]] = {}
     for name, shape in shapes.items():
         size = int(np.prod(shape)) if shape else 1
         if size >= threshold:
             continue
-        if names and used + size > bucket_elements:
-            close()
-        names.append(name)
-        bucket_shapes.append(tuple(int(d) for d in shape))
-        used += size
-    close()
-    return FusionPlan(tuple(buckets))
+        key = partition(name) if partition is not None else None
+        grouped.setdefault(key, []).append(
+            (name, tuple(int(d) for d in shape))
+        )
+
+    buckets: list[Bucket] = []
+    for key, members in grouped.items():
+        names: list[str] = []
+        bucket_shapes: list[tuple[int, ...]] = []
+        used = 0
+
+        def close() -> None:
+            nonlocal names, bucket_shapes, used
+            if names:
+                buckets.append(
+                    Bucket(
+                        len(buckets), tuple(names), tuple(bucket_shapes), key
+                    )
+                )
+                names, bucket_shapes, used = [], [], 0
+
+        for name, shape in members:
+            size = math.prod(shape) if shape else 1
+            if names and used + size > bucket_elements:
+                close()
+            names.append(name)
+            bucket_shapes.append(shape)
+            used += size
+        close()
+    return FusionPlan(tuple(buckets), lossy=lossy)
 
 
 def split_bucket(flat: np.ndarray, bucket: Bucket) -> dict[str, np.ndarray]:
@@ -163,10 +238,10 @@ class FusedBucketContext:
     """Bucket-aware compression context: one codec call per bucket per step.
 
     Wraps an inner per-"tensor" context whose tensor is the flat bucket, so
-    cross-step state (error buffers, deferral counters) composes unchanged.
-    A ``None`` from the inner context (a deferring scheme) defers the whole
-    bucket, matching what the per-tensor path would have done for each
-    member individually.
+    cross-step state (error buffers, deferral counters, a lossy codec's
+    error feedback) composes unchanged. A ``None`` from the inner context
+    (a deferring scheme) defers the whole bucket, matching what the
+    per-tensor path would have done for each member individually.
     """
 
     def __init__(self, bucket: Bucket, inner) -> None:

@@ -123,10 +123,10 @@ class ParameterServer:
         self.fused_pull_contexts: dict[int, FusedBucketContext] = {}
         if fusion_plan is not None:
             for bucket in fusion_plan.buckets:
-                self.fused_pull_contexts[bucket.index] = (
-                    scheme.make_fused_bypass_context(
-                        bucket, key=("pull-fused", bucket.index)
-                    )
+                self.fused_pull_contexts[bucket.index] = scheme.make_fused_context(
+                    bucket,
+                    key=("pull-fused", bucket.index),
+                    lossy=fusion_plan.lossy,
                 )
         self.global_step = 0
 
@@ -151,8 +151,10 @@ class ParameterServer:
             for index, result in worker_fused.items():
                 if result is None:
                     continue
-                bucket = self.fusion_plan.buckets[index]
-                flat = self.scheme.decompress_fused_bypass(result.message)
+                bucket = self.fusion_plan.bucket(index)
+                flat = self.scheme.decompress_fused(
+                    result.message, lossy=self.fusion_plan.lossy
+                )
                 grads.update(split_bucket(flat, bucket))
             per_worker.append(grads)
         return per_worker
@@ -275,6 +277,6 @@ class ParameterServer:
         """Decode one fused pull bucket into named deltas (one codec call)."""
         if self.fusion_plan is None:
             raise ValueError("server has no fusion plan")
-        bucket = self.fusion_plan.buckets[index]
-        flat = self.scheme.decompress_fused_bypass(message)
+        bucket = self.fusion_plan.bucket(index)
+        flat = self.scheme.decompress_fused(message, lossy=self.fusion_plan.lossy)
         return split_bucket(flat, bucket)

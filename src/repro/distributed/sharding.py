@@ -23,13 +23,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import Compressor, CompressionResult
+from repro.compression.fusion import FusedCompressionResult, FusionPlan
 from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
 from repro.distributed.server import ParameterServer, PullBatch
 from repro.nn.optimizer import MomentumSGD
 from repro.nn.parameter import Parameter
 from repro.nn.schedule import Schedule
 
-__all__ = ["partition_parameters", "ShardedParameterService", "ShardLoad"]
+__all__ = [
+    "partition_parameters",
+    "shard_owner_map",
+    "ShardedParameterService",
+    "ShardLoad",
+]
 
 
 def partition_parameters(
@@ -52,6 +58,20 @@ def partition_parameters(
         shards[target].append(name)
         loads[target] += sizes[name]
     return shards
+
+
+def shard_owner_map(sizes: dict[str, int], num_shards: int) -> dict[str, int]:
+    """Tensor name → owning shard index, from the greedy partition.
+
+    The single derivation shared by the sharded service itself and by the
+    wire-plan layer's partition functions — shard-purity of fused buckets
+    depends on both sides agreeing on this map exactly.
+    """
+    return {
+        name: idx
+        for idx, names in enumerate(partition_parameters(sizes, num_shards))
+        for name in names
+    }
 
 
 class ShardLoad:
@@ -100,6 +120,7 @@ class ShardedParameterService:
         num_workers: int,
         num_shards: int = 2,
         small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD,
+        fusion_plan: FusionPlan | None = None,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -112,6 +133,25 @@ class ShardedParameterService:
             {p.name: p.size for p in parameters}, num_shards
         )
         self.num_shards = num_shards
+        self._owner: dict[str, int] = shard_owner_map(
+            {p.name: p.size for p in parameters}, num_shards
+        )
+        # A fused frame has one wire destination, so a bucket must be
+        # shard-pure: the wire-plan layer builds plans partitioned on the
+        # identical greedy owner map, and this check catches any caller
+        # handing in an unpartitioned (or differently partitioned) plan.
+        self.fusion_plan = fusion_plan
+        self._bucket_owner: dict[int, int] = {}
+        if fusion_plan is not None:
+            for bucket in fusion_plan.buckets:
+                owners = {self._owner[name] for name in bucket.names}
+                if len(owners) != 1:
+                    raise ValueError(
+                        f"fused bucket {bucket.index} spans shards "
+                        f"{sorted(owners)}; build the plan with the sharded "
+                        "topology's partition (see exchange.wireplan)"
+                    )
+                self._bucket_owner[bucket.index] = owners.pop()
         self.shards: list[ParameterServer] = [
             ParameterServer(
                 [by_name[name] for name in shard_names],
@@ -120,14 +160,18 @@ class ShardedParameterService:
                 scheme,
                 num_workers=num_workers,
                 small_tensor_threshold=small_tensor_threshold,
+                fusion_plan=(
+                    fusion_plan.restrict(
+                        index
+                        for index, owner in self._bucket_owner.items()
+                        if owner == idx
+                    )
+                    if fusion_plan is not None
+                    else None
+                ),
             )
-            for shard_names in self.partition
+            for idx, shard_names in enumerate(self.partition)
         ]
-        self._owner: dict[str, int] = {
-            name: idx
-            for idx, names in enumerate(self.partition)
-            for name in names
-        }
         self.last_loads: list[ShardLoad] = [ShardLoad() for _ in range(num_shards)]
         #: Merged name → parameter view across all shards. Shard membership
         #: is fixed at construction and Parameter objects are stable, so
@@ -154,6 +198,13 @@ class ShardedParameterService:
         except KeyError:
             raise KeyError(f"unknown parameter {name!r}") from None
 
+    def shard_of_bucket(self, index: int) -> int:
+        """Index of the server owning fused bucket ``index``."""
+        try:
+            return self._bucket_owner[index]
+        except KeyError:
+            raise KeyError(f"unknown fused bucket {index!r}") from None
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Merged snapshot of the partitioned global model."""
         merged: dict[str, np.ndarray] = {}
@@ -165,8 +216,14 @@ class ShardedParameterService:
         self,
         pushes: list[dict[str, CompressionResult | None]],
         divisor: int | None = None,
+        fused_pushes: list[dict[int, FusedCompressionResult | None]] | None = None,
     ) -> PullBatch:
-        """Aggregate, update, and compress pulls across every shard."""
+        """Aggregate, update, and compress pulls across every shard.
+
+        ``fused_pushes`` (per worker, keyed by global bucket index) fan out
+        to the owning shards exactly like named pushes do — the wire plan
+        guarantees a bucket has one owner, so the split is a dict lookup.
+        """
         per_shard_pushes: list[list[dict[str, CompressionResult | None]]] = [
             [] for _ in range(self.num_shards)
         ]
@@ -183,23 +240,52 @@ class ShardedParameterService:
             for idx in range(self.num_shards):
                 per_shard_pushes[idx].append(split[idx])
 
+        per_shard_fused: list[
+            list[dict[int, FusedCompressionResult | None]] | None
+        ] = [None] * self.num_shards
+        if fused_pushes is not None:
+            if len(fused_pushes) != len(pushes):
+                raise ValueError("fused_pushes must align with pushes")
+            per_shard_fused = [[] for _ in range(self.num_shards)]
+            for worker_fused in fused_pushes:
+                split_fused: list[dict[int, FusedCompressionResult | None]] = [
+                    {} for _ in range(self.num_shards)
+                ]
+                for index, result in worker_fused.items():
+                    owner = self.shard_of_bucket(index)
+                    split_fused[owner][index] = result
+                    if result is not None:
+                        loads[owner].push_bytes += result.wire_size
+                for idx in range(self.num_shards):
+                    per_shard_fused[idx].append(split_fused[idx])
+
         messages: dict[str, CompressionResult | None] = {}
+        fused: dict[int, FusedCompressionResult | None] = {}
         decompress = compress = 0.0
         for idx, shard in enumerate(self.shards):
             if not shard.params:
                 continue
-            batch = shard.step(per_shard_pushes[idx], divisor)
+            batch = shard.step(
+                per_shard_pushes[idx], divisor, fused_pushes=per_shard_fused[idx]
+            )
             messages.update(batch.messages)
+            fused.update(batch.fused)
             decompress += batch.decompress_seconds
             compress += batch.compress_seconds
             loads[idx].pull_bytes_shared = sum(
                 r.wire_size for r in batch.messages.values() if r is not None
-            )
+            ) + sum(r.wire_size for r in batch.fused.values() if r is not None)
         self.last_loads = loads
-        return PullBatch(messages, decompress, compress)
+        return PullBatch(messages, decompress, compress, fused)
 
     def decompress_pull(self, name: str, message) -> np.ndarray:
         return self.shards[self.shard_of(name)].decompress_pull(name, message)
+
+    def decompress_fused_pull(self, index: int, message) -> dict[str, np.ndarray]:
+        """Decode one fused pull bucket via its owning shard."""
+        return self.shards[self.shard_of_bucket(index)].decompress_fused_pull(
+            index, message
+        )
 
     def hot_link_bytes(self, pull_fanout: int) -> int:
         """The most-loaded server link's bytes for the last step — the

@@ -137,8 +137,10 @@ class Worker:
                 self.push_contexts[name] = scheme.make_context(param.shape, key=key)
         if fusion_plan is not None:
             for bucket in fusion_plan.buckets:
-                self.fused_contexts[bucket.index] = scheme.make_fused_bypass_context(
-                    bucket, key=("push-fused", self.worker_id, bucket.index)
+                self.fused_contexts[bucket.index] = scheme.make_fused_context(
+                    bucket,
+                    key=("push-fused", self.worker_id, bucket.index),
+                    lossy=fusion_plan.lossy,
                 )
 
     def _forward_backward(self) -> tuple[float, float]:

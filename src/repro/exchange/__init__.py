@@ -25,6 +25,7 @@ from repro.exchange.sync import (
     SyncMode,
     make_sync_mode,
 )
+from repro.exchange.wireplan import build_wire_plan, fusion_incompatibility
 from repro.exchange.topology import (
     TOPOLOGIES,
     ExchangeTopology,
@@ -61,4 +62,6 @@ __all__ = [
     "HierarchicalOutcome",
     "make_topology",
     "TOPOLOGIES",
+    "build_wire_plan",
+    "fusion_incompatibility",
 ]

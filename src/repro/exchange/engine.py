@@ -12,12 +12,16 @@ The legacy classes survive as thin facades, and the BSP single-server path
 is op-for-op identical to the seed implementation (the parity tests in
 ``tests/exchange`` assert bit-identical loss trajectories and wire bytes).
 
-On top of the unified paths sits the **fused-bucket hot path**
-(``fuse_small_tensors=True``): below-threshold tensors are flattened into
-capacity-bounded buckets, compressed with one codec call per bucket, and
-framed as one :class:`~repro.core.packets.FusedWireMessage` — removing the
-per-tensor Python overhead and per-message header bytes of the
-many-small-tensors regime (batch-norm scale/shift, biases).
+On top of the unified paths sits the **wire-plan layer**
+(``fuse_small_tensors=True``, :mod:`repro.exchange.wireplan`):
+below-threshold tensors are flattened into capacity-bounded buckets —
+partitioned so no bucket spans a shard or rack-uplink boundary —
+compressed with one codec call per bucket (exact float32 bypass, or the
+scheme's own codec with one shared scale under ``fuse_lossy``), and framed
+as one :class:`~repro.core.packets.FusedWireMessage` per bucket per
+destination. Async/SSP modes pull fused deltas through per-worker fused
+pull streams, and the recorded event streams carry the fused frames for
+the simulators to replay.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression.base import Compressor
-from repro.compression.fusion import FusionPlan, build_fusion_plan
+from repro.compression.fusion import FusedBucketContext, FusionPlan
 from repro.data.augment import Augmenter
 from repro.data.batcher import ShardBatcher
 from repro.data.synthetic import SyntheticImageDataset
@@ -41,6 +45,7 @@ from repro.exchange.topology import (
     HierarchicalExchangeService,
     make_topology,
 )
+from repro.exchange.wireplan import build_wire_plan, fusion_incompatibility
 from repro.netsim.events import StepTransmissions, TransmissionRecord, UpdateTransmissions
 from repro.network.traffic import StepTraffic, TrafficMeter
 from repro.nn.loss import SoftmaxCrossEntropy, accuracy
@@ -90,10 +95,17 @@ class EngineConfig:
     #: Per-step compute-time jitter / straggler injection (None = uniform).
     straggler: StragglerSpec | None = None
     #: Fused-bucket hot path: pack small tensors into buckets and compress
-    #: each bucket with a single codec call (single topology, BSP only).
+    #: each bucket with a single codec call. Composes with every
+    #: point-to-point topology (partition-aware plans keep buckets inside
+    #: shard and rack-uplink boundaries) and every sync mode (async/SSP
+    #: runs per-worker fused pull streams).
     fuse_small_tensors: bool = False
     #: Bucket capacity in elements for the fusion plan.
     bucket_elements: int = FUSION_BUCKET_ELEMENTS
+    #: Lossy fused buckets: run the scheme's own codec once over each
+    #: concatenated bucket (one shared quantization scale per bucket)
+    #: instead of the exact float32 bypass. Requires ``fuse_small_tensors``.
+    fuse_lossy: bool = False
     #: Record transmission plans for the discrete-event network simulator.
     #: BSP steps append per-step plans to ``ExchangeEngine.transmissions``;
     #: async/SSP modes append per-update event streams (push/pull records
@@ -119,6 +131,18 @@ class EngineConfig:
             raise ValueError("staleness must be >= 0 or None")
         if self.bucket_elements < 1:
             raise ValueError("bucket_elements must be >= 1")
+        if self.fuse_lossy and not self.fuse_small_tensors:
+            raise ValueError(
+                "fuse_lossy selects the codec mode of the fused-bucket "
+                "path; it requires fuse_small_tensors=True"
+            )
+        if self.fuse_small_tensors:
+            reason = fusion_incompatibility(
+                self.topology,
+                racks=self.racks if self.topology == "hier" else None,
+            )
+            if reason is not None:
+                raise ValueError(reason)
         if self.fixed_compute_seconds is not None and self.fixed_compute_seconds <= 0:
             raise ValueError("fixed_compute_seconds must be > 0 or None")
         if self.topology == "hier":
@@ -218,24 +242,18 @@ class ExchangeEngine:
             )
 
         reference_model = model_factory()
+        # The wire plan: the topology partitions below-threshold tensors
+        # into buckets that never span a wire destination (shard, rack
+        # uplink); None when fusion is off or no tensor qualifies.
         self.fusion_plan: FusionPlan | None = None
         if config.fuse_small_tensors:
-            if not self.topology.supports_fusion:
-                raise ValueError(
-                    f"topology {self.topology.name!r} does not support the "
-                    "fused-bucket path"
-                )
-            if not self.sync.synchronous:
-                raise ValueError(
-                    "fused buckets require BSP's shared pulls; per-worker "
-                    "fused pull streams are future work (see ARCHITECTURE.md)"
-                )
-            plan = build_fusion_plan(
+            self.fusion_plan = build_wire_plan(
+                self.topology,
                 {p.name: p.shape for p in reference_model.parameters()},
                 threshold=config.small_tensor_threshold,
                 bucket_elements=config.bucket_elements,
+                lossy=config.fuse_lossy,
             )
-            self.fusion_plan = plan if plan.buckets else None
 
         self.workers: list[Worker] = []
         for worker_id in range(config.num_workers):
@@ -324,6 +342,11 @@ class ExchangeEngine:
                 if self._is_hierarchical
                 else [worker.worker_id for worker in self.workers]
             )
+            fused_names = (
+                self.fusion_plan.fused_names
+                if self.fusion_plan is not None
+                else frozenset()
+            )
             self._pull_contexts = {
                 unit: {
                     name: (
@@ -336,7 +359,27 @@ class ExchangeEngine:
                         )
                     )
                     for name, param in self.service.params.items()
+                    if name not in fused_names
                 }
+                for unit in units
+            }
+            # Per-unit fused pull streams: each worker (or rack) decodes
+            # its own fused delta buckets — one frame per bucket per
+            # update, compressed through a personal error-feedback
+            # context, exactly as the per-tensor pull stream works.
+            self._fused_pull_contexts: dict[int, dict[int, FusedBucketContext]] = {
+                unit: (
+                    {
+                        bucket.index: scheme.make_fused_context(
+                            bucket,
+                            key=(f"{prefix}-fused", unit, bucket.index),
+                            lossy=self.fusion_plan.lossy,
+                        )
+                        for bucket in self.fusion_plan.buckets
+                    }
+                    if self.fusion_plan is not None
+                    else {}
+                )
                 for unit in units
             }
             # Global state at each unit's last pull: the pull context is
@@ -558,7 +601,7 @@ class ExchangeEngine:
             for index, result in batch.fused.items():
                 if result is None:
                     continue
-                bucket = fusion_plan.buckets[index]
+                bucket = fusion_plan.bucket(index)
                 sends.append(
                     TransmissionRecord(
                         name=f"bucket:{index}",
@@ -591,7 +634,7 @@ class ExchangeEngine:
         for index, result in pull_batch.fused.items():
             if result is None:
                 continue
-            bucket = fusion_plan.buckets[index]
+            bucket = fusion_plan.bucket(index)
             sends.append(
                 TransmissionRecord(
                     name=f"bucket:{index}",
@@ -698,18 +741,10 @@ class ExchangeEngine:
         )
         record.push_bytes = outcome.intra_wire_bytes + outcome.cross_push_bytes
         record.push_elements = outcome.intra_elements + outcome.cross_push_elements
-        cross_push_count = sum(
-            1
-            for messages in outcome.cross_push_results
-            for result in messages.values()
-            if result is not None
-        )
-        record.push_messages = outcome.ring_frames + cross_push_count
+        record.push_messages = outcome.ring_frames + outcome.cross_push_count
         record.pull_bytes_shared = outcome.cross_pull_bytes
         record.pull_elements = outcome.cross_pull_elements
-        record.pull_messages = sum(
-            1 for result in outcome.pull_messages.values() if result is not None
-        )
+        record.pull_messages = outcome.pull_message_count
         record.intra_rack_bytes = (
             outcome.intra_wire_bytes
             + outcome.cross_pull_bytes * racks * (rack_size - 1)
@@ -795,6 +830,28 @@ class ExchangeEngine:
                         depends_on=(f"{name}@rack{rack}",),
                     )
                 )
+            if position >= len(outcome.cross_fused_results):
+                continue
+            for index, result in outcome.cross_fused_results[position].items():
+                if result is None:
+                    continue
+                bucket = self.fusion_plan.bucket(index)
+                # A fused uplink frame carries the whole bucket, so it may
+                # leave only once every member's rack collective landed.
+                records.append(
+                    TransmissionRecord(
+                        name=f"bucket:{index}@up{rack}",
+                        params=bucket.names,
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[bucket.names[0]],
+                        worker=leader,
+                        phase="push",
+                        depends_on=tuple(
+                            f"{name}@rack{rack}" for name in bucket.names
+                        ),
+                    )
+                )
         return records
 
     def _hier_pull_records(self, outcome) -> list[TransmissionRecord]:
@@ -804,16 +861,15 @@ class ExchangeEngine:
         racks = self.engine_config.racks
         rack_size = self.engine_config.rack_size
         records: list[TransmissionRecord] = []
-        for name, result in outcome.pull_messages.items():
-            if result is None:
-                continue
+
+        def shared_pull(name: str, params: tuple[str, ...], message) -> None:
             records.append(
                 TransmissionRecord(
                     name=name,
-                    params=(name,),
-                    wire_bytes=result.message.wire_size,
-                    elements=result.message.element_count,
-                    route=self._routes[name],
+                    params=params,
+                    wire_bytes=message.wire_size,
+                    elements=message.element_count,
+                    route=self._routes[params[0]],
                     copies=racks,
                     phase="pull",
                     frames=racks,
@@ -823,15 +879,25 @@ class ExchangeEngine:
                 records.append(
                     TransmissionRecord(
                         name=f"{name}@bcast{rack}",
-                        params=(name,),
-                        wire_bytes=result.message.wire_size,
-                        elements=result.message.element_count,
+                        params=params,
+                        wire_bytes=message.wire_size,
+                        elements=message.element_count,
                         route=f"rack{rack}",
                         phase="pull",
                         frames=rack_size - 1,
                         depends_on=(name,),
                     )
                 )
+
+        for name, result in outcome.pull_messages.items():
+            if result is None:
+                continue
+            shared_pull(name, (name,), result.message)
+        for index, result in outcome.pull_fused.items():
+            if result is None:
+                continue
+            bucket = self.fusion_plan.bucket(index)
+            shared_pull(f"bucket:{index}", bucket.names, result.message)
         return records
 
     # -- event-driven scheduling (async / SSP) -----------------------------
@@ -862,7 +928,12 @@ class ExchangeEngine:
         # The service applies this worker's (stale) gradient immediately.
         step = self.service.global_step
         staleness = step - self._pull_step[wid]
-        pull_batch = self.service.step([batch.messages], divisor=1)
+        if self.fusion_plan is not None:
+            pull_batch = self.service.step(
+                [batch.messages], divisor=1, fused_pushes=[batch.fused]
+            )
+        else:
+            pull_batch = self.service.step([batch.messages], divisor=1)
         self.update_count += 1
 
         # Individual pull: compress (global - worker_view) deltas for this
@@ -893,12 +964,31 @@ class ExchangeEngine:
                         phase="push",
                     )
                 )
+        for index, result in batch.fused.items():
+            if result is None:
+                continue
+            record.push_bytes += result.message.wire_size
+            record.push_elements += result.message.element_count
+            record.push_messages += 1
+            if recording:
+                bucket = self.fusion_plan.bucket(index)
+                pushes.append(
+                    TransmissionRecord(
+                        name=f"bucket:{index}",
+                        params=bucket.names,
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[bucket.names[0]],
+                        worker=wid,
+                        phase="push",
+                    )
+                )
         deltas: dict[str, np.ndarray] = {}
         pulls: list[TransmissionRecord] = []
         last = self._last_global[wid]
         t0 = time.perf_counter()
-        for name, param in self.service.params.items():
-            context = self._pull_contexts[wid][name]
+        for name, context in self._pull_contexts[wid].items():
+            param = self.service.params[name]
             increment = param.data - last[name]
             last[name] = param.data.copy()
             result = context.compress(increment)
@@ -916,6 +1006,34 @@ class ExchangeEngine:
                         wire_bytes=result.message.wire_size,
                         elements=result.message.element_count,
                         route=self._routes[name],
+                        worker=wid,
+                        phase="pull",
+                    )
+                )
+        # This worker's fused pull stream: one frame per bucket carrying
+        # the member increments since its last pull.
+        for index, context in self._fused_pull_contexts[wid].items():
+            bucket = context.bucket
+            increments = {}
+            for name in bucket.names:
+                param = self.service.params[name]
+                increments[name] = param.data - last[name]
+                last[name] = param.data.copy()
+            result = context.compress(increments)
+            if result is None:  # deferred: whole bucket rides the buffer
+                continue
+            deltas.update(result.parts)
+            record.pull_bytes_shared += result.message.wire_size
+            record.pull_elements += result.message.element_count
+            record.pull_messages += 1
+            if recording:
+                pulls.append(
+                    TransmissionRecord(
+                        name=f"bucket:{index}",
+                        params=bucket.names,
+                        wire_bytes=result.message.wire_size,
+                        elements=result.message.element_count,
+                        route=self._routes[bucket.names[0]],
                         worker=wid,
                         phase="pull",
                     )
@@ -997,12 +1115,7 @@ class ExchangeEngine:
         )
         record.push_bytes = outcome.intra_wire_bytes + outcome.cross_push_bytes
         record.push_elements = outcome.intra_elements + outcome.cross_push_elements
-        cross_push_count = sum(
-            1
-            for result in outcome.cross_push_results[0].values()
-            if result is not None
-        )
-        record.push_messages = outcome.ring_frames + cross_push_count
+        record.push_messages = outcome.ring_frames + outcome.cross_push_count
         record.intra_rack_bytes = outcome.intra_wire_bytes
         record.cross_rack_bytes = outcome.cross_push_bytes
 
@@ -1018,44 +1131,64 @@ class ExchangeEngine:
         pulls: list[TransmissionRecord] = []
         last = self._last_global[rack]
         t0 = time.perf_counter()
-        for name, param in self.service.params.items():
-            context = self._pull_contexts[rack][name]
+
+        def account_pull(
+            label: str, params: tuple[str, ...], message
+        ) -> None:
+            record.pull_bytes_shared += message.wire_size
+            record.pull_elements += message.element_count
+            record.pull_messages += 1
+            record.cross_rack_bytes += message.wire_size
+            record.intra_rack_bytes += message.wire_size * (rack_size - 1)
+            if recording:
+                pulls.append(
+                    TransmissionRecord(
+                        name=f"{label}@down{rack}",
+                        params=params,
+                        wire_bytes=message.wire_size,
+                        elements=message.element_count,
+                        route=self._routes[params[0]],
+                        worker=rack,
+                        phase="pull",
+                    )
+                )
+                pulls.append(
+                    TransmissionRecord(
+                        name=f"{label}@bcast{rack}",
+                        params=params,
+                        wire_bytes=message.wire_size,
+                        elements=message.element_count,
+                        route=f"rack{rack}",
+                        worker=rack,
+                        phase="pull",
+                        frames=rack_size - 1,
+                        depends_on=(f"{label}@down{rack}",),
+                    )
+                )
+
+        for name, context in self._pull_contexts[rack].items():
+            param = self.service.params[name]
             increment = param.data - last[name]
             last[name] = param.data.copy()
             result = context.compress(increment)
             if result is None:  # deferred (local-steps); buffered in context
                 continue
             deltas[name] = result.reconstruction
-            record.pull_bytes_shared += result.message.wire_size
-            record.pull_elements += result.message.element_count
-            record.pull_messages += 1
-            record.cross_rack_bytes += result.message.wire_size
-            record.intra_rack_bytes += result.message.wire_size * (rack_size - 1)
-            if recording:
-                pulls.append(
-                    TransmissionRecord(
-                        name=f"{name}@down{rack}",
-                        params=(name,),
-                        wire_bytes=result.message.wire_size,
-                        elements=result.message.element_count,
-                        route=self._routes[name],
-                        worker=rack,
-                        phase="pull",
-                    )
-                )
-                pulls.append(
-                    TransmissionRecord(
-                        name=f"{name}@bcast{rack}",
-                        params=(name,),
-                        wire_bytes=result.message.wire_size,
-                        elements=result.message.element_count,
-                        route=f"rack{rack}",
-                        worker=rack,
-                        phase="pull",
-                        frames=rack_size - 1,
-                        depends_on=(f"{name}@down{rack}",),
-                    )
-                )
+            account_pull(name, (name,), result.message)
+        # This rack's fused pull stream: one frame per bucket crosses the
+        # uplink and circulates the rack ring, like any shared delta.
+        for index, context in self._fused_pull_contexts[rack].items():
+            bucket = context.bucket
+            increments = {}
+            for name in bucket.names:
+                param = self.service.params[name]
+                increments[name] = param.data - last[name]
+                last[name] = param.data.copy()
+            result = context.compress(increments)
+            if result is None:  # deferred: whole bucket rides the buffer
+                continue
+            deltas.update(result.parts)
+            account_pull(f"bucket:{index}", bucket.names, result.message)
         pull_compress_seconds = time.perf_counter() - t0
         self._pull_step[rack] = self.service.global_step
         for worker in workers:

@@ -35,11 +35,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.compression.base import Compressor, CompressionResult
-from repro.compression.fusion import FusionPlan
+from repro.compression.fusion import (
+    FusedBucketContext,
+    FusedCompressionResult,
+    FusionPlan,
+)
 from repro.distributed.allreduce import RingAllReduce
 from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
 from repro.distributed.server import ParameterServer
-from repro.distributed.sharding import ShardedParameterService
+from repro.distributed.sharding import ShardedParameterService, shard_owner_map
+from repro.exchange.wireplan import fusion_incompatibility
 from repro.nn.parameter import Parameter
 from repro.nn.schedule import Schedule
 
@@ -87,6 +92,19 @@ class ExchangeTopology(abc.ABC):
     ):
         """Construct the service the engine will step against."""
 
+    def fusion_partition(self, sizes: dict[str, int]):
+        """Tensor-name → wire-destination key for the fused-bucket plan.
+
+        The wire-plan layer (:mod:`repro.exchange.wireplan`) calls this
+        before any service exists, so the returned function must be
+        derivable from the parameter sizes alone — which it is: the
+        sharded partition is the deterministic greedy owner map, and the
+        hierarchical cross tier reuses it for a sharded upper service.
+        ``None`` means every fused frame shares one destination (the
+        single server, a single cross-rack uplink service).
+        """
+        return None
+
     def transmission_routes(self, service) -> dict[str, str]:
         """Map each parameter tensor to the link its messages traverse.
 
@@ -133,11 +151,18 @@ class SingleServerTopology(ExchangeTopology):
 class ShardedTopology(ExchangeTopology):
     """The model is partitioned across independent parameter servers."""
 
+    supports_fusion = True
+
     def __init__(self, num_shards: int = 2):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
         self.name = f"sharded(shards={num_shards})"
+
+    def fusion_partition(self, sizes: dict[str, int]):
+        """Buckets must not span shards: partition by the greedy owner map
+        — the same deterministic map the service itself derives."""
+        return shard_owner_map(sizes, self.num_shards).__getitem__
 
     def build_service(
         self,
@@ -150,11 +175,6 @@ class ShardedTopology(ExchangeTopology):
         small_tensor_threshold=SMALL_TENSOR_THRESHOLD,
         fusion_plan=None,
     ) -> ShardedParameterService:
-        if fusion_plan is not None:
-            raise ValueError(
-                "fused buckets would span shard boundaries; per-shard bucket "
-                "plans are future work (see ARCHITECTURE.md)"
-            )
         return ShardedParameterService(
             parameters,
             optimizer_factory,
@@ -163,6 +183,7 @@ class ShardedTopology(ExchangeTopology):
             num_workers=num_workers,
             num_shards=self.num_shards,
             small_tensor_threshold=small_tensor_threshold,
+            fusion_plan=fusion_plan,
         )
 
     def transmission_routes(self, service) -> dict[str, str]:
@@ -333,10 +354,7 @@ class RingTopology(ExchangeTopology):
         fusion_plan=None,
     ) -> RingExchangeService:
         if fusion_plan is not None:
-            raise ValueError(
-                "the ring exchanges raw gradients; fused buckets only apply "
-                "to point-to-point push/pull framing"
-            )
+            raise ValueError(fusion_incompatibility("ring"))
         return RingExchangeService(
             parameters,
             optimizer_factory(),
@@ -393,6 +411,38 @@ class HierarchicalOutcome:
     server_decompress_seconds: float = 0.0
     server_compress_seconds: float = 0.0
     pull_decompress_seconds: float = 0.0
+    #: Per participating rack: fused cross-push results keyed by (global)
+    #: bucket index — empty tuples/dicts when the run has no fusion plan.
+    #: Fused bytes are already folded into the cross byte totals above.
+    cross_fused_results: tuple[
+        dict[int, FusedCompressionResult | None], ...
+    ] = ()
+    #: Shared fused pull messages keyed by bucket index (BSP only).
+    pull_fused: dict[int, FusedCompressionResult | None] = field(
+        default_factory=dict
+    )
+
+    @property
+    def cross_push_count(self) -> int:
+        """Transmitted cross-push wire frames (named + fused, non-``None``)."""
+        return sum(
+            1
+            for messages in self.cross_push_results
+            for result in messages.values()
+            if result is not None
+        ) + sum(
+            1
+            for fused in self.cross_fused_results
+            for result in fused.values()
+            if result is not None
+        )
+
+    @property
+    def pull_message_count(self) -> int:
+        """Compressed shared-pull messages (named + fused, non-``None``)."""
+        return sum(
+            1 for result in self.pull_messages.values() if result is not None
+        ) + sum(1 for result in self.pull_fused.values() if result is not None)
 
     @property
     def push_compress_seconds(self) -> float:
@@ -453,6 +503,7 @@ class HierarchicalExchangeService:
         upper: str = "single",
         num_shards: int = 2,
         small_tensor_threshold: int = SMALL_TENSOR_THRESHOLD,
+        fusion_plan: FusionPlan | None = None,
     ):
         if racks < 1:
             raise ValueError(f"racks must be >= 1, got {racks}")
@@ -460,11 +511,14 @@ class HierarchicalExchangeService:
             raise ValueError(
                 f"a rack ring needs >= 2 workers, got rack_size={rack_size}"
             )
+        if fusion_plan is not None and racks < 2:
+            raise ValueError(fusion_incompatibility("hier", racks=racks))
         self.racks = int(racks)
         self.rack_size = int(rack_size)
         self.schedule = schedule
         self.scheme = scheme
         self.small_tensor_threshold = int(small_tensor_threshold)
+        self.fusion_plan = fusion_plan
         self.upper: ParameterServer | ShardedParameterService | None = None
         self._flat: RingExchangeService | None = None
 
@@ -483,6 +537,7 @@ class HierarchicalExchangeService:
             self.params = self._flat.params
             self.rack_rings = [self._flat.rings]
             self.cross_push_contexts: list[dict] = []
+            self.cross_fused_contexts: list[dict[int, FusedBucketContext]] = []
             return
 
         if upper_worker_slots is None:
@@ -495,6 +550,7 @@ class HierarchicalExchangeService:
                 scheme,
                 upper_worker_slots,
                 small_tensor_threshold=small_tensor_threshold,
+                fusion_plan=fusion_plan,
             )
         elif upper == "sharded":
             self.upper = ShardedParameterService(
@@ -505,6 +561,7 @@ class HierarchicalExchangeService:
                 num_workers=upper_worker_slots,
                 num_shards=num_shards,
                 small_tensor_threshold=small_tensor_threshold,
+                fusion_plan=fusion_plan,
             )
         else:
             raise ValueError(
@@ -525,7 +582,11 @@ class HierarchicalExchangeService:
         ]
         # Persistent per-rack uplink contexts: error feedback corrects the
         # scarce cross-rack link across training steps (paper Figure 2a,
-        # applied at rack granularity).
+        # applied at rack granularity). Tensors owned by the fusion plan
+        # cross the uplink inside fused buckets instead, through per-rack
+        # fused contexts (one frame — and under ``lossy`` one shared
+        # quantization scale — per bucket per rack).
+        fused_names = fusion_plan.fused_names if fusion_plan else frozenset()
         self.cross_push_contexts = [
             {
                 name: (
@@ -536,7 +597,21 @@ class HierarchicalExchangeService:
                     else scheme.make_context(param.shape, key=("hpush", rack, name))
                 )
                 for name, param in self.params.items()
+                if name not in fused_names
             }
+            for rack in range(self.racks)
+        ]
+        self.cross_fused_contexts = [
+            {
+                bucket.index: scheme.make_fused_context(
+                    bucket,
+                    key=("hpush-fused", rack, bucket.index),
+                    lossy=fusion_plan.lossy,
+                )
+                for bucket in fusion_plan.buckets
+            }
+            if fusion_plan is not None
+            else {}
             for rack in range(self.racks)
         ]
 
@@ -597,14 +672,28 @@ class HierarchicalExchangeService:
 
     def _compress_uplink(
         self, rack: int, rack_grads: dict[str, np.ndarray]
-    ) -> tuple[dict[str, CompressionResult | None], float]:
-        """Phase 2 (up) for one rack: compress the aggregate for the core."""
+    ) -> tuple[
+        dict[str, CompressionResult | None],
+        dict[int, FusedCompressionResult | None],
+        float,
+    ]:
+        """Phase 2 (up) for one rack: compress the aggregate for the core.
+
+        Plan-owned tensors travel as fused buckets (one frame per bucket
+        per rack); everything else keeps its per-tensor uplink context.
+        """
         t0 = time.perf_counter()
+        contexts = self.cross_push_contexts[rack]
         messages = {
-            name: self.cross_push_contexts[rack][name].compress(rack_grads[name])
-            for name in self.params
+            name: contexts[name].compress(rack_grads[name]) for name in contexts
         }
-        return messages, time.perf_counter() - t0
+        fused = {
+            index: context.compress(
+                {name: rack_grads[name] for name in context.bucket.names}
+            )
+            for index, context in self.cross_fused_contexts[rack].items()
+        }
+        return messages, fused, time.perf_counter() - t0
 
     def _per_tensor_elements(self) -> dict[str, int]:
         w = self.rack_size
@@ -659,19 +748,33 @@ class HierarchicalExchangeService:
         intra_elements = self.racks * sum(per_tensor_elements.values())
 
         cross_results: list[dict[str, CompressionResult | None]] = []
+        cross_fused: list[dict[int, FusedCompressionResult | None]] = []
         cross_compress: list[float] = []
         cross_bytes = cross_elements = 0
         for rack in range(self.racks):
-            messages, seconds = self._compress_uplink(rack, rack_grads[rack])
+            messages, fused, seconds = self._compress_uplink(
+                rack, rack_grads[rack]
+            )
             cross_results.append(messages)
+            cross_fused.append(fused)
             cross_compress.append(seconds)
             for result in messages.values():
                 if result is None:
                     continue
                 cross_bytes += result.message.wire_size
                 cross_elements += result.message.element_count
+            for result in fused.values():
+                if result is None:
+                    continue
+                cross_bytes += result.message.wire_size
+                cross_elements += result.message.element_count
 
-        pull_batch = self.upper.step(cross_results, divisor=self.racks)
+        if self.fusion_plan is not None:
+            pull_batch = self.upper.step(
+                cross_results, divisor=self.racks, fused_pushes=cross_fused
+            )
+        else:
+            pull_batch = self.upper.step(cross_results, divisor=self.racks)
 
         t0 = time.perf_counter()
         deltas: dict[str, np.ndarray] = {}
@@ -680,6 +783,14 @@ class HierarchicalExchangeService:
             if result is None:
                 continue
             deltas[name] = self.upper.decompress_pull(name, result.message)
+            pull_bytes += result.message.wire_size
+            pull_elements += result.message.element_count
+        for index, result in pull_batch.fused.items():
+            if result is None:
+                continue
+            deltas.update(
+                self.upper.decompress_fused_pull(index, result.message)
+            )
             pull_bytes += result.message.wire_size
             pull_elements += result.message.element_count
         pull_decompress = time.perf_counter() - t0
@@ -703,6 +814,8 @@ class HierarchicalExchangeService:
             server_decompress_seconds=pull_batch.decompress_seconds,
             server_compress_seconds=pull_batch.compress_seconds,
             pull_decompress_seconds=pull_decompress,
+            cross_fused_results=tuple(cross_fused),
+            pull_fused=pull_batch.fused,
         )
 
     def rack_exchange(
@@ -725,14 +838,19 @@ class HierarchicalExchangeService:
             )
         per_tensor_elements = self._per_tensor_elements()
         reduced, link_bytes, wire, codec = self._reduce_rack(rack, grad_dicts)
-        messages, compress_seconds = self._compress_uplink(rack, reduced)
+        messages, fused, compress_seconds = self._compress_uplink(rack, reduced)
         cross_bytes = cross_elements = 0
-        for result in messages.values():
+        for result in list(messages.values()) + list(fused.values()):
             if result is None:
                 continue
             cross_bytes += result.message.wire_size
             cross_elements += result.message.element_count
-        pull_batch = self.upper.step([messages], divisor=1)
+        if self.fusion_plan is not None:
+            pull_batch = self.upper.step(
+                [messages], divisor=1, fused_pushes=[fused]
+            )
+        else:
+            pull_batch = self.upper.step([messages], divisor=1)
         return HierarchicalOutcome(
             deltas=None,
             rack_indices=(rack,),
@@ -750,6 +868,7 @@ class HierarchicalExchangeService:
             # discarded shared-pull compression stays uncharged.
             server_decompress_seconds=pull_batch.decompress_seconds,
             server_compress_seconds=0.0,
+            cross_fused_results=(fused,),
         )
 
 
@@ -758,6 +877,10 @@ class HierarchicalTopology(ExchangeTopology):
 
     wants_raw_gradients = True
     supports_event_modes = True
+    #: Fused buckets apply to the point-to-point cross-rack tier: rack
+    #: aggregates of plan-owned tensors cross the uplink as one frame per
+    #: bucket per rack (requires >= 2 racks — one rack has no uplink).
+    supports_fusion = True
 
     def __init__(
         self,
@@ -784,6 +907,13 @@ class HierarchicalTopology(ExchangeTopology):
         suffix = f", upper={upper}" if upper != "single" else ""
         self.name = f"hier(racks={racks}, rack={rack_size}{suffix})"
 
+    def fusion_partition(self, sizes: dict[str, int]):
+        """Buckets cross the rack uplink whole: one destination for a
+        single upper service, the upper shard owner map otherwise."""
+        if self.upper != "sharded":
+            return None
+        return shard_owner_map(sizes, self.num_shards).__getitem__
+
     def build_service(
         self,
         parameters,
@@ -795,11 +925,8 @@ class HierarchicalTopology(ExchangeTopology):
         small_tensor_threshold=SMALL_TENSOR_THRESHOLD,
         fusion_plan=None,
     ) -> HierarchicalExchangeService:
-        if fusion_plan is not None:
-            raise ValueError(
-                "the hierarchical exchange moves raw gradients through rack "
-                "rings; fused buckets only apply to point-to-point framing"
-            )
+        if fusion_plan is not None and self.racks < 2:
+            raise ValueError(fusion_incompatibility("hier", racks=self.racks))
         # The engine passes the sync mode's aggregation slot count:
         # the full worker count for BSP (every rack pushes each step) or 1
         # for async/SSP (racks commit one at a time).
@@ -829,6 +956,7 @@ class HierarchicalTopology(ExchangeTopology):
             upper=self.upper,
             num_shards=self.num_shards,
             small_tensor_threshold=small_tensor_threshold,
+            fusion_plan=fusion_plan,
         )
 
     def transmission_routes(self, service) -> dict[str, str]:

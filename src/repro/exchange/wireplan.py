@@ -1,0 +1,95 @@
+"""The wire-plan layer: how a topology frames small tensors on the wire.
+
+PR 1's fused-bucket hot path was hard-wired into the single-server BSP
+path: the engine built an unpartitioned
+:class:`~repro.compression.fusion.FusionPlan` and every other topology
+rejected ``--fuse``. This module promotes the plan to a first-class object
+the *topology* owns: :func:`build_wire_plan` asks the topology for its
+partition function (:meth:`~repro.exchange.topology.ExchangeTopology.fusion_partition`)
+— which shard owns each tensor, which uplink a hierarchical aggregate
+crosses — and builds a partition-aware plan whose buckets never span a
+wire destination. Every point-to-point topology then exchanges one
+:class:`~repro.core.packets.FusedWireMessage` per bucket per destination,
+the engine's per-worker fused pull streams replay under async/SSP, and the
+simulator schedules the fused frames like any other record.
+
+The compatibility rules live here too, as *data* (one message per illegal
+combination), so the CLI can reject bad flag sets at parse time with the
+same words the engine uses at construction time.
+"""
+
+from __future__ import annotations
+
+from repro.compression.fusion import FusionPlan, build_fusion_plan
+
+__all__ = ["build_wire_plan", "fusion_incompatibility"]
+
+
+def fusion_incompatibility(
+    topology: str, *, racks: int | None = None
+) -> str | None:
+    """Why fused buckets cannot run on this configuration, or ``None``.
+
+    Shared by :class:`~repro.exchange.engine.EngineConfig` validation and
+    the CLI's parse-time checks so both fail with identical, actionable
+    wording. Fusion composes with every sync mode (BSP shared pulls,
+    async/SSP per-worker fused pull streams), so only topology shape can
+    rule it out:
+
+    * the flat ring exchanges raw gradients per hop — there is no
+      point-to-point framing to fuse;
+    * a one-rack hierarchical run degenerates to that same ring (no
+      cross-rack tier exists, so no uplink to frame fused buckets on).
+    """
+    if topology == "ring":
+        return (
+            "the ring exchanges raw gradients per hop; fused buckets only "
+            "apply to point-to-point push/pull framing"
+        )
+    if topology == "hier" and racks is not None and racks < 2:
+        return (
+            "a one-rack hierarchical run is a plain ring collective with "
+            "no cross-rack uplink; fused buckets need >= 2 racks"
+        )
+    return None
+
+
+def build_wire_plan(
+    topology,
+    shapes: dict[str, tuple[int, ...]],
+    *,
+    threshold: int,
+    bucket_elements: int,
+    lossy: bool = False,
+) -> FusionPlan | None:
+    """Build the topology's partition-aware fusion plan, or ``None``.
+
+    ``topology`` is an :class:`~repro.exchange.topology.ExchangeTopology`;
+    its :meth:`fusion_partition` supplies the tensor → destination map the
+    buckets must respect (``None`` for single-destination topologies).
+    Returns ``None`` when no tensor falls below the threshold — the
+    engine's "fusion effectively off" convention.
+    """
+    if not topology.supports_fusion:
+        raise ValueError(
+            f"topology {topology.name!r} does not support the fused-bucket "
+            "path"
+        )
+    partition = topology.fusion_partition(
+        {name: _size(shape) for name, shape in shapes.items()}
+    )
+    plan = build_fusion_plan(
+        shapes,
+        threshold=threshold,
+        bucket_elements=bucket_elements,
+        partition=partition,
+        lossy=lossy,
+    )
+    return plan if plan.buckets else None
+
+
+def _size(shape: tuple[int, ...]) -> int:
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    return count

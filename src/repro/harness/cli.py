@@ -13,7 +13,9 @@ noisier numbers). ``--steps N`` overrides the standard step budget.
 ``--topology`` / ``--sync-mode`` (plus ``--shards`` / ``--staleness``,
 and ``--racks`` / ``--rack-size`` / ``--cross-bw`` / ``--cross-rtt`` for
 the hierarchical topology) swap the exchange plan; ``--fuse`` turns on
-the fused-bucket hot path for small tensors; ``--sim-overlap`` times
+the fused-bucket wire plan for small tensors (``--bucket-elements``
+sizes the buckets, ``--fuse-lossy`` compresses each whole bucket through
+the scheme's codec with one shared scale); ``--sim-overlap`` times
 steps with the discrete-event network simulator (per-layer overlap,
 per-topology links — two dependent tiers for ``hier``) instead of the
 calibrated overlap constant.
@@ -29,6 +31,7 @@ from repro.compression.registry import (
     TABLE1_SCHEMES,
     make_compressor,
 )
+from repro.exchange.wireplan import fusion_incompatibility
 from repro.harness.config import DEFAULT_CONFIG, FAST_CONFIG
 from repro.harness.figures import (
     FAST_SCHEMES,
@@ -147,7 +150,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--fuse", action="store_true",
-        help="exchange small tensors through fused buckets (one frame per bucket)",
+        help="exchange small tensors through fused buckets (one frame per "
+        "bucket per destination; buckets never span shard or rack-uplink "
+        "boundaries, and async/SSP runs pull through per-worker fused "
+        "streams)",
+    )
+    parser.add_argument(
+        "--bucket-elements", type=int, default=None, metavar="N",
+        help="fused-bucket capacity in elements (>= 1; --fuse only)",
+    )
+    parser.add_argument(
+        "--fuse-lossy", action="store_true",
+        help="compress each fused bucket through the scheme's own codec "
+        "with one shared scale (instead of the exact float32 bypass); "
+        "--fuse only",
     )
     parser.add_argument(
         "--sim-overlap", action="store_true",
@@ -191,6 +207,32 @@ def main(argv: list[str] | None = None) -> int:
                 f"{flag} {value} requires --topology hier "
                 f"(got --topology {args.topology or 'single'})"
             )
+    # Fusion compatibility fails at parse time with the engine's own
+    # wording, so an overnight sweep command dies immediately — not three
+    # topologies deep — and names the offending flags.
+    if args.fuse:
+        reason = fusion_incompatibility(
+            args.topology or "single", racks=args.racks
+        )
+        if reason is not None:
+            offender = f"--topology {args.topology}" + (
+                f" --racks {args.racks}" if args.racks is not None else ""
+            )
+            parser.error(f"--fuse is incompatible with {offender}: {reason}")
+    if args.bucket_elements is not None:
+        if not args.fuse:
+            parser.error(
+                f"--bucket-elements {args.bucket_elements} requires --fuse "
+                "(it sizes the fused-bucket plan)"
+            )
+        if args.bucket_elements < 1:
+            parser.error(
+                f"--bucket-elements must be >= 1, got {args.bucket_elements}"
+            )
+    if args.fuse_lossy and not args.fuse:
+        parser.error(
+            "--fuse-lossy selects the fused-bucket codec mode; it requires --fuse"
+        )
     overrides = {}
     if args.topology is not None:
         overrides["topology"] = args.topology
@@ -210,6 +252,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["cross_rtt_seconds"] = args.cross_rtt
     if args.fuse:
         overrides["fuse_small_tensors"] = True
+    if args.bucket_elements is not None:
+        overrides["bucket_elements"] = args.bucket_elements
+    if args.fuse_lossy:
+        overrides["fuse_lossy"] = True
     if args.sim_overlap:
         overrides["sim_overlap"] = True
     if overrides:

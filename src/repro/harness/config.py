@@ -18,10 +18,11 @@ from dataclasses import dataclass, field, replace
 
 from repro.data.synthetic import DatasetSpec, SyntheticImageDataset
 from repro.distributed.cluster import ClusterConfig
-from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
+from repro.distributed.defaults import FUSION_BUCKET_ELEMENTS, SMALL_TENSOR_THRESHOLD
 from repro.exchange.engine import EngineConfig
 from repro.exchange.sync import SYNC_MODES
 from repro.exchange.topology import TOPOLOGIES
+from repro.exchange.wireplan import fusion_incompatibility
 from repro.network.timing import StepTimeModel
 from repro.nn.resnet import build_resnet
 from repro.nn.schedule import CosineDecay, scale_lr_for_workers
@@ -75,8 +76,15 @@ class ExperimentConfig:
     cross_bw_fraction: float = 0.1
     #: Per-frame propagation delay on the cross-rack uplinks.
     cross_rtt_seconds: float = 0.0
-    #: Fused-bucket hot path for the small-tensor bypass set.
+    #: Fused-bucket hot path for the small-tensor bypass set. Composes
+    #: with the sharded and hierarchical topologies (partition-aware wire
+    #: plans) and with async/SSP (per-worker fused pull streams).
     fuse_small_tensors: bool = False
+    #: Fused-bucket capacity in elements (``--bucket-elements``).
+    bucket_elements: int = FUSION_BUCKET_ELEMENTS
+    #: Lossy fused buckets: the scheme's codec over each whole bucket with
+    #: one shared scale, instead of the exact float32 bypass.
+    fuse_lossy: bool = False
     #: Per-link timing via the discrete-event simulator (``repro.netsim``):
     #: per-layer overlap scheduling replaces the analytic model's
     #: calibrated overlap constant, and sharded/ring runs are charged
@@ -125,6 +133,19 @@ class ExperimentConfig:
             )
         if self.sync_mode == "ssp" and self.staleness is None:
             raise ValueError("sync_mode='ssp' requires a staleness bound")
+        if self.bucket_elements < 1:
+            raise ValueError(
+                f"bucket_elements must be >= 1, got {self.bucket_elements}"
+            )
+        if self.fuse_lossy and not self.fuse_small_tensors:
+            raise ValueError("fuse_lossy requires fuse_small_tensors")
+        if self.fuse_small_tensors:
+            reason = fusion_incompatibility(
+                self.topology,
+                racks=self.racks if self.topology == "hier" else None,
+            )
+            if reason is not None:
+                raise ValueError(reason)
         if self.topology == "hier":
             if self.racks < 1:
                 raise ValueError(f"racks must be >= 1, got {self.racks}")
@@ -214,6 +235,8 @@ class ExperimentConfig:
             rack_size=self.rack_size,
             hier_upper=self.hier_upper,
             fuse_small_tensors=self.fuse_small_tensors,
+            bucket_elements=self.bucket_elements,
+            fuse_lossy=self.fuse_lossy,
             record_transmissions=self.sim_overlap,
         )
 

@@ -52,6 +52,14 @@ class Table1Row:
     speedup_1gbps: float
     accuracy: float
     accuracy_difference: float
+    #: Mean wire megabytes per step — measured, not modelled; the traffic
+    #: half of the paper's cost story.
+    wire_mb_per_step: float = 0.0
+    #: Mean physical wire frames per step (shared pulls counted once per
+    #: subscriber). Fused wire plans shrink this without moving bytes;
+    #: the per-frame protocol overhead the time model charges scales
+    #: with it.
+    frames_per_step: float = 0.0
     #: Simulator-measured overlap fraction at 10 Mbps (None for analytic
     #: runs using the calibrated constant).
     achieved_overlap: float | None = None
@@ -99,6 +107,8 @@ def table1(
                 speedup_1gbps=_speedup(base, result, "1Gbps"),
                 accuracy=result.final_accuracy,
                 accuracy_difference=result.final_accuracy - base.final_accuracy,
+                wire_mb_per_step=meter.total_wire_bytes / steps / 1e6,
+                frames_per_step=sum(s.frames for s in meter.steps) / steps,
                 achieved_overlap=(
                     result.achieved_overlap["10Mbps"]
                     if result.achieved_overlap is not None
@@ -121,7 +131,10 @@ def table1(
         results[name].staleness_distribution is not None for name in schemes
     )
     tiered = any(r.cross_rack_mb is not None for r in rows)
-    headers = ["Design", "@10Mbps", "@100Mbps", "@1Gbps", "Accuracy(%)", "Diff"]
+    headers = [
+        "Design", "@10Mbps", "@100Mbps", "@1Gbps", "Accuracy(%)", "Diff",
+        "MB/step", "Frames/step",
+    ]
     if simulated:
         headers.append("Ovl@10M")
     if tiered:
@@ -135,6 +148,8 @@ def table1(
             f"{r.speedup_1gbps:.2f}x",
             f"{100 * r.accuracy:.2f}",
             f"{100 * r.accuracy_difference:+.2f}",
+            f"{r.wire_mb_per_step:.3f}",
+            f"{r.frames_per_step:.0f}",
         ]
         if simulated:
             cells.append(

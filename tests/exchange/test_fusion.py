@@ -198,23 +198,37 @@ class TestEngineFusionParity:
         assert plan.fused_names <= cluster.server.bypassed
         assert plan.fused_names <= cluster.workers[0].bypassed
 
-    def test_fusion_rejected_on_sharded_and_ring(self):
+    def test_fusion_rejected_on_ring_only(self):
+        """The ring has no point-to-point framing to fuse; the sharded
+        topology now carries partition-aware plans (tests/exchange/
+        test_wireplan.py pins its bit-exactness)."""
+        with pytest.raises(ValueError, match="raw gradients per hop"):
+            EngineConfig(
+                num_workers=2,
+                batch_size=8,
+                shard_size=32,
+                topology="ring",
+                fuse_small_tensors=True,
+            )
         dataset = SyntheticImageDataset(DatasetSpec(image_size=12, seed=0))
-        for topology in ["sharded", "ring"]:
-            with pytest.raises(ValueError):
-                ExchangeEngine(
-                    model_factory,
-                    dataset,
-                    make_compressor("3LC (s=1.00)", seed=0),
-                    CosineDecay(0.05, 4),
-                    EngineConfig(
-                        num_workers=2,
-                        batch_size=8,
-                        shard_size=32,
-                        topology=topology,
-                        fuse_small_tensors=True,
-                    ),
-                )
+        engine = ExchangeEngine(
+            model_factory,
+            dataset,
+            make_compressor("3LC (s=1.00)", seed=0),
+            CosineDecay(0.05, 4),
+            EngineConfig(
+                num_workers=2,
+                batch_size=8,
+                shard_size=32,
+                topology="sharded",
+                fuse_small_tensors=True,
+            ),
+        )
+        assert engine.fusion_plan is not None
+
+    def test_lossy_requires_fuse(self):
+        with pytest.raises(ValueError, match="requires fuse_small_tensors"):
+            EngineConfig(num_workers=2, batch_size=8, shard_size=32, fuse_lossy=True)
 
     def test_deferring_scheme_composes_with_fusion(self):
         cluster = make_cluster(True, scheme="2 local steps")

@@ -228,9 +228,14 @@ class TestValidation:
         with pytest.raises(ValueError, match=">= 2 racks"):
             make_engine(sync_mode="async", num_workers=2, racks=1, rack_size=2)
 
-    def test_fusion_rejected(self):
-        with pytest.raises(ValueError, match="fused"):
-            make_engine(fuse_small_tensors=True)
+    def test_fusion_rejected_with_one_rack(self):
+        # A one-rack hierarchical run degenerates to the flat ring: no
+        # cross-rack uplink exists for fused frames to travel on. Two or
+        # more racks carry fused buckets (tests/exchange/test_wireplan.py).
+        with pytest.raises(ValueError, match="fused buckets need >= 2 racks"):
+            make_engine(
+                num_workers=2, racks=1, rack_size=2, fuse_small_tensors=True
+            )
 
     def test_backup_workers_rejected(self):
         with pytest.raises(ValueError, match="backup"):

@@ -377,6 +377,31 @@ class TestHierarchicalHarness:
                 ],
                 "rack ring needs >= 2",
             ),
+            (
+                ["table1", "--fast", "--fuse", "--topology", "ring"],
+                "--fuse is incompatible with --topology ring",
+            ),
+            (
+                # One rack degenerates to the ring: same parse-time rule.
+                [
+                    "table1", "--fast", "--fuse", "--topology", "hier",
+                    "--racks", "1", "--rack-size", "2",
+                ],
+                "fused buckets need >= 2 racks",
+            ),
+            (
+                ["table1", "--fast", "--bucket-elements", "512"],
+                "--bucket-elements 512 requires --fuse",
+            ),
+            (
+                ["table1", "--fast", "--fuse", "--bucket-elements", "0"],
+                "--bucket-elements must be >= 1, got 0",
+            ),
+            (
+                ["table1", "--fast", "--fuse-lossy"],
+                "--fuse-lossy selects the fused-bucket codec mode; it "
+                "requires --fuse",
+            ),
         ]
         for argv, fragment in cases:
             with pytest.raises(SystemExit):
