@@ -80,6 +80,37 @@ class TestEndToEndThroughput:
         benchmark(codec.decompress, message)
 
 
+class TestBatchedCodec:
+    """The vectorized multi-tensor path (`ThreeLCCodec.compress_batch`)
+    shared with the fused engine hot paths: one quantization + quartic pass
+    across many small tensors instead of one codec call each."""
+
+    @pytest.fixture(scope="class")
+    def small_tensors(self):
+        rng = np.random.default_rng(1)
+        return [
+            rng.normal(0, 0.01, size=size).astype(np.float32)
+            for size in rng.integers(8, 2048, size=256)
+        ]
+
+    def test_compress_batch(self, benchmark, small_tensors):
+        codec = ThreeLCCodec(1.0)
+        results = benchmark(codec.compress_batch, small_tensors)
+        # The batched path's contract: bit-identical to per-tensor calls.
+        for tensor, batched in zip(small_tensors, results):
+            single = codec.compress(tensor)
+            assert batched.message.payload == single.message.payload
+            assert batched.message.scalars == single.message.scalars
+            np.testing.assert_array_equal(
+                batched.reconstruction, single.reconstruction
+            )
+
+    def test_compress_loop(self, benchmark, small_tensors):
+        """Per-tensor baseline for the batched path's speedup."""
+        codec = ThreeLCCodec(1.0)
+        benchmark(lambda: [codec.compress(t) for t in small_tensors])
+
+
 class TestSizeClaims:
     """Size claims, benchmarked end to end so they run in --benchmark-only
     mode alongside the throughput measurements."""

@@ -36,6 +36,7 @@ from repro.network.timing import StepTimeModel
 from repro.nn import CosineDecay, build_resnet
 from repro.nn.stats import profile_backward
 from repro.utils.format import format_table
+from repro.utils.profiling import maybe_profile
 
 TIME_MODEL = StepTimeModel(
     overlap=0.0, per_message_overhead=25e-6, compute_scale=0.05, codec_scale=0.5
@@ -162,6 +163,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--link", default="100Mbps", choices=["10Mbps", "100Mbps", "1Gbps"]
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile top-20 of the sweep hot path "
+        "(REPRO_PROFILE=1 works too)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -171,11 +178,11 @@ def main(argv=None) -> int:
     if args.steps is not None:
         steps = args.steps
 
-    print(
-        run_sweep(
+    with maybe_profile(args.profile or None, label="bench_hier sweep"):
+        report = run_sweep(
             steps=steps, depth=depth, base_width=width, link_name=args.link
         )
-    )
+    print(report)
     return 0
 
 

@@ -39,6 +39,7 @@ from repro.network.timing import StepTimeModel
 from repro.nn import CosineDecay, build_resnet
 from repro.nn.stats import profile_backward
 from repro.utils.format import format_table
+from repro.utils.profiling import maybe_profile
 
 TIME_MODEL = StepTimeModel(
     overlap=0.0, per_message_overhead=25e-6, compute_scale=0.05, codec_scale=0.5
@@ -292,6 +293,12 @@ def main(argv=None) -> int:
         "--staleness", type=int, default=None,
         help="staleness bound for --sync-mode ssp",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile top-20 of the sweep hot path "
+        "(REPRO_PROFILE=1 works too)",
+    )
     args = parser.parse_args(argv)
 
     if args.staleness is not None and args.sync_mode != "ssp":
@@ -307,19 +314,20 @@ def main(argv=None) -> int:
         steps = args.steps
 
     if args.sync_mode != "bsp":
-        print(
-            run_event_sweep(
+        with maybe_profile(args.profile or None, label="bench_overlap event sweep"):
+            report = run_event_sweep(
                 updates=max(steps, 6),
                 depth=depth,
                 base_width=width,
                 staleness=args.staleness,
             )
-        )
+        print(report)
         return 0
 
-    rows, serialized, analytic = run_sweep(
-        steps=steps, depth=depth, base_width=width, link_name=args.link
-    )
+    with maybe_profile(args.profile or None, label="bench_overlap sweep"):
+        rows, serialized, analytic = run_sweep(
+            steps=steps, depth=depth, base_width=width, link_name=args.link
+        )
     print(check_and_render(rows, serialized, analytic, args.link))
     return 0
 

@@ -50,6 +50,7 @@ __all__ = [
     "build_fusion_plan",
     "FusedCompressionResult",
     "FusedBucketContext",
+    "compress_fused_batch",
     "split_bucket",
 ]
 
@@ -277,3 +278,53 @@ class FusedBucketContext:
 
     def load_state(self, state: dict) -> None:
         self.inner.load_state(state)
+
+
+def compress_fused_batch(items) -> list[FusedCompressionResult | None]:
+    """Compress many ``(FusedBucketContext, tensors)`` pairs in one pass.
+
+    Semantically ``[ctx.compress(tensors) for ctx, tensors in items]``, but
+    every bucket whose inner context wraps a 3LC core funnels into a single
+    vectorized codec call (:func:`repro.core.codec.compress_context_batch`)
+    — one quantization and one quartic pass across all buckets of the step
+    instead of one per bucket. Buckets with other inner codecs (the exact
+    float32 bypass, deferring schemes) fall back to their own
+    ``compress``; results come back in input order, bit-identical to the
+    per-bucket path either way.
+    """
+    from repro.core.codec import CompressionContext as CoreContext
+    from repro.core.codec import ThreeLCCodec, compress_context_batch
+
+    items = list(items)
+    results: list[FusedCompressionResult | None] = [None] * len(items)
+    batched: list[tuple[int, CoreContext, np.ndarray]] = []
+    for pos, (ctx, tensors) in enumerate(items):
+        flat = np.concatenate(
+            [
+                np.asarray(tensors[name], dtype=np.float32).reshape(-1)
+                for name in ctx.bucket.names
+            ]
+        )
+        core = getattr(ctx.inner, "core", None)
+        if isinstance(core, CoreContext) and isinstance(core.codec, ThreeLCCodec):
+            batched.append((pos, core, flat))
+        else:
+            inner_result = ctx.inner.compress(flat)
+            if inner_result is not None:
+                results[pos] = FusedCompressionResult(
+                    FusedWireMessage(
+                        inner=inner_result.message, shapes=ctx.bucket.shapes
+                    ),
+                    split_bucket(inner_result.reconstruction, ctx.bucket),
+                )
+    if batched:
+        core_results = compress_context_batch(
+            [(core, flat) for _, core, flat in batched]
+        )
+        for (pos, _, _), inner_result in zip(batched, core_results):
+            bucket = items[pos][0].bucket
+            results[pos] = FusedCompressionResult(
+                FusedWireMessage(inner=inner_result.message, shapes=bucket.shapes),
+                split_bucket(inner_result.reconstruction, bucket),
+            )
+    return results

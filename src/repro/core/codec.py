@@ -25,11 +25,17 @@ from repro.core.quantization import (
     QuantizedTensor,
     dequantize_3value,
     quantize_3value,
+    quantize_3value_batch,
 )
-from repro.core.quartic import quartic_decode, quartic_encode
+from repro.core.quartic import quartic_decode, quartic_encode, quartic_encode_batch
 from repro.core.zre import zre_decode, zre_encode
 
-__all__ = ["ThreeLCCodec", "CompressionContext", "CompressionResult"]
+__all__ = [
+    "ThreeLCCodec",
+    "CompressionContext",
+    "CompressionResult",
+    "compress_context_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,51 @@ class ThreeLCCodec:
         )
         return CompressionResult(message, dequantize_3value(quantized, self.dtype))
 
+    def compress_batch(self, tensors) -> list[CompressionResult]:
+        """Compress many tensors with one vectorized codec pass.
+
+        Equivalent to ``[self.compress(t) for t in tensors]`` — each
+        result's message and reconstruction are bit-identical to the
+        per-tensor path (the quantization and quartic stages share one
+        NumPy call across all tensors; only zero-run encoding, whose
+        output length varies per segment, stays per-tensor). This is the
+        batched-codec contract the fused engine hot paths rely on.
+        """
+        arrs = [np.asarray(t, dtype=self.dtype) for t in tensors]
+        if not arrs:
+            return []
+        lengths = np.array([a.size for a in arrs], dtype=np.intp)
+        flat = np.concatenate([a.reshape(-1) for a in arrs])
+        values, scales = quantize_3value_batch(
+            flat, lengths, self.sparsity_multiplier
+        )
+        packed, byte_offsets = quartic_encode_batch(values, lengths)
+        # One fused reconstruction pass: each element times its segment's
+        # scale, cast exactly as the scalar dequantize does.
+        recon = values.astype(self.dtype, copy=False) * np.repeat(
+            scales, lengths
+        ).astype(self.dtype, copy=False)
+        starts = np.concatenate(([0], np.cumsum(lengths)))
+        results = []
+        for i, arr in enumerate(arrs):
+            encoded = packed[byte_offsets[i] : byte_offsets[i + 1]]
+            if self.use_zre:
+                encoded = zre_encode(encoded)
+            message = WireMessage(
+                codec_id=self.codec_id,
+                shape=arr.shape,
+                payload=encoded.tobytes(),
+                scalars=(float(scales[i]),),
+                dtype=self.dtype,
+            )
+            results.append(
+                CompressionResult(
+                    message,
+                    recon[starts[i] : starts[i + 1]].reshape(arr.shape),
+                )
+            )
+        return results
+
     def decompress(self, message: WireMessage) -> np.ndarray:
         """Decode a wire message back to a dense tensor (``M · Q``)."""
         if message.codec_id not in (CodecId.THREELC, CodecId.THREELC_NO_ZRE):
@@ -203,3 +254,40 @@ class CompressionContext:
                 raise ValueError("context has no error buffer to restore")
             return
         self.buffer.load_residual(state["residual"])
+
+
+def compress_context_batch(items) -> list[CompressionResult]:
+    """Run many ``(CompressionContext, tensor)`` pairs as batched codec calls.
+
+    Semantically ``[ctx.compress(t) for ctx, t in items]`` — each context's
+    error-feedback cycle (accumulate → compress → store residual) runs
+    against its own buffer, so reordering the codec work across contexts
+    cannot change any result — but contexts sharing a codec funnel into one
+    :meth:`ThreeLCCodec.compress_batch` call. Contexts with distinct codecs
+    batch per codec; results come back in input order, bit-identical to the
+    per-context path.
+    """
+    items = list(items)
+    corrected: list[np.ndarray] = []
+    by_codec: dict[int, tuple[ThreeLCCodec, list[int]]] = {}
+    for pos, (ctx, tensor) in enumerate(items):
+        arr = np.asarray(tensor, dtype=ctx.codec.dtype)
+        if arr.shape != ctx.shape:
+            raise ValueError(f"context shape {ctx.shape}, tensor {arr.shape}")
+        if ctx.buffer is not None:
+            arr = ctx.buffer.add(arr)
+        corrected.append(arr)
+        entry = by_codec.get(id(ctx.codec))
+        if entry is None:
+            by_codec[id(ctx.codec)] = (ctx.codec, [pos])
+        else:
+            entry[1].append(pos)
+    results: list[CompressionResult | None] = [None] * len(items)
+    for codec, positions in by_codec.values():
+        batch = codec.compress_batch([corrected[p] for p in positions])
+        for pos, result in zip(positions, batch):
+            results[pos] = result
+    for (ctx, _), result in zip(items, results):
+        if ctx.buffer is not None:
+            ctx.buffer.subtract(result.reconstruction)
+    return results

@@ -33,6 +33,7 @@ import numpy as np
 __all__ = [
     "QuantizedTensor",
     "quantize_3value",
+    "quantize_3value_batch",
     "dequantize_3value",
     "quantize_stochastic_ternary",
     "MIN_SPARSITY_MULTIPLIER",
@@ -127,6 +128,54 @@ def dequantize_3value(
     return (quantized.scale * quantized.values.astype(dtype, copy=False)).astype(
         dtype, copy=False
     )
+
+
+def quantize_3value_batch(
+    flat: np.ndarray, lengths: np.ndarray, s: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize many concatenated tensors in one vectorized pass.
+
+    ``flat`` is the concatenation of the segments' flattened values;
+    ``lengths`` gives each segment's element count. Each segment gets its
+    own scale ``M_i = max(|segment_i|) * s``, exactly as if
+    :func:`quantize_3value` had been called per segment — the per-element
+    arithmetic is bit-identical: the segment maxima come from one
+    ``maximum.reduceat``, and each element divides by its segment's scale
+    cast to ``flat``'s dtype, the same cast NumPy applies to the scalar
+    divisor in the per-tensor path.
+
+    Returns
+    -------
+    (values, scales)
+        ``values``: ``int8`` array of ``flat``'s length with entries in
+        ``{-1, 0, 1}``; ``scales``: float64 array of per-segment ``M``
+        (0.0 exactly for all-zero or empty segments).
+    """
+    s = _validate_multiplier(s)
+    flat = np.asarray(flat).reshape(-1)
+    lengths = np.asarray(lengths, dtype=np.intp)
+    total = int(lengths.sum())
+    if flat.size != total:
+        raise ValueError(
+            f"segment lengths sum to {total}, flat array has {flat.size}"
+        )
+    if flat.size and not np.all(np.isfinite(flat)):
+        raise ValueError("cannot quantize non-finite tensor")
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    mags = np.zeros(lengths.shape[0], dtype=np.float64)
+    nonempty = lengths > 0
+    if flat.size:
+        # Zero-length segments occupy no indices, so consecutive nonempty
+        # starts bound exactly one segment each.
+        mags[nonempty] = np.maximum.reduceat(np.abs(flat), starts[nonempty])
+    scales = mags * s
+    # A zero scale means the whole segment is zero, so dividing it by the
+    # placeholder 1.0 still rounds to all-zero values — no masking needed.
+    divisor = np.where(scales > 0.0, scales, 1.0)[
+        np.repeat(np.arange(lengths.shape[0]), lengths)
+    ].astype(flat.dtype, copy=False)
+    values = np.rint(flat / divisor).astype(np.int8)
+    return values, scales
 
 
 def quantize_stochastic_ternary(

@@ -28,6 +28,7 @@ import numpy as np
 
 __all__ = [
     "quartic_encode",
+    "quartic_encode_batch",
     "quartic_decode",
     "quartic_encode_reference",
     "quartic_decode_reference",
@@ -91,6 +92,50 @@ def quartic_encode(values: np.ndarray) -> np.ndarray:
     # also fits); still, accumulate in uint16 for clarity and safety.
     packed = (groups.astype(np.uint16) * _POWERS.astype(np.uint16)).sum(axis=1)
     return packed.astype(np.uint8)
+
+
+def quartic_encode_batch(
+    values: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack many concatenated ternary segments in one vectorized pass.
+
+    ``values`` is the concatenation of the segments' ternary entries;
+    ``lengths`` gives each segment's element count. Each segment is padded
+    to a multiple of :data:`GROUP_SIZE` *independently* (runs never span a
+    segment boundary, exactly as if :func:`quartic_encode` had been called
+    per segment) and all groups are evaluated with a single quartic-form
+    pass.
+
+    Returns
+    -------
+    (packed, byte_offsets)
+        ``packed``: 1-D ``uint8`` array holding every segment's bytes
+        back to back; segment ``i`` occupies
+        ``packed[byte_offsets[i]:byte_offsets[i+1]]`` and is bit-identical
+        to ``quartic_encode`` of that segment.
+    """
+    flat = np.asarray(values).reshape(-1)
+    lengths = np.asarray(lengths, dtype=np.intp)
+    total = int(lengths.sum())
+    if flat.size != total:
+        raise ValueError(
+            f"segment lengths sum to {total}, values array has {flat.size}"
+        )
+    if flat.size and (flat.min() < -1 or flat.max() > 1):
+        raise ValueError("quartic encoding requires values in {-1, 0, 1}")
+    padded = -(-lengths // GROUP_SIZE) * GROUP_SIZE
+    padded_total = int(padded.sum())
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    padded_starts = np.concatenate(([0], np.cumsum(padded)[:-1]))
+    # Scatter each segment's digits into a ones-filled (= digit of a
+    # quantized zero, keeping padded groups ZRE-eligible) padded buffer.
+    digits = np.ones(padded_total, dtype=np.uint8)
+    dest = np.arange(total) + np.repeat(padded_starts - starts, lengths)
+    digits[dest] = (flat.astype(np.int16) + 1).astype(np.uint8)
+    groups = digits.reshape(-1, GROUP_SIZE)
+    packed = (groups.astype(np.uint16) * _POWERS.astype(np.uint16)).sum(axis=1)
+    byte_offsets = np.concatenate(([0], np.cumsum(padded // GROUP_SIZE)))
+    return packed.astype(np.uint8), byte_offsets
 
 
 def quartic_decode(

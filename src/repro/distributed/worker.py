@@ -20,7 +20,12 @@ import time
 import numpy as np
 
 from repro.compression.base import Compressor, CompressorContext, CompressionResult
-from repro.compression.fusion import FusedBucketContext, FusedCompressionResult, FusionPlan
+from repro.compression.fusion import (
+    FusedBucketContext,
+    FusedCompressionResult,
+    FusionPlan,
+    compress_fused_batch,
+)
 from repro.data.augment import Augmenter
 from repro.data.batcher import ShardBatcher
 from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
@@ -174,11 +179,18 @@ class Worker:
                 messages[name] = context.compress(param.grad)
         fused: dict[int, FusedCompressionResult | None] = {}
         if self.fusion_plan is not None:
-            for bucket in self.fusion_plan.buckets:
-                grads = {name: self._params[name].grad for name in bucket.names}
-                fused[bucket.index] = self.fused_contexts[bucket.index].compress(
-                    grads
+            # One vectorized codec pass across all of this step's buckets
+            # (bit-identical to per-bucket compression).
+            buckets = self.fusion_plan.buckets
+            results = compress_fused_batch(
+                (
+                    self.fused_contexts[bucket.index],
+                    {name: self._params[name].grad for name in bucket.names},
                 )
+                for bucket in buckets
+            )
+            for bucket, result in zip(buckets, results):
+                fused[bucket.index] = result
         compress_seconds = time.perf_counter() - t1
         return GradientBatch(messages, loss, compute_seconds, compress_seconds, fused)
 

@@ -32,7 +32,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression.base import Compressor
-from repro.compression.fusion import FusedBucketContext, FusionPlan
+from repro.compression.fusion import (
+    FusedBucketContext,
+    FusionPlan,
+    compress_fused_batch,
+)
 from repro.data.augment import Augmenter
 from repro.data.batcher import ShardBatcher
 from repro.data.synthetic import SyntheticImageDataset
@@ -1011,15 +1015,22 @@ class ExchangeEngine:
                     )
                 )
         # This worker's fused pull stream: one frame per bucket carrying
-        # the member increments since its last pull.
+        # the member increments since its last pull. Increments are built
+        # in bucket order (the `last` snapshots mutate as we go), then all
+        # buckets compress through one vectorized codec pass.
+        fused_pull_items = []
         for index, context in self._fused_pull_contexts[wid].items():
-            bucket = context.bucket
             increments = {}
-            for name in bucket.names:
+            for name in context.bucket.names:
                 param = self.service.params[name]
                 increments[name] = param.data - last[name]
                 last[name] = param.data.copy()
-            result = context.compress(increments)
+            fused_pull_items.append((index, context, increments))
+        fused_pull_results = compress_fused_batch(
+            (context, increments) for _, context, increments in fused_pull_items
+        )
+        for (index, context, _), result in zip(fused_pull_items, fused_pull_results):
+            bucket = context.bucket
             if result is None:  # deferred: whole bucket rides the buffer
                 continue
             deltas.update(result.parts)
@@ -1177,18 +1188,24 @@ class ExchangeEngine:
             account_pull(name, (name,), result.message)
         # This rack's fused pull stream: one frame per bucket crosses the
         # uplink and circulates the rack ring, like any shared delta.
+        # Increments are built in bucket order (the `last` snapshots mutate
+        # as we go), then all buckets share one vectorized codec pass.
+        fused_pull_items = []
         for index, context in self._fused_pull_contexts[rack].items():
-            bucket = context.bucket
             increments = {}
-            for name in bucket.names:
+            for name in context.bucket.names:
                 param = self.service.params[name]
                 increments[name] = param.data - last[name]
                 last[name] = param.data.copy()
-            result = context.compress(increments)
+            fused_pull_items.append((index, context, increments))
+        fused_pull_results = compress_fused_batch(
+            (context, increments) for _, context, increments in fused_pull_items
+        )
+        for (index, context, _), result in zip(fused_pull_items, fused_pull_results):
             if result is None:  # deferred: whole bucket rides the buffer
                 continue
             deltas.update(result.parts)
-            account_pull(f"bucket:{index}", bucket.names, result.message)
+            account_pull(f"bucket:{index}", context.bucket.names, result.message)
         pull_compress_seconds = time.perf_counter() - t0
         self._pull_step[rack] = self.service.global_step
         for worker in workers:

@@ -39,6 +39,7 @@ from repro.compression.fusion import (
     FusedBucketContext,
     FusedCompressionResult,
     FusionPlan,
+    compress_fused_batch,
 )
 from repro.distributed.allreduce import RingAllReduce
 from repro.distributed.defaults import SMALL_TENSOR_THRESHOLD
@@ -687,12 +688,16 @@ class HierarchicalExchangeService:
         messages = {
             name: contexts[name].compress(rack_grads[name]) for name in contexts
         }
-        fused = {
-            index: context.compress(
-                {name: rack_grads[name] for name in context.bucket.names}
+        # All of this rack's fused buckets share one vectorized codec pass.
+        fused_contexts = self.cross_fused_contexts[rack]
+        results = compress_fused_batch(
+            (
+                context,
+                {name: rack_grads[name] for name in context.bucket.names},
             )
-            for index, context in self.cross_fused_contexts[rack].items()
-        }
+            for context in fused_contexts.values()
+        )
+        fused = dict(zip(fused_contexts, results))
         return messages, fused, time.perf_counter() - t0
 
     def _per_tensor_elements(self) -> dict[str, int]:

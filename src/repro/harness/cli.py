@@ -43,6 +43,7 @@ from repro.harness.figures import (
     figure_time_accuracy,
 )
 from repro.harness.runner import ExperimentRunner
+from repro.netsim.replay import SweepReplayCache
 from repro.harness.tables import related_work_table, table1, table2
 
 __all__ = ["main"]
@@ -264,7 +265,9 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as error:
             # e.g. a worker count not divisible into racks of rack-size.
             parser.error(str(error))
-    runner = ExperimentRunner(config)
+    # One sweep replay cache per invocation: commands sharing a scheme and
+    # budget reuse the training recording and per-link simulations.
+    runner = ExperimentRunner(config, replay_cache=SweepReplayCache())
 
     commands = (
         ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "related-work"]

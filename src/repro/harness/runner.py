@@ -11,12 +11,20 @@ generators can share runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.compression.registry import make_compressor
 from repro.exchange.engine import EvalResult, ExchangeEngine
 from repro.harness.config import ExperimentConfig
-from repro.netsim import EventDrivenSimulator, NetworkSimulator, link_model_for
+from repro.netsim import (
+    EventDrivenSimulator,
+    NetworkSimulator,
+    RecordedTraining,
+    RecordingKey,
+    SweepReplayCache,
+    link_model_for,
+)
+from repro.network.timing import StepTimeModel
 from repro.network.bandwidth import LINKS
 from repro.network.traffic import TrafficMeter
 from repro.nn.stats import BackwardTimeline, profile_backward
@@ -92,25 +100,94 @@ class RunResult:
 
 
 class ExperimentRunner:
-    """Caches training runs for one :class:`ExperimentConfig`."""
+    """Caches training runs for one :class:`ExperimentConfig`.
 
-    def __init__(self, config: ExperimentConfig):
+    Pass one shared :class:`~repro.netsim.SweepReplayCache` to every
+    runner of a parameter sweep to enable **incremental replay**: sweep
+    points that differ only in network-model knobs (link rate, cross-rack
+    bandwidth fraction, cross-rack RTT, time model) reuse the recorded
+    transmission plans and traffic accounting of the first point instead
+    of re-training, and re-run only the (vectorized) simulator. Any knob
+    that can change what the engine records — scheme, step budget,
+    topology, sync mode, staleness, fusion settings including bucket
+    capacity, cluster shape, seeds — is part of the recording key and
+    invalidates the cache.
+    """
+
+    #: Simulation-only knobs canonicalized out of the recording key:
+    #: they change per-link timing, never the recorded plans.
+    _SIM_ONLY_CANONICAL = {
+        "cross_bw_fraction": 1.0,
+        "cross_rtt_seconds": 0.0,
+        "time_model": StepTimeModel(),
+    }
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        replay_cache: SweepReplayCache | None = None,
+    ):
         self.config = config
+        self.replay_cache = replay_cache
         self._cache: dict[tuple[str, float], RunResult] = {}
         self._dataset = config.dataset()
         self._timeline: BackwardTimeline | None = None
+
+    def _recording_key(self, scheme_name: str, steps: int) -> RecordingKey:
+        """Invalidation key for this config's training recording.
+
+        The frozen config itself is the fingerprint, with the
+        simulation-only knobs replaced by fixed canonical values so sweep
+        points differing only in those knobs share one recording.
+        """
+        canonical = replace(self.config, **self._SIM_ONLY_CANONICAL)
+        return RecordingKey(scheme_name, steps, canonical)
+
+    def _simulate_cached(self, rec_key, kind: str, link, produce):
+        """Run ``produce`` through the sweep cache's simulation level."""
+        if self.replay_cache is None or rec_key is None:
+            return produce()
+        # The recording key covers everything else; add back the
+        # network-model knobs it canonicalized away, plus the LinkSpec.
+        sim_key = (
+            rec_key,
+            kind,
+            link,
+            self.config.time_model,
+            self.config.cross_bw_fraction,
+            self.config.cross_rtt_seconds,
+        )
+        sim = self.replay_cache.simulation(sim_key)
+        if sim is None:
+            sim = produce()
+            self.replay_cache.store_simulation(sim_key, sim)
+        return sim
 
     def backward_timeline(self) -> BackwardTimeline:
         """Per-layer backward profile of the experiment's model (cached).
 
         The timeline depends only on the architecture and batch shape, so
         one profile serves every scheme and budget the runner simulates.
+        With a sweep replay cache it is shared *across* runners as well:
+        the profile is measured, so sweep points must reuse one profile
+        for their simulated timings to be comparable point to point.
         """
         if self._timeline is None:
-            model = self.config.model_factory()()
-            images, labels = self._dataset.train_shard(0, self.config.batch_size)
-            self._timeline = profile_backward(model, images, labels)
+            if self.replay_cache is not None:
+                key = replace(self.config, **self._SIM_ONLY_CANONICAL)
+                timeline = self.replay_cache.timeline(key)
+                if timeline is None:
+                    timeline = self._profile_timeline()
+                    self.replay_cache.store_timeline(key, timeline)
+                self._timeline = timeline
+            else:
+                self._timeline = self._profile_timeline()
         return self._timeline
+
+    def _profile_timeline(self) -> BackwardTimeline:
+        model = self.config.model_factory()()
+        images, labels = self._dataset.train_shard(0, self.config.batch_size)
+        return profile_backward(model, images, labels)
 
     def _link_model(self, link):
         """The simulated topology's link model at one swept link rate."""
@@ -136,33 +213,60 @@ class ExperimentRunner:
 
         config = self.config
         steps = config.steps_for_fraction(fraction)
-        scheme = make_compressor(scheme_name, seed=config.scheme_seed)
-        # The unified engine: the default single-server BSP configuration
-        # reproduces the historical Cluster byte-for-byte; the topology /
-        # sync_mode knobs swap the exchange plan without touching the
-        # measurement protocol.
-        cluster = ExchangeEngine(
-            config.model_factory(),
-            self._dataset,
-            scheme,
-            config.schedule(steps),
-            config.engine_config(),
-        )
-        eval_every = max(1, steps // max(1, config.eval_points))
-        logger.info(
-            "running %s at %.0f%% budget (%d steps)", scheme_name, 100 * fraction, steps
-        )
-        evals = cluster.train(steps, eval_every=eval_every, test_size=config.eval_size)
-        final = cluster.evaluate(test_size=config.eval_size)
-        if not evals or evals[-1].step != final.step:
-            evals.append(final)
+        rec_key = None
+        recording = None
+        if self.replay_cache is not None:
+            rec_key = self._recording_key(scheme_name, steps)
+            recording = self.replay_cache.recording(rec_key)
+        if recording is None:
+            scheme = make_compressor(scheme_name, seed=config.scheme_seed)
+            # The unified engine: the default single-server BSP configuration
+            # reproduces the historical Cluster byte-for-byte; the topology /
+            # sync_mode knobs swap the exchange plan without touching the
+            # measurement protocol.
+            cluster = ExchangeEngine(
+                config.model_factory(),
+                self._dataset,
+                scheme,
+                config.schedule(steps),
+                config.engine_config(),
+            )
+            eval_every = max(1, steps // max(1, config.eval_points))
+            logger.info(
+                "running %s at %.0f%% budget (%d steps)",
+                scheme_name,
+                100 * fraction,
+                steps,
+            )
+            evals = cluster.train(
+                steps, eval_every=eval_every, test_size=config.eval_size
+            )
+            final = cluster.evaluate(test_size=config.eval_size)
+            if not evals or evals[-1].step != final.step:
+                evals.append(final)
+            recording = RecordedTraining(
+                transmissions=tuple(cluster.transmissions),
+                update_events=tuple(cluster.update_events),
+                evals=tuple(evals),
+                final=final,
+                loss_curve=tuple(log.train_loss for log in cluster.step_logs),
+                traffic=cluster.traffic,
+                synchronous=cluster.sync.synchronous,
+            )
+            if self.replay_cache is not None:
+                self.replay_cache.store_recording(rec_key, recording)
+        else:
+            logger.info(
+                "replaying cached recording for %s (%d steps)", scheme_name, steps
+            )
+        final = recording.final
 
-        meter = cluster.traffic
+        meter = recording.traffic
         achieved: dict[str, float] | None = None
         per_worker: dict[str, dict[int, float]] | None = None
         staleness_distribution: dict[int, int] | None = None
         link_utilization: dict[str, dict[str, float]] | None = None
-        if config.sim_overlap and not cluster.sync.synchronous:
+        if config.sim_overlap and not recording.synchronous:
             # Event-driven modes: replay the recorded per-update event
             # stream (virtual clocks, FIFO links, blocking SSP barriers).
             # "Step" here is the scheduling quantum — one update.
@@ -170,14 +274,22 @@ class ExperimentRunner:
             mean_step, total, achieved = {}, {}, {}
             per_worker, link_utilization = {}, {}
             for name, link in LINKS.items():
-                simulator = EventDrivenSimulator(
-                    timeline,
-                    self._link_model(link),
-                    config.time_model,
-                    staleness=config.staleness if config.sync_mode == "ssp" else None,
-                    overlap=True,
+
+                def run_event_sim(link=link):
+                    simulator = EventDrivenSimulator(
+                        timeline,
+                        self._link_model(link),
+                        config.time_model,
+                        staleness=(
+                            config.staleness if config.sync_mode == "ssp" else None
+                        ),
+                        overlap=True,
+                    )
+                    return simulator.simulate(recording.update_events)
+
+                exchange = self._simulate_cached(
+                    rec_key, "event", link, run_event_sim
                 )
-                exchange = simulator.simulate(cluster.update_events)
                 mean_step[name] = exchange.mean_update_seconds
                 total[name] = exchange.total_seconds
                 achieved[name] = exchange.achieved_overlap
@@ -194,16 +306,21 @@ class ExperimentRunner:
             mean_step, total, achieved = {}, {}, {}
             link_utilization = {}
             for name, link in LINKS.items():
-                simulator = NetworkSimulator(
-                    timeline,
-                    self._link_model(link),
-                    config.time_model,
-                    overlap=True,
-                    # Tables consume only the overlapped times; skip the
-                    # serialized-baseline replay (it would double sim cost).
-                    serialized_baseline=False,
-                )
-                sim_run = simulator.simulate_run(cluster.transmissions)
+
+                def run_bsp_sim(link=link):
+                    simulator = NetworkSimulator(
+                        timeline,
+                        self._link_model(link),
+                        config.time_model,
+                        overlap=True,
+                        # Tables consume only the overlapped times; skip the
+                        # serialized-baseline replay (it would double sim
+                        # cost).
+                        serialized_baseline=False,
+                    )
+                    return simulator.simulate_run(recording.transmissions)
+
+                sim_run = self._simulate_cached(rec_key, "bsp", link, run_bsp_sim)
                 mean_step[name] = sim_run.mean_step_seconds
                 total[name] = sim_run.total_seconds
                 achieved[name] = sim_run.mean_overlap
@@ -223,8 +340,8 @@ class ExperimentRunner:
             steps=steps,
             final_accuracy=final.test_accuracy,
             final_loss=final.test_loss,
-            eval_curve=tuple(evals),
-            loss_curve=tuple(log.train_loss for log in cluster.step_logs),
+            eval_curve=recording.evals,
+            loss_curve=recording.loss_curve,
             compression_ratio=meter.compression_ratio(),
             bits_per_value=meter.average_bits_per_value(),
             mean_step_seconds=mean_step,

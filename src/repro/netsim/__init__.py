@@ -35,7 +35,14 @@ from repro.netsim.scheduler import (
     per_tier_serialized_seconds,
     wire_occupancy_seconds,
 )
+from repro.netsim.replay import RecordedTraining, RecordingKey, SweepReplayCache
 from repro.netsim.topology import link_model_for
+from repro.netsim.vector import (
+    RecordBatch,
+    phase_partition,
+    record_batch,
+    wire_occupancy_batch,
+)
 
 __all__ = [
     "TransmissionRecord",
@@ -57,4 +64,11 @@ __all__ = [
     "wire_occupancy_seconds",
     "per_tier_serialized_seconds",
     "link_model_for",
+    "RecordingKey",
+    "RecordedTraining",
+    "SweepReplayCache",
+    "RecordBatch",
+    "record_batch",
+    "phase_partition",
+    "wire_occupancy_batch",
 ]

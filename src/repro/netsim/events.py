@@ -17,6 +17,7 @@ so the engine can populate them the same way it populates
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 __all__ = [
     "TransmissionRecord",
@@ -192,11 +193,13 @@ class UpdateTransmissions:
             + self.pull_decompress_seconds
         )
 
-    @property
+    @cached_property
     def push_records(self) -> tuple[TransmissionRecord, ...]:
+        # Cached: the event loop indexes into this tuple once per push
+        # arrival, and the records tuple is immutable.
         return tuple(r for r in self.records if r.phase in ("push", "collective"))
 
-    @property
+    @cached_property
     def pull_records(self) -> tuple[TransmissionRecord, ...]:
         return tuple(r for r in self.records if r.phase == "pull")
 

@@ -37,6 +37,7 @@ barriers buy.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from dataclasses import replace
 from itertools import count
@@ -51,6 +52,14 @@ from repro.netsim.events import (
     UpdateTransmissions,
 )
 from repro.netsim.links import LinkModel
+from repro.netsim.vector import (
+    phase_partition,
+    replay_run_vectorized,
+    replay_vectorized,
+    share_signature,
+    step_signature,
+    wire_occupancy_batch,
+)
 from repro.network.timing import StepTimeModel
 from repro.nn.stats import BackwardTimeline
 
@@ -99,16 +108,31 @@ def per_tier_serialized_seconds(
             ) + wire_occupancy_seconds(link_model, time_model, record)
         return max(by_route.values(), default=0.0)
 
-    pulls = [r for r in st.records if r.phase == "pull"]
+    # Partition the records into the four tiers in one pass instead of
+    # re-filtering the full tuple per phase (the old hot-path cost on
+    # fleet-scale hierarchical steps).
+    collectives: list[TransmissionRecord] = []
+    pushes: list[TransmissionRecord] = []
+    free_pulls: list[TransmissionRecord] = []
+    dep_pulls: list[TransmissionRecord] = []
+    for record in st.records:
+        if record.phase == "collective":
+            collectives.append(record)
+        elif record.phase == "push":
+            pushes.append(record)
+        elif record.depends_on:
+            dep_pulls.append(record)
+        else:
+            free_pulls.append(record)
     return (
         time_model.compute_scale * st.compute_seconds
         + time_model.codec_scale * st.push_compress_seconds
-        + staged([r for r in st.records if r.phase == "collective"])
-        + staged([r for r in st.records if r.phase == "push"])
+        + staged(collectives)
+        + staged(pushes)
         + time_model.codec_scale
         * (st.server_decompress_seconds + st.server_compress_seconds)
-        + staged([r for r in pulls if not r.depends_on])
-        + staged([r for r in pulls if r.depends_on])
+        + staged(free_pulls)
+        + staged(dep_pulls)
         + time_model.codec_scale * st.pull_decompress_seconds
     )
 
@@ -179,6 +203,14 @@ class NetworkSimulator:
         second replay (halving simulation cost) when only the overlapped
         times are consumed; ``serialized_seconds`` then equals
         ``step_seconds``.
+    vectorized:
+        When True (the default), steps replay through the NumPy batched
+        core in :mod:`repro.netsim.vector`; ``False`` keeps the reference
+        per-record Python loop. The two schedule identical events (the
+        differential property test in ``tests/netsim/test_vector_parity``
+        holds them together); the scalar path exists for debugging and
+        as the benchmark baseline. ``REPRO_SCALAR_SIM=1`` in the
+        environment forces the scalar path regardless of this flag.
     """
 
     def __init__(
@@ -189,12 +221,16 @@ class NetworkSimulator:
         *,
         overlap: bool = True,
         serialized_baseline: bool = True,
+        vectorized: bool = True,
     ):
         self.timeline = timeline
         self.link_model = link_model
         self.time_model = time_model or StepTimeModel()
         self.overlap = bool(overlap)
         self.serialized_baseline = bool(serialized_baseline)
+        self.vectorized = bool(vectorized) and not os.environ.get(
+            "REPRO_SCALAR_SIM"
+        )
         self._ready_fraction = timeline.ready_fraction()
         # Parameter -> label of the layer that produces its gradient.
         self._layer_of: dict[str, str] = {}
@@ -213,14 +249,60 @@ class NetworkSimulator:
         return overlapped
 
     def simulate_run(self, steps) -> SimulatedRun:
-        """Replay every recorded step of a training run."""
-        simulated = tuple(self.simulate_step(s) for s in steps)
-        if not simulated:
+        """Replay every recorded step of a training run.
+
+        Consecutive steps sharing one record *structure* (same names,
+        routes, workers, params, and dependencies — the invariant shape a
+        recorded training emits every step) are replayed as a single
+        batched pass with a leading step axis
+        (:func:`~repro.netsim.vector.replay_run_vectorized`): the waves,
+        sorts, and name/route tables are computed once per group, and the
+        per-step NumPy fixed costs amortize across the whole run. The
+        batched pass is arithmetic-identical to per-step replay, so
+        results are bit-equal either way.
+        """
+        steps = tuple(steps)
+        if not steps:
             raise ValueError(
                 "no recorded transmissions to simulate — was the engine "
                 "built with record_transmissions=True?"
             )
-        return SimulatedRun(simulated)
+        if not self.vectorized or len(steps) < 2:
+            return SimulatedRun(tuple(self.simulate_step(s) for s in steps))
+        sigs = [step_signature(st) for st in steps]
+        simulated: list[SimulatedStep] = []
+        i, n = 0, len(steps)
+        while i < n:
+            j = i + 1
+            while j < n and (sigs[j] is sigs[i] or sigs[j] == sigs[i]):
+                if sigs[j] is not sigs[i]:
+                    # Equal structure: share one tuple so the next replay
+                    # of this recording compares signatures by identity.
+                    sigs[j] = sigs[i]
+                    share_signature(steps[j], sigs[i])
+                j += 1
+            group = steps[i:j]
+            if len(group) >= 2:
+                simulated.extend(self._simulate_group(group))
+            else:
+                simulated.append(self.simulate_step(group[0]))
+            i = j
+        return SimulatedRun(tuple(simulated))
+
+    def _simulate_group(self, group) -> list[SimulatedStep]:
+        """Batched replay of structurally identical steps (both schedules)."""
+        overlapped = replay_run_vectorized(self, group, overlap=self.overlap)
+        if overlapped is None:
+            # A step with non-positive compute cannot share the group's
+            # compression-pipeline order; replay the group step by step.
+            return [self.simulate_step(s) for s in group]
+        if self.overlap and self.serialized_baseline:
+            serialized = replay_run_vectorized(self, group, overlap=False)
+            overlapped = [
+                replace(o, serialized_seconds=s.step_seconds)
+                for o, s in zip(overlapped, serialized)
+            ]
+        return overlapped
 
     # -- gradient readiness ------------------------------------------------
 
@@ -292,12 +374,19 @@ class NetworkSimulator:
     # -- the event replay --------------------------------------------------
 
     def _replay(self, st: StepTransmissions, *, overlap: bool) -> SimulatedStep:
+        if self.vectorized:
+            return replay_vectorized(self, st, overlap=overlap)
+        return self._replay_scalar(st, overlap=overlap)
+
+    def _replay_scalar(
+        self, st: StepTransmissions, *, overlap: bool
+    ) -> SimulatedStep:
+        """Reference per-record replay (see ``vectorized`` above)."""
         tm = self.time_model
         pmo = tm.per_message_overhead
         compute = tm.compute_scale * st.compute_seconds
 
-        push_records = [r for r in st.records if r.phase in ("push", "collective")]
-        pull_records = [r for r in st.records if r.phase == "pull"]
+        push_records, pull_records = phase_partition(st.records)
 
         # -- push compression: one serial pipeline per sending worker ------
         push_cost = tm.codec_scale * st.push_compress_seconds
@@ -503,6 +592,7 @@ class EventDrivenSimulator:
         *,
         staleness: int | None = None,
         overlap: bool = True,
+        vectorized: bool = True,
     ):
         if staleness is not None and staleness < 0:
             raise ValueError("staleness must be >= 0 or None")
@@ -518,6 +608,7 @@ class EventDrivenSimulator:
             self.time_model,
             overlap=overlap,
             serialized_baseline=False,
+            vectorized=vectorized,
         )
 
     # -- public API --------------------------------------------------------
@@ -617,7 +708,30 @@ class EventDrivenSimulator:
     def _simulate_events(self, events) -> SimulatedExchange:
         tm = self.time_model
         codec_scale = tm.codec_scale
-        pmo = tm.per_message_overhead
+
+        # Resolve every record's wire occupancy up front in one batched
+        # pass (and bank the comm/overhead totals from the same arrays);
+        # the event loop then reads plain floats instead of re-deriving
+        # link specs per enqueue.
+        flat_records: list[TransmissionRecord] = []
+        shape: list[tuple[int, int]] = []
+        for e in events:
+            pushes, pulls = e.push_records, e.pull_records
+            flat_records.extend(pushes)
+            flat_records.extend(pulls)
+            shape.append((len(pushes), len(pulls)))
+        occ_all, comm, overhead = wire_occupancy_batch(
+            flat_records, self.link_model, tm
+        )
+        occ_list = occ_all.tolist()
+        push_occ: dict[int, list[float]] = {}
+        pull_occ: dict[int, list[float]] = {}
+        pos = 0
+        for e, (n_push, n_pull) in zip(events, shape):
+            push_occ[e.update] = occ_list[pos : pos + n_push]
+            pos += n_push
+            pull_occ[e.update] = occ_list[pos : pos + n_pull]
+            pos += n_pull
 
         by_worker: dict[int, list[UpdateTransmissions]] = {}
         for e in events:
@@ -714,11 +828,12 @@ class EventDrivenSimulator:
             )
             waiting: dict[int, tuple[str, ...]] = {}
 
+            occ = push_occ[e.update]
+
             def enqueue_push(index: int, t: float) -> None:
-                record = pushes[index]
                 enqueue(
-                    record.route,
-                    self._steps._occupancy_seconds(record),
+                    pushes[index].route,
+                    occ[index],
                     lambda td, i=index: push_arrived(flight, i, td),
                     t,
                 )
@@ -795,11 +910,12 @@ class EventDrivenSimulator:
             satisfied = {r.name for r in e.push_records}
             waiting: dict[int, tuple[str, ...]] = {}
 
+            occ = pull_occ[e.update]
+
             def enqueue_pull(index: int, t: float) -> None:
-                record = pulls[index]
                 enqueue(
-                    record.route,
-                    self._steps._occupancy_seconds(record),
+                    pulls[index].route,
+                    occ[index],
                     lambda td, i=index: pull_arrived(flight, i, td),
                     t,
                 )
@@ -867,16 +983,6 @@ class EventDrivenSimulator:
             )
 
         total = max(u.done_seconds for u in finished)
-        comm = sum(
-            self.link_model.transfer_seconds(r.route, r.total_bytes)
-            for e in events
-            for r in e.records
-        )
-        overhead = sum(
-            (pmo + self.link_model.spec(r.route).rtt_seconds) * r.frames
-            for e in events
-            for r in e.records
-        )
         return SimulatedExchange(
             updates=tuple(sorted(finished, key=lambda u: u.update)),
             total_seconds=total,

@@ -1,0 +1,958 @@
+"""Struct-of-arrays record batches for the vectorized simulator core.
+
+The per-record Python event loop in :class:`~repro.netsim.scheduler.
+NetworkSimulator` is honest but slow: a fleet-scale hierarchical step
+carries thousands of :class:`~repro.netsim.events.TransmissionRecord`
+objects, and replaying a 200-step recording at three link rates touches
+every one of them dozens of times through dict lookups and attribute
+reads. This module converts a step's record tuple *once* into a
+:class:`RecordBatch` — flat NumPy arrays for bytes, frames, routes,
+workers, names, and dependencies, plus the (link-independent) dependency
+waves — and caches it on the ``StepTransmissions`` instance, so every
+subsequent replay of the same recording (an incremental sweep over link
+rates, an overlapped-plus-serialized pair, a replay-cache hit) pays only
+vector arithmetic.
+
+The batched replay in :func:`replay_vectorized` reproduces the scalar
+scheduler's event order exactly:
+
+* per-worker compression pipelines are per-segment prefix scans — the
+  FIFO recurrence ``end_i = max(ready_i, end_{i-1}) + cost_i`` becomes
+  ``maximum.accumulate`` over ``ready - prefix_cost``, run for every
+  pipeline at once on a 2-D padded grid;
+* per-link FIFOs apply the same scan per route within each dependency
+  wave, with each link's free time carried across waves and phases;
+* ties break exactly as in the scalar path: the same stable sorts on the
+  same ``(ready, name)`` keys, and the same first-strict-maximum rule
+  selects the bottleneck record.
+
+Floating-point results can differ from the scalar path only through
+re-association inside prefix sums — orders of magnitude below the 1e-9
+closed-form parity tolerance the calibration tests enforce. The scalar
+path stays available behind ``NetworkSimulator(..., vectorized=False)``
+(or ``REPRO_SCALAR_SIM=1``) for differential testing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.events import StepTransmissions, TransmissionRecord
+
+__all__ = [
+    "RecordBatch",
+    "record_batch",
+    "phase_partition",
+    "replay_run_vectorized",
+    "share_signature",
+    "step_signature",
+    "structure_signature",
+    "wire_occupancy_batch",
+]
+
+_BATCH_ATTR = "_repro_record_batch"
+_SIG_ATTR = "_repro_structure_sig"
+_NUM_ATTR = "_repro_numeric_rows"
+
+
+def structure_signature(records):
+    """Hashable projection of a record tuple's *structure*.
+
+    Two steps with equal signatures share everything the batched replay
+    precomputes — phase split, routes, per-worker pipelines, name table,
+    and dependency waves — and differ only in numeric payloads (bytes,
+    frames, elements) and the step's measured seconds. Recorded training
+    runs emit the same record skeleton every step, so whole runs collapse
+    to one signature and replay as a single batched pass (see
+    :func:`replay_run_vectorized`).
+    """
+    return tuple(
+        (r.name, r.phase, r.route, r.worker, r.params, r.depends_on)
+        for r in records
+    )
+
+
+def step_signature(st: StepTransmissions):
+    """:func:`structure_signature` of a step, cached on the instance.
+
+    Sweeps replay one recording many times (per link config, per time
+    model); the signature depends only on the immutable records tuple, so
+    it is computed once per step object, like :func:`record_batch`.
+    """
+    sig = st.__dict__.get(_SIG_ATTR)
+    if sig is None:
+        sig = structure_signature(st.records)
+        st.__dict__[_SIG_ATTR] = sig
+    return sig
+
+
+def share_signature(st: StepTransmissions, sig) -> None:
+    """Re-point ``st``'s cached signature at an equal step's tuple.
+
+    ``simulate_run`` compares adjacent steps' signatures; once two steps
+    are known equal, sharing one tuple object turns every later
+    comparison into an identity hit instead of an O(records) walk.
+    """
+    st.__dict__[_SIG_ATTR] = sig
+
+
+def numeric_rows(st: StepTransmissions) -> np.ndarray:
+    """The step's per-record numeric payload as a ``(3, n)`` float array
+    (total bytes, frames, elements in record order), cached on the
+    instance.
+
+    This is the batched replay's only per-record Python touch; caching it
+    means a re-simulated recording (sweep replay, overlap-plus-serialized
+    pairs) never walks the record objects again.
+    """
+    num = st.__dict__.get(_NUM_ATTR)
+    if num is None:
+        rec = st.records
+        num = np.array(
+            [
+                [r.total_bytes for r in rec],
+                [r.frames for r in rec],
+                [r.elements for r in rec],
+            ],
+            dtype=np.float64,
+        )
+        st.__dict__[_NUM_ATTR] = num
+    return num
+
+
+def phase_partition(records):
+    """Split a record tuple into (push+collective, pull) in one pass.
+
+    The scalar scheduler and the per-tier closed form both consume this
+    partition; doing it once per step (instead of one list comprehension
+    per phase per call) removes the repeated O(n) re-filtering from the
+    hierarchical hot path.
+    """
+    pushes, pulls = [], []
+    for record in records:
+        (pulls if record.phase == "pull" else pushes).append(record)
+    return pushes, pulls
+
+
+class _Wave:
+    """One dependency tier of a phase, with its order-independent pieces
+    precomputed: the records' indices (ascending — the scalar path's
+    iteration order), which of them carry dependencies, and the flattened
+    dependency name codes ready for a ``maximum.reduceat``."""
+
+    __slots__ = ("indices", "dep_idx", "dep_flat", "dep_off")
+
+    def __init__(self, indices: np.ndarray, phase: "_PhaseBatch"):
+        self.indices = indices
+        dep_idx: list[int] = []
+        dep_flat: list[int] = []
+        dep_off: list[int] = []
+        for pos, i in enumerate(indices):
+            lo, hi = phase.dep_offsets[i], phase.dep_offsets[i + 1]
+            if hi > lo:
+                dep_idx.append(pos)
+                dep_off.append(len(dep_flat))
+                dep_flat.extend(phase.dep_codes[lo:hi])
+        self.dep_idx = np.array(dep_idx, dtype=np.intp)
+        self.dep_flat = np.array(dep_flat, dtype=np.intp)
+        self.dep_off = np.array(dep_off, dtype=np.intp)
+
+    def dep_ends(self, end_by_name: np.ndarray) -> np.ndarray:
+        """Max transfer-end over each record's dependencies (0 if none),
+        aligned with ``self.indices``."""
+        out = np.zeros(self.indices.shape[0])
+        if self.dep_idx.size:
+            out[self.dep_idx] = np.maximum.reduceat(
+                end_by_name[self.dep_flat], self.dep_off
+            )
+        return out
+
+    def dep_ends_multi(self, end_by_name: np.ndarray) -> np.ndarray:
+        """Row-batched :meth:`dep_ends`: ``end_by_name`` is ``(S, names)``
+        (one row per step), the result ``(S, wave)``."""
+        out = np.zeros((end_by_name.shape[0], self.indices.shape[0]))
+        if self.dep_idx.size:
+            out[:, self.dep_idx] = np.maximum.reduceat(
+                end_by_name[:, self.dep_flat], self.dep_off, axis=1
+            )
+        return out
+
+
+class _PhaseBatch:
+    """Arrays for one phase's records (pushes+collectives, or pulls)."""
+
+    __slots__ = (
+        "records",
+        "n",
+        "total_bytes",
+        "frames",
+        "elements",
+        "route_code",
+        "name_code",
+        "worker_code",
+        "num_workers",
+        "has_deps",
+        "dep_codes",
+        "dep_offsets",
+        "waves",
+    )
+
+    def __init__(
+        self,
+        records: list[TransmissionRecord],
+        name_code_of: dict[str, int],
+        route_code_of: dict[str, int],
+        external_names: frozenset[str],
+    ):
+        self.records = records
+        n = len(records)
+        self.n = n
+        self.total_bytes = np.array(
+            [r.total_bytes for r in records], dtype=np.float64
+        )
+        self.frames = np.array([r.frames for r in records], dtype=np.float64)
+        self.elements = np.array([r.elements for r in records], dtype=np.float64)
+        for r in records:
+            if r.route not in route_code_of:
+                route_code_of[r.route] = len(route_code_of)
+        self.route_code = np.array(
+            [route_code_of[r.route] for r in records], dtype=np.intp
+        )
+        self.name_code = np.array(
+            [name_code_of[r.name] for r in records], dtype=np.intp
+        )
+        # Compression pipelines are keyed by sending worker; the ``None``
+        # shared pipeline gets its own dense code.
+        worker_ids: dict[object, int] = {}
+        codes = []
+        for r in records:
+            codes.append(worker_ids.setdefault(r.worker, len(worker_ids)))
+        self.worker_code = np.array(codes, dtype=np.intp)
+        self.num_workers = len(worker_ids)
+
+        flat_deps: list[int] = []
+        offsets = [0]
+        for r in records:
+            flat_deps.extend(name_code_of[d] for d in r.depends_on)
+            offsets.append(len(flat_deps))
+        self.dep_codes = np.array(flat_deps, dtype=np.intp)
+        self.dep_offsets = np.array(offsets, dtype=np.intp)
+        self.has_deps = self.dep_offsets[1:] > self.dep_offsets[:-1]
+
+        if not flat_deps:
+            # Fast path: no tier coupling means a single wave and no graph
+            # traversal at all (the flat topologies).
+            raw = [np.arange(n, dtype=np.intp)] if n else []
+        else:
+            from repro.netsim.scheduler import dependency_waves
+
+            raw = [
+                np.array(wave, dtype=np.intp)
+                for wave in dependency_waves(records, external_names)
+            ]
+        self.waves = tuple(_Wave(w, self) for w in raw)
+
+
+class RecordBatch:
+    """Link-model-independent struct-of-arrays view of one step's records.
+
+    Built once per :class:`~repro.netsim.events.StepTransmissions` (see
+    :func:`record_batch`) and shared by every simulator replaying it: the
+    arrays depend only on the recording, while per-link quantities (wire
+    occupancies) are computed per replay from the cached route codes.
+    """
+
+    __slots__ = (
+        "records",
+        "route_names",
+        "num_names",
+        "push",
+        "pull",
+        "push_pos",
+        "pull_pos",
+        "_frac_cache",
+    )
+
+    def __init__(self, records: tuple[TransmissionRecord, ...]):
+        self.records = records
+        pushes, pulls = phase_partition(records)
+        # Positions of each phase's records in the original tuple, so the
+        # run-batched replay can slice per-step numeric payloads extracted
+        # in record order into the phase arrays' layout.
+        self.push_pos = np.array(
+            [i for i, r in enumerate(records) if r.phase != "pull"],
+            dtype=np.intp,
+        )
+        self.pull_pos = np.array(
+            [i for i, r in enumerate(records) if r.phase == "pull"],
+            dtype=np.intp,
+        )
+        # One global name table spanning both phases: pull dependencies may
+        # name push-phase records, and transfer-end times are keyed by
+        # name. Codes are assigned in *sorted* name order, so the codes
+        # double as lexicographic ranks and integer comparisons reproduce
+        # the scalar path's string tie-breaking exactly.
+        names = sorted(
+            {r.name for r in records} | {d for r in records for d in r.depends_on}
+        )
+        name_code_of = {name: code for code, name in enumerate(names)}
+        self.num_names = len(names)
+        route_code_of: dict[str, int] = {}
+        push_names = frozenset(r.name for r in pushes)
+        self.push = _PhaseBatch(pushes, name_code_of, route_code_of, frozenset())
+        self.pull = _PhaseBatch(pulls, name_code_of, route_code_of, push_names)
+        self.route_names = tuple(route_code_of)
+        #: Per-timeline cache of each push record's gradient-ready compute
+        #: fraction (max over the parameters the record carries). Keyed by
+        #: the (hashable, frozen) BackwardTimeline.
+        self._frac_cache: dict[object, np.ndarray] = {}
+
+    def route_arrays(self, link_model):
+        """(bits_per_second, rtt_seconds) per route code, for one model."""
+        specs = [link_model.spec(r) for r in self.route_names]
+        rates = np.array([s.bits_per_second for s in specs], dtype=np.float64)
+        rtts = np.array([s.rtt_seconds for s in specs], dtype=np.float64)
+        return rates, rtts
+
+    def max_ready_fraction(self, timeline, ready_fraction: dict[str, float]):
+        """Each push record's gradient-ready compute fraction (cached).
+
+        Records carrying no parameters are conservatively ready at 1.0
+        (when backward completes), matching the scalar path.
+        """
+        cached = self._frac_cache.get(timeline)
+        if cached is None:
+            cached = np.array(
+                [
+                    max(ready_fraction.get(name, 1.0) for name in r.params)
+                    if r.params
+                    else 1.0
+                    for r in self.push.records
+                ],
+                dtype=np.float64,
+            )
+            self._frac_cache[timeline] = cached
+        return cached
+
+
+def record_batch(st: StepTransmissions) -> RecordBatch:
+    """The step's cached :class:`RecordBatch` (built on first use).
+
+    ``StepTransmissions`` is a frozen dataclass without slots, so the
+    batch rides the instance ``__dict__``: recordings are replayed many
+    times (link sweeps, overlapped-plus-serialized pairs, replay-cache
+    hits) and the SoA conversion plus dependency waves dominate the
+    per-step setup cost.
+    """
+    batch = st.__dict__.get(_BATCH_ATTR)
+    if batch is None:
+        batch = RecordBatch(st.records)
+        st.__dict__[_BATCH_ATTR] = batch
+    return batch
+
+
+def wire_occupancy_batch(records, link_model, time_model):
+    """Per-record wire occupancies plus comm/overhead totals, batched.
+
+    Returns ``(occupancy, comm, overhead)``: the array of per-record link
+    occupancies (transfer + per-frame protocol overhead + per-frame link
+    RTT — elementwise the same IEEE operations as
+    :func:`~repro.netsim.scheduler.wire_occupancy_seconds`), the summed
+    raw transfer seconds, and the summed per-frame overhead seconds. The
+    event simulator precomputes this once per update stream instead of
+    resolving link specs record by record inside the event loop.
+    """
+    route_code_of: dict[str, int] = {}
+    codes = []
+    tbytes = []
+    frames = []
+    for r in records:
+        codes.append(route_code_of.setdefault(r.route, len(route_code_of)))
+        tbytes.append(r.total_bytes)
+        frames.append(r.frames)
+    if not codes:
+        return np.zeros(0), 0.0, 0.0
+    specs = [link_model.spec(r) for r in route_code_of]
+    rates = np.array([s.bits_per_second for s in specs])
+    rtts = np.array([s.rtt_seconds for s in specs])
+    rc = np.array(codes, dtype=np.intp)
+    transfer = 8.0 * np.array(tbytes, dtype=np.float64) / rates[rc]
+    per_frame = (time_model.per_message_overhead + rtts[rc]) * np.array(
+        frames, dtype=np.float64
+    )
+    return (
+        transfer + per_frame,
+        float(np.sum(transfer)),
+        float(np.sum(per_frame)),
+    )
+
+
+def _segmented_scan(ready, costs, seg_ids, num_segments, seg_init):
+    """FIFO scan ``end_i = max(ready_i, end_{i-1}) + cost_i`` per segment,
+    with ``end_{-1} = seg_init[segment]``.
+
+    ``seg_ids`` must be sorted ascending (records already grouped by
+    segment); within a segment, array order is service order. Runs as a
+    depth-wise sweep: iteration ``k`` serves every segment's ``k``-th
+    queued record at once, so the loop length is the deepest queue, not
+    the record count — and each end time is produced by *exactly* the
+    scalar loop's IEEE operations (one ``max``, one add, in the same
+    order). That exactness matters beyond aesthetics: per-record codec
+    costs are element-shares of one budget, so distinct pipelines finish
+    in exact real-arithmetic ties, and a prefix-sum formulation (which
+    re-associates the additions) can land an ulp away and flip the next
+    wave's (ready, name) service order — a discrete schedule change, not
+    a rounding blur.
+
+    Returns ``(ends, starts, seg_last)``: per-record end and start times
+    plus each segment's final end (``seg_init`` where a segment is empty).
+    """
+    n = ready.shape[0]
+    counts = np.bincount(seg_ids, minlength=num_segments)
+    width = int(counts.max()) if n else 0
+    seg_last = seg_init.copy()
+
+    if width <= 1:
+        # Every link serves at most one record this wave: no queueing.
+        starts = np.maximum(ready, seg_init[seg_ids])
+        ends = starts + costs
+        seg_last[seg_ids] = ends
+        return ends, starts, seg_last
+
+    seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    col = np.arange(n) - seg_starts[seg_ids]
+    # Bucket record positions by queue depth: elements at depth k across
+    # all segments are independent and serve together.
+    by_depth = np.argsort(col, kind="stable")
+    bounds = np.searchsorted(col[by_depth], np.arange(width + 1))
+    starts = np.empty(n)
+    ends = np.empty(n)
+    prev = seg_last
+    for k in range(width):
+        pk = by_depth[bounds[k] : bounds[k + 1]]
+        sk = seg_ids[pk]
+        start = np.maximum(ready[pk], prev[sk])
+        end = start + costs[pk]
+        starts[pk] = start
+        ends[pk] = end
+        prev[sk] = end
+    return ends, starts, seg_last
+
+
+def _segmented_scan_steps(ready, costs, seg_ids, num_segments, seg_init):
+    """Row-batched :func:`_segmented_scan`: one independent scan per row.
+
+    ``ready`` and ``costs`` are ``(S, m)`` (one row per step), ``seg_init``
+    is ``(S, num_segments)``, and ``seg_ids`` — sorted ascending, service
+    order within a segment — is *shared across rows*: every step of a
+    batched group presents the same segment layout, only the numbers
+    differ. The depth-wise sweep performs the per-step scan's exact IEEE
+    operations on every row, so a batched replay is bit-identical to
+    replaying each step alone (and to the scalar reference loop).
+
+    Returns ``(ends, starts, seg_last)`` shaped like the inputs.
+    """
+    S, m = ready.shape
+    seg_last = seg_init.copy()
+    if m == 0:
+        return ready, ready, seg_last
+    counts = np.bincount(seg_ids, minlength=num_segments)
+    width = int(counts.max())
+
+    if width <= 1:
+        starts = np.maximum(ready, seg_init[:, seg_ids])
+        ends = starts + costs
+        seg_last[:, seg_ids] = ends
+        return ends, starts, seg_last
+
+    seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    col = np.arange(m) - seg_starts[seg_ids]
+    by_depth = np.argsort(col, kind="stable")
+    bounds = np.searchsorted(col[by_depth], np.arange(width + 1))
+    starts = np.empty((S, m))
+    ends = np.empty((S, m))
+    prev = seg_last
+    for k in range(width):
+        pk = by_depth[bounds[k] : bounds[k + 1]]
+        sk = seg_ids[pk]
+        start = np.maximum(ready[:, pk], prev[:, sk])
+        end = start + costs[:, pk]
+        starts[:, pk] = start
+        ends[:, pk] = end
+        prev[:, sk] = end
+    return ends, starts, seg_last
+
+
+def _first_strict_max(values: np.ndarray, floor: float):
+    """Index of the first value (in array order) attaining the maximum,
+    if that maximum strictly exceeds ``floor`` — the scalar loop's running
+    ``end > best`` bottleneck rule restricted to one wave."""
+    if values.size == 0:
+        return None
+    peak = values.max()
+    if peak <= floor:
+        return None
+    return int(np.flatnonzero(values == peak)[0])
+
+
+def compressed_at_vectorized(
+    batch: RecordBatch,
+    compute: float,
+    push_cost: float,
+    max_frac: np.ndarray,
+    *,
+    overlap: bool,
+) -> np.ndarray:
+    """Vectorized per-worker compression pipeline (push phase).
+
+    Mirrors ``NetworkSimulator._push_compressed_at``: records enter their
+    sending worker's serial pipeline in (gradient-ready, name) order and
+    cost their element-share of the step's push-compression budget.
+    """
+    push = batch.push
+    n = push.n
+    if not overlap:
+        return np.full(n, compute + push_cost)
+    grad_ready = max_frac * compute
+    order = np.lexsort((push.name_code, grad_ready))
+    totals = np.bincount(
+        push.worker_code, weights=push.elements, minlength=push.num_workers
+    )
+    per_record_total = totals[push.worker_code]
+    costs = np.where(
+        per_record_total > 0,
+        (push_cost * push.elements)
+        / np.where(per_record_total > 0, per_record_total, 1.0),
+        0.0,
+    )
+    # Group the (ready, name)-sorted sequence by worker — stable, so each
+    # pipeline keeps its service order — then scan all pipelines at once.
+    workers_sorted = push.worker_code[order]
+    group = np.argsort(workers_sorted, kind="stable")
+    idx = order[group]
+    ends, _, _ = _segmented_scan(
+        grad_ready[idx],
+        costs[idx],
+        workers_sorted[group],
+        push.num_workers,
+        np.zeros(push.num_workers),
+    )
+    compressed = np.empty(n)
+    compressed[idx] = ends
+    return compressed
+
+
+def replay_vectorized(sim, st: StepTransmissions, *, overlap: bool):
+    """Vectorized counterpart of ``NetworkSimulator._replay_scalar``.
+
+    ``sim`` supplies the timeline, link model, and time model; the event
+    order is documented in :mod:`repro.netsim.scheduler`. Returns the same
+    :class:`~repro.netsim.events.SimulatedStep`.
+    """
+    from repro.netsim.events import SimulatedStep
+
+    tm = sim.time_model
+    batch = record_batch(st)
+    push, pull = batch.push, batch.pull
+    compute = tm.compute_scale * st.compute_seconds
+    push_cost = tm.codec_scale * st.push_compress_seconds
+
+    rates, rtts = batch.route_arrays(sim.link_model)
+    per_frame = tm.per_message_overhead + rtts
+    occ_push = (
+        8.0 * push.total_bytes / rates[push.route_code]
+        + per_frame[push.route_code] * push.frames
+    )
+    occ_pull = (
+        8.0 * pull.total_bytes / rates[pull.route_code]
+        + per_frame[pull.route_code] * pull.frames
+    )
+    max_frac = batch.max_ready_fraction(sim.timeline, sim._ready_fraction)
+    compressed_at = compressed_at_vectorized(
+        batch, compute, push_cost, max_frac, overlap=overlap
+    )
+
+    num_routes = len(batch.route_names)
+    link_free = np.zeros(num_routes)
+    link_busy = np.zeros(num_routes)
+    end_by_name = np.zeros(batch.num_names)
+
+    # -- push transmission: FIFO per link, in dependency tiers -------------
+    push_end = compute if push.n == 0 else 0.0
+    bottleneck = None  # (record, start_bound_by_link)
+    tier_floor = 0.0
+    for wave in push.waves:
+        w0 = wave.indices
+        if overlap:
+            dep_end = wave.dep_ends(end_by_name)
+        else:
+            # Serialized schedules are fully staged: a tier starts only
+            # after the whole previous tier has landed — what makes the
+            # schedule equal the analytic per-tier sum.
+            dep_end = np.where(push.has_deps[w0], tier_floor, 0.0)
+        ready = np.maximum(compressed_at[w0], dep_end)
+        order = np.lexsort((push.name_code[w0], ready))
+        ready_sorted = ready[order]
+        w = w0[order]
+        group = np.argsort(push.route_code[w], kind="stable")
+        w = w[group]
+        rc = push.route_code[w]
+        ends, starts, link_free = _segmented_scan(
+            ready_sorted[group], occ_push[w], rc, num_routes, link_free
+        )
+        np.add.at(link_busy, rc, occ_push[w])
+        np.maximum.at(end_by_name, push.name_code[w], ends)
+        # Scatter back to processing ((ready, name)-sorted) order so the
+        # first-strict-max bottleneck rule sees the scalar path's ties.
+        proc_end = np.empty_like(ends)
+        proc_end[group] = ends
+        hit = _first_strict_max(proc_end, push_end)
+        if hit is not None:
+            push_end = float(proc_end[hit])
+            proc_start = np.empty_like(starts)
+            proc_start[group] = starts
+            bound = bool(proc_start[hit] > ready_sorted[hit] + 1e-15)
+            bottleneck = (push.records[int(w0[order[hit]])], bound)
+        tier_floor = max(tier_floor, float(ends.max()))
+    # The barrier cannot release before the slowest worker's backward;
+    # when that floor binds, the step is compute-bound.
+    barrier_floor = compute + (push_cost if not overlap else 0.0)
+    if barrier_floor > push_end:
+        push_end = barrier_floor
+        bottleneck = None
+
+    # -- server phase and pulls --------------------------------------------
+    server_cost = tm.codec_scale * (
+        st.server_decompress_seconds + st.server_compress_seconds
+    )
+    pull_ready = push_end + server_cost
+    phase_end = pull_ready
+    last_pull: TransmissionRecord | None = None
+    tier_floor = pull_ready
+    for wave in pull.waves:
+        w0 = wave.indices
+        if overlap:
+            dep_end = wave.dep_ends(end_by_name)
+        else:
+            dep_end = np.where(pull.has_deps[w0], tier_floor, 0.0)
+        base = np.maximum(pull_ready, dep_end)
+        order = np.argsort(pull.name_code[w0], kind="stable")
+        w = w0[order]
+        group = np.argsort(pull.route_code[w], kind="stable")
+        w = w[group]
+        rc = pull.route_code[w]
+        ends, _, link_free = _segmented_scan(
+            base[order][group], occ_pull[w], rc, num_routes, link_free
+        )
+        np.add.at(link_busy, rc, occ_pull[w])
+        np.maximum.at(end_by_name, pull.name_code[w], ends)
+        proc_end = np.empty_like(ends)
+        proc_end[group] = ends
+        hit = _first_strict_max(proc_end, phase_end)
+        if hit is not None:
+            phase_end = float(proc_end[hit])
+            last_pull = pull.records[int(w0[order[hit]])]
+        tier_floor = max(tier_floor, float(ends.max()))
+    pull_cost = tm.codec_scale * st.pull_decompress_seconds
+    step_seconds = phase_end + pull_cost
+
+    # -- bookkeeping --------------------------------------------------------
+    comm = overhead = 0.0
+    for phase in (push, pull):
+        if phase.n:
+            rc = phase.route_code
+            comm += float(np.sum(8.0 * phase.total_bytes / rates[rc]))
+            overhead += float(np.sum(per_frame[rc] * phase.frames))
+    codec = push_cost + server_cost + pull_cost
+    exposed = max(0.0, step_seconds - compute - codec - overhead)
+    if compute > 0:
+        achieved = min(1.0, max(0.0, (comm - exposed) / compute))
+    else:
+        achieved = 0.0
+    busy_of = dict(zip(batch.route_names, link_busy.tolist()))
+    utilization = {
+        link_id: (busy_of.get(link_id, 0.0) / step_seconds if step_seconds else 0.0)
+        for link_id in sim.link_model.link_ids
+    }
+    return SimulatedStep(
+        step=st.step,
+        step_seconds=step_seconds,
+        serialized_seconds=step_seconds,
+        compute_seconds=compute,
+        codec_seconds=codec,
+        comm_seconds=comm,
+        overhead_seconds=overhead,
+        exposed_seconds=exposed,
+        achieved_overlap=achieved if overlap else 0.0,
+        link_utilization=utilization,
+        critical_path=sim._critical_path(bottleneck, last_pull, overlap, pull.n > 0),
+    )
+
+
+def replay_run_vectorized(sim, steps, *, overlap):
+    """Replay a structurally identical step group as one batched pass.
+
+    ``steps`` must share one :func:`structure_signature` (the caller —
+    ``NetworkSimulator.simulate_run`` — groups them). BSP steps are
+    independent schedules, so the batch adds a leading step axis to every
+    array of :func:`replay_vectorized` and runs each wave's FIFO scans for
+    all steps at once: the structure (waves, sorts' segment layouts, name
+    and route tables) is computed once per group instead of once per step,
+    and the per-step NumPy fixed costs amortize across the group.
+
+    The arithmetic is elementwise identical to :func:`replay_vectorized`
+    (same gathers, same scans, same tie-breaking sorts), so the batched
+    results are bit-identical to replaying each step alone. Returns a list
+    of ``SimulatedStep``, or ``None`` when the group cannot share one
+    service order (a step with non-positive compute seconds under overlap)
+    and the caller must fall back to per-step replay.
+    """
+    from repro.netsim.events import SimulatedStep
+
+    tm = sim.time_model
+    batch = record_batch(steps[0])
+    push, pull = batch.push, batch.pull
+    S = len(steps)
+    n_all = len(steps[0].records)
+
+    compute = tm.compute_scale * np.array([st.compute_seconds for st in steps])
+    # The per-worker compression pipeline sorts by (ready-fraction x
+    # compute, name); one shared order needs compute > 0 everywhere.
+    if overlap and push.n and not np.all(compute > 0.0):
+        return None
+    push_cost = tm.codec_scale * np.array(
+        [st.push_compress_seconds for st in steps]
+    )
+    server_cost = tm.codec_scale * np.array(
+        [st.server_decompress_seconds + st.server_compress_seconds for st in steps]
+    )
+    pull_cost = tm.codec_scale * np.array(
+        [st.pull_decompress_seconds for st in steps]
+    )
+
+    # Per-step numeric payloads, extracted in record order (cached per
+    # step object) and sliced into each phase's layout.
+    num = np.stack([numeric_rows(st) for st in steps])
+    tb = num[:, 0, :]
+    fr = num[:, 1, :]
+    el = num[:, 2, :]
+    B_push = tb[:, batch.push_pos]
+    F_push = fr[:, batch.push_pos]
+    E_push = el[:, batch.push_pos]
+    B_pull = tb[:, batch.pull_pos]
+    F_pull = fr[:, batch.pull_pos]
+
+    rates, rtts = batch.route_arrays(sim.link_model)
+    per_frame = tm.per_message_overhead + rtts
+    rc_push = push.route_code
+    rc_pull = pull.route_code
+    occ_push = 8.0 * B_push / rates[rc_push] + per_frame[rc_push] * F_push
+    occ_pull = 8.0 * B_pull / rates[rc_pull] + per_frame[rc_pull] * F_pull
+
+    rows = np.arange(S)[:, None]
+
+    # -- push compression pipelines (all steps at once) --------------------
+    if push.n:
+        if overlap:
+            max_frac = batch.max_ready_fraction(sim.timeline, sim._ready_fraction)
+            grad_ready = compute[:, None] * max_frac[None, :]
+            # compute > 0, so ranking by frac x compute == ranking by frac:
+            # the (ready, name) service order is shared by every step.
+            order = np.lexsort((push.name_code, max_frac))
+            # Per-worker element totals: segment-sum over a structural
+            # worker sort. The stable sort keeps each worker's elements in
+            # record order, so the additions associate exactly like the
+            # per-step bincount.
+            wsort = np.argsort(push.worker_code, kind="stable")
+            wc_sorted = push.worker_code[wsort]
+            present = np.unique(wc_sorted)
+            offs = np.searchsorted(wc_sorted, present)
+            totals = np.zeros((S, push.num_workers))
+            totals[:, present] = np.add.reduceat(E_push[:, wsort], offs, axis=1)
+            per_total = totals[:, push.worker_code]
+            costs = np.where(
+                per_total > 0,
+                (push_cost[:, None] * E_push)
+                / np.where(per_total > 0, per_total, 1.0),
+                0.0,
+            )
+            workers_sorted = push.worker_code[order]
+            group = np.argsort(workers_sorted, kind="stable")
+            idx = order[group]
+            ends, _, _ = _segmented_scan_steps(
+                grad_ready[:, idx],
+                costs[:, idx],
+                workers_sorted[group],
+                push.num_workers,
+                np.zeros((S, push.num_workers)),
+            )
+            compressed = np.empty((S, push.n))
+            compressed[:, idx] = ends
+        else:
+            compressed = np.broadcast_to(
+                (compute + push_cost)[:, None], (S, push.n)
+            )
+
+    num_routes = len(batch.route_names)
+    link_free = np.zeros((S, num_routes))
+    link_busy = np.zeros((S, num_routes))
+    end_by_name = np.zeros((S, batch.num_names))
+
+    # -- push transmission: FIFO per link, in dependency tiers -------------
+    push_end = compute.copy() if push.n == 0 else np.zeros(S)
+    bneck_idx = np.full(S, -1, dtype=np.intp)
+    bneck_bound = np.zeros(S, dtype=bool)
+    tier_floor = np.zeros(S)
+    for wave in push.waves:
+        w0 = wave.indices
+        m = w0.shape[0]
+        if overlap:
+            dep_end = wave.dep_ends_multi(end_by_name)
+        else:
+            dep_end = np.where(push.has_deps[w0][None, :], tier_floor[:, None], 0.0)
+        ready = np.maximum(compressed[:, w0], dep_end)
+        # (ready, name) service order is per-step data: pre-permute the
+        # wave by name once, then one stable row-argsort on ready realizes
+        # the lexsort for every step in a single C call.
+        name_order = np.argsort(push.name_code[w0], kind="stable")
+        w_n = w0[name_order]
+        rc_n = push.route_code[w_n]
+        nc_n = push.name_code[w_n]
+        ready_n = ready[:, name_order]
+        order2 = np.argsort(ready_n, axis=1, kind="stable")
+        group2 = np.argsort(rc_n[order2], axis=1, kind="stable")
+        pos = np.take_along_axis(order2, group2, axis=1)
+        seg_row = np.sort(rc_n)  # shared: per-route counts are structural
+        ready_scan = np.take_along_axis(ready_n, pos, axis=1)
+        occ_scan = np.take_along_axis(occ_push[:, w_n], pos, axis=1)
+        ends, starts, link_free = _segmented_scan_steps(
+            ready_scan, occ_scan, seg_row, num_routes, link_free
+        )
+        np.add.at(link_busy, (rows, seg_row[None, :]), occ_scan)
+        idx_n = nc_n[pos]
+        if np.unique(nc_n).size == nc_n.size:
+            # Unique names per wave (the recorded invariant): a gather +
+            # maximum + scatter replaces the elementwise ufunc.at loop.
+            # max is exact, so the result is identical either way.
+            end_by_name[rows, idx_n] = np.maximum(end_by_name[rows, idx_n], ends)
+        else:
+            np.maximum.at(end_by_name, (rows, idx_n), ends)
+        proc_end = np.empty((S, m))
+        np.put_along_axis(proc_end, group2, ends, axis=1)
+        peak = proc_end.max(axis=1)
+        better = peak > push_end
+        if np.any(better):
+            hit_rows = np.flatnonzero(better)
+            h = np.argmax(proc_end[hit_rows] == peak[hit_rows, None], axis=1)
+            proc_start = np.empty((S, m))
+            np.put_along_axis(proc_start, group2, starts, axis=1)
+            ready_proc = np.take_along_axis(ready_n, order2, axis=1)
+            push_end[hit_rows] = peak[hit_rows]
+            bneck_bound[hit_rows] = (
+                proc_start[hit_rows, h] > ready_proc[hit_rows, h] + 1e-15
+            )
+            bneck_idx[hit_rows] = w_n[order2[hit_rows, h]]
+        tier_floor = np.maximum(tier_floor, ends.max(axis=1))
+    barrier_floor = compute if overlap else compute + push_cost
+    capped = barrier_floor > push_end
+    push_end = np.where(capped, barrier_floor, push_end)
+    bneck_idx[capped] = -1
+
+    # -- server phase and pulls --------------------------------------------
+    pull_ready = push_end + server_cost
+    phase_end = pull_ready.copy()
+    last_idx = np.full(S, -1, dtype=np.intp)
+    tier_floor = pull_ready.copy()
+    for wave in pull.waves:
+        w0 = wave.indices
+        m = w0.shape[0]
+        if overlap:
+            dep_end = wave.dep_ends_multi(end_by_name)
+        else:
+            dep_end = np.where(pull.has_deps[w0][None, :], tier_floor[:, None], 0.0)
+        base = np.maximum(pull_ready[:, None], dep_end)
+        # Pulls order by name alone — shared across steps.
+        order = np.argsort(pull.name_code[w0], kind="stable")
+        w = w0[order]
+        group = np.argsort(pull.route_code[w], kind="stable")
+        idx = order[group]
+        wg = w0[idx]
+        rc = pull.route_code[wg]
+        occ_scan = occ_pull[:, wg]
+        ends, _, link_free = _segmented_scan_steps(
+            base[:, idx], occ_scan, rc, num_routes, link_free
+        )
+        np.add.at(link_busy, (rows, rc[None, :]), occ_scan)
+        nc = pull.name_code[wg]
+        if np.unique(nc).size == nc.size:
+            end_by_name[:, nc] = np.maximum(end_by_name[:, nc], ends)
+        else:
+            np.maximum.at(end_by_name, (rows, nc[None, :]), ends)
+        proc_end = np.empty((S, m))
+        proc_end[:, group] = ends
+        peak = proc_end.max(axis=1)
+        better = peak > phase_end
+        if np.any(better):
+            hit_rows = np.flatnonzero(better)
+            h = np.argmax(proc_end[hit_rows] == peak[hit_rows, None], axis=1)
+            phase_end[hit_rows] = peak[hit_rows]
+            last_idx[hit_rows] = w[h]
+        tier_floor = np.maximum(tier_floor, ends.max(axis=1))
+    step_seconds = phase_end + pull_cost
+
+    # -- bookkeeping --------------------------------------------------------
+    # Row-by-row 1-D sums: an axis-1 reduction blocks its pairwise
+    # summation differently and drifts a ulp from the per-step totals,
+    # which would break the batched path's bit-identity guarantee.
+    comm = np.zeros(S)
+    overhead = np.zeros(S)
+    for terms, out in (
+        ((8.0 * B_push / rates[rc_push]) if push.n else None, comm),
+        ((per_frame[rc_push] * F_push) if push.n else None, overhead),
+        ((8.0 * B_pull / rates[rc_pull]) if pull.n else None, comm),
+        ((per_frame[rc_pull] * F_pull) if pull.n else None, overhead),
+    ):
+        if terms is not None:
+            for s in range(S):
+                out[s] += float(np.sum(terms[s]))
+    codec = push_cost + server_cost + pull_cost
+    exposed = np.maximum(0.0, step_seconds - compute - codec - overhead)
+    safe_compute = np.where(compute > 0, compute, 1.0)
+    achieved = np.where(
+        compute > 0,
+        np.minimum(1.0, np.maximum(0.0, (comm - exposed) / safe_compute)),
+        0.0,
+    )
+
+    link_ids = sim.link_model.link_ids
+    route_names = batch.route_names
+    results = []
+    for s, st in enumerate(steps):
+        ss = float(step_seconds[s])
+        busy_of = dict(zip(route_names, link_busy[s].tolist()))
+        utilization = {
+            link_id: (busy_of.get(link_id, 0.0) / ss if ss else 0.0)
+            for link_id in link_ids
+        }
+        bi = int(bneck_idx[s])
+        bottleneck = (push.records[bi], bool(bneck_bound[s])) if bi >= 0 else None
+        li = int(last_idx[s])
+        last_pull = pull.records[li] if li >= 0 else None
+        results.append(
+            SimulatedStep(
+                step=st.step,
+                step_seconds=ss,
+                serialized_seconds=ss,
+                compute_seconds=float(compute[s]),
+                codec_seconds=float(codec[s]),
+                comm_seconds=float(comm[s]),
+                overhead_seconds=float(overhead[s]),
+                exposed_seconds=float(exposed[s]),
+                achieved_overlap=float(achieved[s]) if overlap else 0.0,
+                link_utilization=utilization,
+                critical_path=sim._critical_path(
+                    bottleneck, last_pull, overlap, pull.n > 0
+                ),
+            )
+        )
+    return results

@@ -1,8 +1,9 @@
-"""Shared utilities: seeding, logging, and human-readable formatting."""
+"""Shared utilities: seeding, logging, formatting, and profiling."""
 
 from repro.utils.seeding import SeedSequenceFactory, derive_rng
 from repro.utils.format import human_bytes, human_rate, format_table
 from repro.utils.logging import get_logger
+from repro.utils.profiling import maybe_profile, profiling_requested
 
 __all__ = [
     "SeedSequenceFactory",
@@ -11,4 +12,6 @@ __all__ = [
     "human_rate",
     "format_table",
     "get_logger",
+    "maybe_profile",
+    "profiling_requested",
 ]

@@ -1,0 +1,71 @@
+"""Lightweight cProfile hook for the simulator hot path.
+
+Perf PRs need a standard entry point: every bench CLI accepts
+``--profile`` (and every code path honors ``REPRO_PROFILE=1``) and wraps
+its hot section in :func:`maybe_profile`, which prints a cumulative-time
+top-20 when enabled and costs nothing when not.
+
+Usage::
+
+    with maybe_profile(args.profile, label="sweep replay"):
+        run_sweep(...)
+
+    REPRO_PROFILE=1 python benchmarks/bench_simperf.py --smoke
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import sys
+from contextlib import contextmanager
+
+__all__ = ["maybe_profile", "profiling_requested"]
+
+
+def profiling_requested() -> bool:
+    """True when ``REPRO_PROFILE`` is set to a non-empty, non-zero value."""
+    value = os.environ.get("REPRO_PROFILE", "")
+    return value not in ("", "0")
+
+
+@contextmanager
+def maybe_profile(
+    enabled: bool | None = None,
+    *,
+    top: int = 20,
+    label: str = "profile",
+    stream=None,
+):
+    """Profile the enclosed block and print the top ``top`` entries.
+
+    Parameters
+    ----------
+    enabled:
+        ``True`` forces profiling on, ``False`` off; ``None`` (the
+        default) defers to the ``REPRO_PROFILE`` environment variable so
+        any invocation can be profiled without a CLI flag.
+    top:
+        Number of rows of the cumulative-time report to print.
+    label:
+        Heading for the report, naming the profiled section.
+    stream:
+        Output stream (default ``sys.stderr``, keeping benchmark stdout
+        machine-parseable).
+    """
+    if enabled is None:
+        enabled = profiling_requested()
+    if not enabled:
+        yield None
+        return
+    out = stream if stream is not None else sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        print(f"\n-- cProfile top {top}: {label} --", file=out)
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats("cumulative").print_stats(top)

@@ -1,0 +1,151 @@
+"""Incremental sweep replay: cache semantics and bit-identical reuse.
+
+Covers the :class:`SweepReplayCache` contract directly (exact-match keys,
+hit/miss counters, the recording/simulation/timeline levels) and through
+the harness: sweep points differing only in simulation-only knobs share
+one training recording, while anything recording-relevant — scheme, step
+budget, fusion bucket capacity, topology — invalidates it.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.harness import FAST_CONFIG, ExperimentRunner
+from repro.netsim import (
+    NetworkSimulator,
+    RecordedTraining,
+    RecordingKey,
+    SweepReplayCache,
+)
+from tests.netsim.test_vector_parity import random_run, random_timeline
+
+
+def make_recording(tag: str) -> RecordedTraining:
+    return RecordedTraining(
+        transmissions=(tag,),
+        update_events=(),
+        evals=(),
+        final=None,
+        loss_curve=(),
+        traffic=None,
+        synchronous=True,
+    )
+
+
+class TestCacheSemantics:
+    def test_recording_roundtrip_and_counters(self):
+        cache = SweepReplayCache()
+        key = RecordingKey("3LC (s=1.00)", 64, ("hier", 4, 2))
+        assert cache.recording(key) is None
+        assert cache.recording_misses == 1
+        rec = make_recording("a")
+        cache.store_recording(key, rec)
+        assert cache.recording(key) is rec
+        assert cache.recording_hits == 1
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            RecordingKey("32-bit float", 64, ("hier", 4, 2)),  # scheme
+            RecordingKey("3LC (s=1.00)", 32, ("hier", 4, 2)),  # step budget
+            RecordingKey("3LC (s=1.00)", 64, ("hier", 8, 2)),  # fingerprint
+        ],
+    )
+    def test_recording_key_invalidates(self, other):
+        cache = SweepReplayCache()
+        key = RecordingKey("3LC (s=1.00)", 64, ("hier", 4, 2))
+        cache.store_recording(key, make_recording("a"))
+        assert cache.recording(other) is None
+
+    def test_simulation_level_is_exact_match(self):
+        cache = SweepReplayCache()
+        key = RecordingKey("3LC (s=1.00)", 4, "fp")
+        sim_key = (key, "bsp", "100Mbps", 1.0, 0.0)
+        assert cache.simulation(sim_key) is None
+        cache.store_simulation(sim_key, "sim-object")
+        assert cache.simulation(sim_key) == "sim-object"
+        # Any varied network knob is a different key.
+        assert cache.simulation((key, "bsp", "100Mbps", 0.1, 0.0)) is None
+        assert cache.stats()["simulation_hits"] == 1
+        assert cache.stats()["simulation_misses"] == 2
+
+    def test_timeline_level(self):
+        cache = SweepReplayCache()
+        assert cache.timeline("cfg") is None
+        cache.store_timeline("cfg", "profile")
+        assert cache.timeline("cfg") == "profile"
+
+    def test_len_and_stats_count_entries(self):
+        cache = SweepReplayCache()
+        cache.store_recording(RecordingKey("a", 1, ()), make_recording("a"))
+        cache.store_simulation("s", 1)
+        cache.store_timeline("t", 2)
+        assert len(cache) == 1  # recordings are the expensive level
+        stats = cache.stats()
+        assert stats["recordings"] == 1
+        assert stats["simulations"] == 1
+        assert stats["timelines"] == 1
+
+
+class TestBitIdenticalReplay:
+    def test_resimulated_recording_matches_first_run(self):
+        """A cache hit replays the identical plan objects; the simulator
+        output must be bit-identical to the cold simulation."""
+        rng = random.Random(3)
+        links, steps = random_run(rng, 5)
+        timeline = random_timeline(rng)
+        plans = tuple(steps)  # what a RecordedTraining would carry
+        sim = NetworkSimulator(timeline, links, vectorized=True)
+        cold = sim.simulate_run(plans)
+        cache = SweepReplayCache()
+        cache.store_simulation("point", cold)
+        assert cache.simulation("point") is cold
+        # A different sweep point re-simulates the same recording and must
+        # reproduce the schedule exactly (per-step caches included).
+        again = NetworkSimulator(timeline, links, vectorized=True).simulate_run(plans)
+        assert again == cold
+
+
+class TestHarnessSweepReuse:
+    def test_sim_only_knobs_share_one_recording(self):
+        """Two hier sweep points differing only in cross-rack bandwidth
+        share the training recording but get distinct simulations."""
+        cache = SweepReplayCache()
+        base = FAST_CONFIG.scaled(
+            standard_steps=4,
+            sim_overlap=True,
+            topology="hier",
+            num_workers=4,
+            racks=2,
+            rack_size=2,
+        )
+        first = ExperimentRunner(base, replay_cache=cache)
+        first.run("3LC (s=1.00)")
+        assert cache.recording_misses == 1
+        trained = cache.stats()["recordings"]
+        assert trained == 1
+
+        narrow = ExperimentRunner(
+            replace(base, cross_bw_fraction=0.25), replay_cache=cache
+        )
+        narrow.run("3LC (s=1.00)")
+        # Recording reused (no second training run), simulations distinct.
+        assert cache.recording_hits == 1
+        assert cache.stats()["recordings"] == 1
+        assert cache.stats()["simulation_misses"] >= 2
+
+    def test_bucket_capacity_invalidates_recording(self):
+        """Fusion bucket capacity changes recorded frames: a swept
+        ``bucket_elements`` must retrain, not reuse."""
+        cache = SweepReplayCache()
+        base = FAST_CONFIG.scaled(
+            standard_steps=4, sim_overlap=True, fuse_small_tensors=True
+        )
+        ExperimentRunner(base, replay_cache=cache).run("3LC (s=1.00)")
+        ExperimentRunner(
+            replace(base, bucket_elements=1024), replay_cache=cache
+        ).run("3LC (s=1.00)")
+        assert cache.recording_hits == 0
+        assert cache.stats()["recordings"] == 2

@@ -1,0 +1,224 @@
+"""Differential property tests: scalar vs vectorized vs run-batched replay.
+
+The scalar per-record loop in :class:`NetworkSimulator` is the reference
+semantics; the per-step NumPy path and the run-batched path must schedule
+*identical* events. Since the segmented scans perform the scalar loop's
+exact IEEE operations (depth-wise sweep, no prefix-sum re-association),
+parity on schedule times is bit-exact, not merely within tolerance — which
+matters because per-worker codec costs are element-shares of one budget,
+so distinct pipelines finish in exact real-arithmetic ties and a 1-ulp
+perturbation can flip a (ready, name) service order into a macroscopically
+different schedule.
+
+Aggregate totals (``comm_seconds`` / ``overhead_seconds``) are summed
+pairwise by NumPy and sequentially by the scalar loop, so they carry a
+float-association tolerance; they feed no ordering decisions.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim.events import StepTransmissions, TransmissionRecord
+from repro.netsim.links import LinkModel
+from repro.netsim.scheduler import NetworkSimulator
+from repro.network.bandwidth import LinkSpec
+from repro.nn.stats import BackwardTimeline, LayerTiming
+
+SUM_TOL = 1e-12
+
+
+def random_run(rng: random.Random, n_steps: int):
+    """A random small topology plus a structurally constant plan stream."""
+    n_routes = rng.randint(1, 4)
+    specs = {
+        f"link{r}": LinkSpec(
+            f"link{r}",
+            rng.choice([1e8, 1e9, 25e9]),
+            rtt_seconds=rng.choice([0.0, 1e-4]),
+        )
+        for r in range(n_routes)
+    }
+    links = LinkModel("rand", specs)
+    n_workers = rng.randint(1, 5)
+    n_rec = rng.randint(1, 8)
+    layout = []
+    for i in range(n_rec):
+        phase = rng.choice(["push", "pull"])
+        route = f"link{rng.randrange(n_routes)}"
+        worker = rng.choice([None, rng.randrange(n_workers)])
+        params = tuple(sorted({f"p{rng.randrange(4)}" for _ in range(rng.randint(0, 2))}))
+        layout.append((f"r{i}", phase, route, worker, params))
+    names = [spec[0] for spec in layout]
+    steps = []
+    for s in range(n_steps):
+        records = []
+        for i, (name, phase, route, worker, params) in enumerate(layout):
+            # Dependencies: earlier same-phase records, or (pulls) pushes.
+            candidates = [
+                other[0]
+                for other in layout[:i]
+                if other[1] == phase or (phase == "pull" and other[1] != "pull")
+            ]
+            deps = (
+                tuple(rng.sample(candidates, k=1))
+                if candidates and rng.random() < 0.4
+                else ()
+            )
+            records.append(
+                TransmissionRecord(
+                    name=name,
+                    phase=phase,
+                    route=route,
+                    worker=worker,
+                    params=params,
+                    depends_on=deps,
+                    wire_bytes=rng.randrange(1, 10_000_000),
+                    frames=rng.randrange(1, 20),
+                    elements=rng.randrange(1, 100_000),
+                )
+            )
+        steps.append(
+            StepTransmissions(
+                step=s,
+                compute_seconds=rng.uniform(0.001, 0.05),
+                push_compress_seconds=rng.uniform(0.0, 0.01),
+                server_decompress_seconds=rng.uniform(0.0, 0.005),
+                server_compress_seconds=rng.uniform(0.0, 0.005),
+                pull_decompress_seconds=rng.uniform(0.0, 0.005),
+                records=tuple(records),
+            )
+        )
+    return links, steps
+
+
+def random_timeline(rng: random.Random) -> BackwardTimeline:
+    return BackwardTimeline(
+        tuple(
+            LayerTiming(f"layer{i}", rng.uniform(0.5, 2.0), (f"p{i}",))
+            for i in range(rng.randint(1, 4))
+        )
+    )
+
+
+def assert_scalar_parity(vec_step, scalar_step):
+    """Vector schedule times must equal the scalar reference bit-for-bit."""
+    assert vec_step.step_seconds == scalar_step.step_seconds
+    assert vec_step.serialized_seconds == scalar_step.serialized_seconds
+    assert vec_step.critical_path == scalar_step.critical_path
+    assert abs(vec_step.comm_seconds - scalar_step.comm_seconds) <= SUM_TOL * max(
+        1.0, scalar_step.comm_seconds
+    )
+    assert abs(
+        vec_step.overhead_seconds - scalar_step.overhead_seconds
+    ) <= SUM_TOL * max(1.0, scalar_step.overhead_seconds)
+
+
+@pytest.mark.parametrize("overlap", [True, False])
+def test_randomized_topologies_bit_parity(overlap):
+    """30 random topologies: batched == per-step (full equality) and both
+    match the scalar reference bit-for-bit on schedule times."""
+    for trial in range(30):
+        rng = random.Random(1000 + trial)
+        links, steps = random_run(rng, rng.randint(3, 8))
+        timeline = random_timeline(rng)
+        vec = NetworkSimulator(timeline, links, overlap=overlap, vectorized=True)
+        scalar = NetworkSimulator(timeline, links, overlap=overlap, vectorized=False)
+        per_step = [vec.simulate_step(st) for st in steps]
+        batched = vec.simulate_run(steps).steps
+        reference = scalar.simulate_run(steps).steps
+        for b, p, s in zip(batched, per_step, reference):
+            assert b == p, f"trial {trial}: batched diverged from per-step"
+            assert_scalar_parity(b, s)
+
+
+def test_exact_tie_pipelines_match_scalar():
+    """Pipelines whose codec shares sum to one budget end in an exact tie;
+    the replay must break it like the scalar loop (regression test for the
+    prefix-scan re-association flip)."""
+    links = LinkModel("tie", {"up": LinkSpec("up", 1e9)})
+    timeline = BackwardTimeline((LayerTiming("layer0", 1.0, ("p0",)),))
+    records = tuple(
+        TransmissionRecord(
+            name=f"r{i}",
+            params=(),
+            wire_bytes=4096,
+            elements=elements,
+            route="up",
+            worker=worker,
+        )
+        for i, (worker, elements) in enumerate([(0, 7), (1, 3), (1, 5)])
+    )
+    steps = [
+        StepTransmissions(
+            step=s,
+            compute_seconds=0.03,
+            push_compress_seconds=0.005,
+            records=records,
+        )
+        for s in range(3)
+    ]
+    vec = NetworkSimulator(timeline, links, vectorized=True)
+    scalar = NetworkSimulator(timeline, links, vectorized=False)
+    for b, s in zip(vec.simulate_run(steps).steps, scalar.simulate_run(steps).steps):
+        assert_scalar_parity(b, s)
+
+
+def test_mixed_structure_grouping():
+    """Alternating record structures split into singleton groups; a run
+    with interleaved shapes must equal step-by-step simulation."""
+    rng = random.Random(7)
+    links, steps_a = random_run(rng, 4)
+    # A second stream over the same links but different structure.
+    rng2 = random.Random(7)
+    _, steps_b = random_run(rng2, 4)
+    steps_b = [
+        StepTransmissions(
+            step=st.step,
+            compute_seconds=st.compute_seconds,
+            push_compress_seconds=st.push_compress_seconds,
+            records=st.records[:-1] if len(st.records) > 1 else st.records,
+        )
+        for st in steps_b
+    ]
+    interleaved = [
+        st for pair in zip(steps_a, steps_b) for st in pair
+    ]
+    timeline = random_timeline(random.Random(7))
+    vec = NetworkSimulator(timeline, links, vectorized=True)
+    run = vec.simulate_run(interleaved).steps
+    per_step = [vec.simulate_step(st) for st in interleaved]
+    assert list(run) == per_step
+
+
+def test_zero_compute_step_falls_back():
+    """A zero-compute step cannot share the group's compression order;
+    the batched path must fall back without changing results."""
+    rng = random.Random(11)
+    links, steps = random_run(rng, 4)
+    steps[1] = StepTransmissions(
+        step=steps[1].step,
+        compute_seconds=0.0,
+        push_compress_seconds=steps[1].push_compress_seconds,
+        records=steps[1].records,
+    )
+    timeline = random_timeline(random.Random(11))
+    vec = NetworkSimulator(timeline, links, overlap=True, vectorized=True)
+    scalar = NetworkSimulator(timeline, links, overlap=True, vectorized=False)
+    run = vec.simulate_run(steps).steps
+    per_step = [vec.simulate_step(st) for st in steps]
+    assert list(run) == per_step
+    for b, s in zip(run, scalar.simulate_run(steps).steps):
+        assert_scalar_parity(b, s)
+
+
+def test_repeat_simulation_is_stable():
+    """Warm per-step caches (record batch, signature, numeric rows) must
+    not change results: a second simulate_run is equal to the first."""
+    rng = random.Random(23)
+    links, steps = random_run(rng, 6)
+    timeline = random_timeline(rng)
+    vec = NetworkSimulator(timeline, links, vectorized=True)
+    first = vec.simulate_run(steps)
+    second = vec.simulate_run(steps)
+    assert first == second
