@@ -68,8 +68,19 @@ def train_recorded(scheme: str, *, steps: int, depth: int, base_width: int):
 
 
 def run_sweep(
-    *, steps: int, depth: int, base_width: int, link_name: str = "100Mbps"
+    *,
+    steps: int,
+    depth: int,
+    base_width: int,
+    link_name: str = "100Mbps",
+    tracer=None,
 ) -> str:
+    """Sweep cross-rack bandwidth fractions for each scheme.
+
+    With a :class:`repro.telemetry.Tracer`, each (fraction, scheme)
+    overlapped replay emits spans under its own trace group
+    (``--trace-out``); the serialized baselines stay untraced.
+    """
     engines = {
         scheme: train_recorded(
             scheme, steps=steps, depth=depth, base_width=base_width
@@ -98,7 +109,12 @@ def run_sweep(
                 timeline, lm, TIME_MODEL, overlap=False
             ).simulate_run(engine.transmissions)
             overlapped = NetworkSimulator(
-                timeline, lm, TIME_MODEL, overlap=True
+                timeline,
+                lm,
+                TIME_MODEL,
+                overlap=True,
+                tracer=tracer,
+                trace_group=f"cross={fraction:.2f} {scheme}",
             ).simulate_run(engine.transmissions)
             analytic = sum(
                 per_tier_serialized_seconds(st, lm, TIME_MODEL)
@@ -169,6 +185,16 @@ def main(argv=None) -> int:
         help="print a cProfile top-20 of the sweep hot path "
         "(REPRO_PROFILE=1 works too)",
     )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="dump raw cProfile stats to PATH (pstats/snakeviz-loadable; "
+        "implies --profile; REPRO_PROFILE_OUT works too)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON timeline of the overlapped "
+        "replays (one trace group per cross-bw fraction and scheme)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -178,11 +204,28 @@ def main(argv=None) -> int:
     if args.steps is not None:
         steps = args.steps
 
-    with maybe_profile(args.profile or None, label="bench_hier sweep"):
+    tracer = None
+    if args.trace_out:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+
+    with maybe_profile(
+        args.profile or None, label="bench_hier sweep", out=args.profile_out
+    ):
         report = run_sweep(
-            steps=steps, depth=depth, base_width=width, link_name=args.link
+            steps=steps,
+            depth=depth,
+            base_width=width,
+            link_name=args.link,
+            tracer=tracer,
         )
     print(report)
+    if tracer is not None:
+        from repro.telemetry.export import write_chrome_trace
+
+        events = write_chrome_trace(args.trace_out, [("bench_hier", tracer)])
+        print(f"wrote {events} trace events to {args.trace_out}")
     return 0
 
 

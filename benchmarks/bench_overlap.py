@@ -60,12 +60,19 @@ class GranularityRow:
 
 
 def run_sweep(
-    *, steps: int, depth: int, base_width: int, link_name: str = "10Mbps"
+    *,
+    steps: int,
+    depth: int,
+    base_width: int,
+    link_name: str = "10Mbps",
+    tracer=None,
 ) -> tuple[list[GranularityRow], float, float]:
     """Train once, then simulate every barrier granularity.
 
     Returns the per-granularity rows plus (simulated serialized mean,
-    analytic closed-form mean) for the calibration check.
+    analytic closed-form mean) for the calibration check. With a
+    :class:`repro.telemetry.Tracer`, each granularity's replay emits
+    spans under its own ``groups=N`` trace group (``--trace-out``).
     """
     dataset = SyntheticImageDataset(DatasetSpec(image_size=12, seed=0))
     engine = ExchangeEngine(
@@ -103,6 +110,8 @@ def run_sweep(
             single_server_links(spec),
             TIME_MODEL,
             overlap=True,
+            tracer=tracer,
+            trace_group=f"groups={groups}",
         )
         run = sim.simulate_run(engine.transmissions)
         rows.append(
@@ -161,6 +170,7 @@ def run_event_sweep(
     base_width: int,
     staleness: int | None,
     link_names: tuple[str, ...] = ("10Mbps", "100Mbps", "1Gbps"),
+    tracer=None,
 ) -> str:
     """Train one async/SSP run, then replay its event stream per link.
 
@@ -207,6 +217,8 @@ def run_event_sweep(
             TIME_MODEL,
             staleness=staleness,
             overlap=True,
+            tracer=tracer,
+            trace_group=f"sim:{link_name}",
         )
         exchange = sim.simulate(events)
         assert exchange.total_seconds <= exchange.serialized_seconds * (1 + 1e-9)
@@ -299,6 +311,16 @@ def main(argv=None) -> int:
         help="print a cProfile top-20 of the sweep hot path "
         "(REPRO_PROFILE=1 works too)",
     )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="dump raw cProfile stats to PATH (pstats/snakeviz-loadable; "
+        "implies --profile; REPRO_PROFILE_OUT works too)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON timeline of the simulated "
+        "replays (one trace group per barrier granularity or link)",
+    )
     args = parser.parse_args(argv)
 
     if args.staleness is not None and args.sync_mode != "ssp":
@@ -313,22 +335,44 @@ def main(argv=None) -> int:
     if args.steps is not None:
         steps = args.steps
 
+    tracer = None
+    if args.trace_out:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+
     if args.sync_mode != "bsp":
-        with maybe_profile(args.profile or None, label="bench_overlap event sweep"):
+        with maybe_profile(
+            args.profile or None,
+            label="bench_overlap event sweep",
+            out=args.profile_out,
+        ):
             report = run_event_sweep(
                 updates=max(steps, 6),
                 depth=depth,
                 base_width=width,
                 staleness=args.staleness,
+                tracer=tracer,
             )
         print(report)
-        return 0
+    else:
+        with maybe_profile(
+            args.profile or None, label="bench_overlap sweep", out=args.profile_out
+        ):
+            rows, serialized, analytic = run_sweep(
+                steps=steps,
+                depth=depth,
+                base_width=width,
+                link_name=args.link,
+                tracer=tracer,
+            )
+        print(check_and_render(rows, serialized, analytic, args.link))
 
-    with maybe_profile(args.profile or None, label="bench_overlap sweep"):
-        rows, serialized, analytic = run_sweep(
-            steps=steps, depth=depth, base_width=width, link_name=args.link
-        )
-    print(check_and_render(rows, serialized, analytic, args.link))
+    if tracer is not None:
+        from repro.telemetry.export import write_chrome_trace
+
+        events = write_chrome_trace(args.trace_out, [("bench_overlap", tracer)])
+        print(f"wrote {events} trace events to {args.trace_out}")
     return 0
 
 

@@ -318,11 +318,18 @@ def main(argv=None) -> int:
         help="print a cProfile top-20 of the simulator hot path "
         "(REPRO_PROFILE=1 works too)",
     )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="dump raw cProfile stats to PATH (pstats/snakeviz-loadable; "
+        "implies --profile; REPRO_PROFILE_OUT works too)",
+    )
     args = parser.parse_args(argv)
 
     grid = [cfg for cfg in GRID if cfg["smoke"] or not args.smoke]
     rows = []
-    with maybe_profile(args.profile or None, label="bench_simperf grid"):
+    with maybe_profile(
+        args.profile or None, label="bench_simperf grid", out=args.profile_out
+    ):
         for cfg in grid:
             rows.append(bench_config(cfg))
 

@@ -52,6 +52,7 @@ from repro.exchange.topology import (
 from repro.exchange.wireplan import build_wire_plan, fusion_incompatibility
 from repro.netsim.events import StepTransmissions, TransmissionRecord, UpdateTransmissions
 from repro.network.traffic import StepTraffic, TrafficMeter
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.nn.loss import SoftmaxCrossEntropy, accuracy
 from repro.nn.module import Module
 from repro.nn.norm import BatchNorm2d
@@ -213,12 +214,20 @@ class ExchangeEngine:
         scheme: Compressor,
         schedule: Schedule,
         config: EngineConfig | None = None,
+        *,
+        telemetry: Telemetry | None = None,
     ):
         config = config or EngineConfig()
         self.engine_config = config
         self.dataset = dataset
         self.scheme = scheme
         self.seeds = SeedSequenceFactory(config.seed)
+        #: Telemetry session (metrics + spans); the shared disabled
+        #: singleton when None, so hot paths gate on one bool.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Virtual clock laying synchronous steps end to end on the
+        # telemetry timeline (async modes reuse the per-unit clocks).
+        self._tel_clock = 0.0
 
         self.sync: SyncMode = make_sync_mode(
             config.sync_mode,
@@ -464,6 +473,164 @@ class ExchangeEngine:
             for i, worker in enumerate(self.workers)
         }
 
+    # -- telemetry ----------------------------------------------------------
+
+    def _tel_metrics(
+        self,
+        record: StepTraffic,
+        *,
+        codec_phases: dict[str, float],
+        staleness: int | None = None,
+        loss: float | None = None,
+        lr: float | None = None,
+    ) -> None:
+        """Fold one step/update's traffic record into the registry."""
+        reg = self.telemetry.registry
+        scheme = getattr(self.scheme, "name", type(self.scheme).__name__)
+        reg.counter("wire_bytes", phase="push", scheme=scheme).inc(
+            record.push_bytes
+        )
+        reg.counter("wire_bytes", phase="pull", scheme=scheme).inc(
+            record.pull_bytes_shared
+        )
+        if record.intra_rack_bytes or record.cross_rack_bytes:
+            reg.counter("wire_bytes", link="intra", scheme=scheme).inc(
+                record.intra_rack_bytes
+            )
+            reg.counter("wire_bytes", link="cross", scheme=scheme).inc(
+                record.cross_rack_bytes
+            )
+        reg.counter("messages", phase="push").inc(record.push_messages)
+        reg.counter("messages", phase="pull").inc(record.pull_messages)
+        reg.counter("compute_seconds").inc(record.compute_seconds)
+        for phase, seconds in codec_phases.items():
+            if seconds:
+                reg.counter("codec_seconds", phase=phase).inc(seconds)
+        if staleness is not None:
+            reg.histogram("staleness").observe(staleness)
+        if loss is not None:
+            reg.gauge("train_loss").set(loss)
+        if lr is not None:
+            reg.gauge("learning_rate").set(lr)
+
+    def _tel_bsp_step(
+        self,
+        step: int,
+        arrivals: dict[int, float],
+        compress_by_worker: dict[int, float],
+        stages: list[tuple[str, str, float]],
+        pull_decompress_seconds: float,
+        record: StepTraffic,
+        loss: float,
+        lr: float,
+    ) -> None:
+        """Lay one synchronous step on the telemetry virtual clock.
+
+        Per-worker tracks carry compute / compress / barrier-wait spans
+        (straggler-scaled arrival times, measured codec costs); the
+        serial middle of the step — server or collective codec work —
+        arrives as ordered ``(track, name, seconds)`` stages, and the
+        parallel pull decode closes the step on every worker track.
+        """
+        tel = self.telemetry
+        tracer = tel.tracer
+        t0 = self._tel_clock
+        barrier = t0 + record.compute_seconds
+        codec_end: dict[int, float] = {}
+        top = barrier
+        for wid in sorted(arrivals):
+            c0 = t0 + arrivals[wid]
+            tracer.span("engine", f"worker{wid}", "compute", t0, c0, step=step)
+            c1 = c0 + compress_by_worker.get(wid, 0.0)
+            if c1 > c0:
+                tracer.span(
+                    "engine", f"worker{wid}", "compress", c0, c1, step=step
+                )
+            codec_end[wid] = c1
+            top = max(top, c1)
+        for wid, c1 in codec_end.items():
+            if top > c1:
+                tracer.span(
+                    "engine", f"worker{wid}", "push+wait", c1, top, step=step
+                )
+        cursor = top
+        for track, name, seconds in stages:
+            if seconds > 0:
+                tracer.span(
+                    "engine", track, name, cursor, cursor + seconds, step=step
+                )
+            cursor += seconds
+        if pull_decompress_seconds > 0:
+            for wid in sorted(arrivals):
+                tracer.span(
+                    "engine",
+                    f"worker{wid}",
+                    "pull-decompress",
+                    cursor,
+                    cursor + pull_decompress_seconds,
+                    step=step,
+                )
+        cursor += pull_decompress_seconds
+        self._tel_clock = cursor
+        codec_phases = {
+            "compress": max(compress_by_worker.values(), default=0.0),
+            "pull-decompress": pull_decompress_seconds,
+        }
+        for _, name, seconds in stages:
+            codec_phases[name] = codec_phases.get(name, 0.0) + seconds
+        self._tel_metrics(record, codec_phases=codec_phases, loss=loss, lr=lr)
+        tel.snapshot_step(step=step, clock_seconds=cursor)
+
+    def _tel_async_update(
+        self,
+        *,
+        unit: int,
+        update: int,
+        step: int,
+        t0: float,
+        compute: float,
+        phases: list[tuple[str | None, str, float]],
+        staleness: int,
+        record: StepTraffic,
+        loss: float,
+        lr: float,
+        track_prefix: str = "worker",
+    ) -> None:
+        """One async/SSP update on the emitting unit's virtual clock.
+
+        ``phases`` are ordered ``(track, name, seconds)`` laid after the
+        compute span; a ``None`` track means the unit's own track.
+        """
+        tel = self.telemetry
+        tracer = tel.tracer
+        unit_track = f"{track_prefix}{unit}"
+        tracer.span(
+            "engine", unit_track, "compute", t0, t0 + compute,
+            update=update, staleness=staleness,
+        )
+        cursor = t0 + compute
+        codec_phases: dict[str, float] = {}
+        for track, name, seconds in phases:
+            if seconds > 0:
+                tracer.span(
+                    "engine",
+                    track if track is not None else unit_track,
+                    name,
+                    cursor,
+                    cursor + seconds,
+                    update=update,
+                )
+            cursor += seconds
+            codec_phases[name] = codec_phases.get(name, 0.0) + seconds
+        self._tel_metrics(
+            record,
+            codec_phases=codec_phases,
+            staleness=staleness,
+            loss=loss,
+            lr=lr,
+        )
+        tel.snapshot_step(update=update, step=step, clock_seconds=cursor)
+
     def _ps_step(self) -> StepLog:
         """One BSP step against a parameter service (single or sharded)."""
         step = self.service.global_step
@@ -563,11 +730,26 @@ class ExchangeEngine:
             )
         self.update_count += 1
 
-        return StepLog(
-            step=step,
-            train_loss=float(np.mean([b.loss for b in batches])),
-            learning_rate=self.service.schedule(step),
-        )
+        loss = float(np.mean([b.loss for b in batches]))
+        lr = self.service.schedule(step)
+        if self.telemetry.enabled:
+            self._tel_bsp_step(
+                step,
+                self._arrivals(batches),
+                {
+                    worker.worker_id: batch.compress_seconds
+                    for worker, batch in zip(self.workers, batches)
+                },
+                [
+                    ("server", "decompress", pull_batch.decompress_seconds),
+                    ("server", "apply+compress", pull_batch.compress_seconds),
+                ],
+                pull_decompress_seconds,
+                record,
+                loss,
+                lr,
+            )
+        return StepLog(step=step, train_loss=loss, learning_rate=lr)
 
     def _ps_transmissions(
         self,
@@ -714,11 +896,20 @@ class ExchangeEngine:
             )
         self.update_count += 1
 
-        return StepLog(
-            step=step,
-            train_loss=float(np.mean([b.loss for b in batches])),
-            learning_rate=self.service.schedule(step),
-        )
+        loss = float(np.mean([b.loss for b in batches]))
+        lr = self.service.schedule(step)
+        if self.telemetry.enabled:
+            self._tel_bsp_step(
+                step,
+                self._arrivals(batches),
+                {},
+                [("ring", "allreduce+codec", outcome.codec_seconds)],
+                0.0,
+                record,
+                loss,
+                lr,
+            )
+        return StepLog(step=step, train_loss=loss, learning_rate=lr)
 
     def _hier_step(self) -> StepLog:
         """One BSP step over the two-tier exchange: rack rings, then the
@@ -784,11 +975,32 @@ class ExchangeEngine:
             )
         self.update_count += 1
 
-        return StepLog(
-            step=step,
-            train_loss=float(np.mean([b.loss for b in batches])),
-            learning_rate=self.service.schedule(step),
-        )
+        loss = float(np.mean([b.loss for b in batches]))
+        lr = self.service.schedule(step)
+        if self.telemetry.enabled:
+            self._tel_bsp_step(
+                step,
+                self._arrivals(batches),
+                {},
+                [
+                    ("racks", "rack-pipeline", outcome.push_compress_seconds),
+                    (
+                        "server",
+                        "decompress",
+                        outcome.server_decompress_seconds,
+                    ),
+                    (
+                        "server",
+                        "apply+compress",
+                        outcome.server_compress_seconds,
+                    ),
+                ],
+                outcome.pull_decompress_seconds,
+                record,
+                loss,
+                lr,
+            )
+        return StepLog(step=step, train_loss=loss, learning_rate=lr)
 
     def _hier_push_records(
         self, outcome
@@ -926,6 +1138,7 @@ class ExchangeEngine:
             config.straggler.multiplier(wid, local_step) if config.straggler else 1.0
         )
         compute_seconds = self._compute_base(batch) * multiplier
+        tel_t0 = self._clock[wid]
         self._clock[wid] += compute_seconds
         self._local_steps[wid] += 1
 
@@ -1079,11 +1292,25 @@ class ExchangeEngine:
                 )
             )
 
-        return StepLog(
-            step=step,
-            train_loss=batch.loss,
-            learning_rate=self.service.schedule(step),
-        )
+        lr = self.service.schedule(step)
+        if self.telemetry.enabled:
+            self._tel_async_update(
+                unit=wid,
+                update=self.update_count - 1,
+                step=step,
+                t0=tel_t0,
+                compute=compute_seconds,
+                phases=[
+                    (None, "compress", batch.compress_seconds),
+                    ("server", "apply", pull_batch.decompress_seconds),
+                    ("server", "pull-compress", pull_compress_seconds),
+                ],
+                staleness=staleness,
+                record=record,
+                loss=batch.loss,
+                lr=lr,
+            )
+        return StepLog(step=step, train_loss=batch.loss, learning_rate=lr)
 
     def _hier_async_update(self) -> StepLog:
         """One rack's asynchronous update: the rack steps synchronously
@@ -1108,6 +1335,7 @@ class ExchangeEngine:
             )
             for worker, batch in zip(workers, batches)
         )
+        tel_t0 = self._clock[rack]
         self._clock[rack] += compute_seconds
         self._local_steps[rack] += 1
 
@@ -1235,11 +1463,27 @@ class ExchangeEngine:
                 )
             )
 
-        return StepLog(
-            step=step,
-            train_loss=float(np.mean([b.loss for b in batches])),
-            learning_rate=self.service.schedule(step),
-        )
+        loss = float(np.mean([b.loss for b in batches]))
+        lr = self.service.schedule(step)
+        if self.telemetry.enabled:
+            self._tel_async_update(
+                unit=rack,
+                update=self.update_count - 1,
+                step=step,
+                t0=tel_t0,
+                compute=compute_seconds,
+                phases=[
+                    (None, "rack-pipeline", outcome.push_compress_seconds),
+                    ("server", "apply", outcome.server_decompress_seconds),
+                    ("server", "pull-compress", pull_compress_seconds),
+                ],
+                staleness=staleness,
+                record=record,
+                loss=loss,
+                lr=lr,
+                track_prefix="rack",
+            )
+        return StepLog(step=step, train_loss=loss, learning_rate=lr)
 
     def max_staleness_observed(self) -> int:
         """Largest local-step lead any worker currently holds (async/SSP)."""

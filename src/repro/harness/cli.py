@@ -19,6 +19,13 @@ the scheme's codec with one shared scale); ``--sim-overlap`` times
 steps with the discrete-event network simulator (per-layer overlap,
 per-topology links — two dependent tiers for ``hier``) instead of the
 calibrated overlap constant.
+
+Observability: ``--telemetry`` records per-run metric series and
+simulated-clock spans; ``--trace-out PATH`` writes a Chrome
+``trace_event`` JSON timeline (load in Perfetto / ``chrome://tracing``;
+one track per worker, link, and server tier) and ``--metrics-out PATH``
+writes JSONL per-step metric snapshots — both imply ``--telemetry``.
+``--log-level`` tunes the shared stderr logger (default ``info``).
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from repro.harness.figures import (
 from repro.harness.runner import ExperimentRunner
 from repro.netsim.replay import SweepReplayCache
 from repro.harness.tables import related_work_table, table1, table2
+from repro.utils.logging import LOG_LEVELS, set_level
 
 __all__ = ["main"]
 
@@ -175,10 +183,34 @@ def main(argv: list[str] | None = None) -> int:
         "(per-worker virtual clocks, blocking SSP barriers)",
     )
     parser.add_argument(
+        "--telemetry", action="store_true",
+        help="record labeled metric series and simulated-clock spans for "
+        "every run; RunResult.telemetry_summary (and --save archives) "
+        "carry the rollup",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON timeline of every run "
+        "(Perfetto-loadable; one track per worker/link/server tier); "
+        "implies --telemetry",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write JSONL per-step metric snapshots (one row per step "
+        "plus a final rollup per run); implies --telemetry",
+    )
+    parser.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default=None,
+        help="stderr logger verbosity (default: info)",
+    )
+    parser.add_argument(
         "--save", metavar="PATH", default=None,
         help="archive every training run to a JSON file after the command",
     )
     args = parser.parse_args(argv)
+
+    if args.log_level is not None:
+        set_level(args.log_level)
 
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
     if args.steps is not None:
@@ -259,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["fuse_lossy"] = True
     if args.sim_overlap:
         overrides["sim_overlap"] = True
+    if args.telemetry or args.trace_out or args.metrics_out:
+        overrides["telemetry"] = True
     if overrides:
         try:
             config = config.scaled(**overrides)
@@ -313,6 +347,19 @@ def main(argv: list[str] | None = None) -> int:
             print(text)
         print()
 
+    if args.trace_out or args.metrics_out:
+        from repro.telemetry.export import (
+            write_chrome_trace,
+            write_metric_snapshots,
+        )
+
+        sessions = runner.telemetry_sessions
+        if args.trace_out:
+            events = write_chrome_trace(args.trace_out, sessions)
+            print(f"wrote {events} trace events to {args.trace_out}")
+        if args.metrics_out:
+            rows = write_metric_snapshots(args.metrics_out, sessions)
+            print(f"wrote {rows} metric rows to {args.metrics_out}")
     if args.save:
         from repro.harness.results_io import save_results
 

@@ -93,6 +93,12 @@ class ExperimentConfig:
     #: event-driven scheduler (per-worker virtual clocks, FIFO links,
     #: blocking SSP barriers) instead of BSP step plans.
     sim_overlap: bool = False
+    #: Telemetry (``--telemetry`` / ``--trace-out`` / ``--metrics-out``):
+    #: the engine and simulators report into a per-run
+    #: :class:`repro.telemetry.Telemetry` session — labeled metric series,
+    #: simulated-clock spans — and ``RunResult.telemetry_summary`` carries
+    #: the rollup. Off by default: the instrumented paths stay no-op.
+    telemetry: bool = False
 
     # Training budget and schedule (paper: 25,600 steps, cosine 0.1 -> 0.001
     # scaled by worker count)

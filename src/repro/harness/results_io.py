@@ -63,6 +63,9 @@ def run_result_to_dict(result: RunResult) -> dict:
             if result.link_utilization is not None
             else None
         ),
+        # Additive field: already JSON-shaped (Telemetry.summary()), and
+        # absent from pre-telemetry archives — from_dict tolerates both.
+        "telemetry_summary": result.telemetry_summary,
     }
 
 
@@ -99,6 +102,7 @@ def run_result_from_dict(data: dict) -> RunResult:
         per_worker_throughput=per_worker,
         staleness_distribution=staleness,
         link_utilization=data.get("link_utilization"),
+        telemetry_summary=data.get("telemetry_summary"),
     )
 
 

@@ -28,6 +28,7 @@ from repro.network.timing import StepTimeModel
 from repro.network.bandwidth import LINKS
 from repro.network.traffic import TrafficMeter
 from repro.nn.stats import BackwardTimeline, profile_backward
+from repro.telemetry import Telemetry
 from repro.utils.logging import get_logger
 
 __all__ = ["RunResult", "ExperimentRunner"]
@@ -76,6 +77,11 @@ class RunResult:
         ``link_utilization`` is also populated for simulated *BSP* runs
         (mean per-link busy fraction over steps), which is how the
         hierarchical topology reports per-tier utilization.
+    telemetry_summary:
+        ``Telemetry.summary()`` rollup (counter totals, gauge values,
+        histogram stats, per-track span counts/busy seconds) when the run
+        executed with ``config.telemetry``; ``None`` otherwise. A plain
+        JSON-ready dict so it round-trips through ``results_io``.
     """
 
     scheme: str
@@ -94,6 +100,7 @@ class RunResult:
     per_worker_throughput: dict[str, dict[int, float]] | None = None
     staleness_distribution: dict[int, int] | None = None
     link_utilization: dict[str, dict[str, float]] | None = None
+    telemetry_summary: dict | None = None
 
     def total_minutes(self, link_name: str) -> float:
         return self.total_seconds[link_name] / 60.0
@@ -120,6 +127,8 @@ class ExperimentRunner:
         "cross_bw_fraction": 1.0,
         "cross_rtt_seconds": 0.0,
         "time_model": StepTimeModel(),
+        # Telemetry observes a run; it never changes what gets recorded.
+        "telemetry": False,
     }
 
     def __init__(
@@ -132,6 +141,11 @@ class ExperimentRunner:
         self._cache: dict[tuple[str, float], RunResult] = {}
         self._dataset = config.dataset()
         self._timeline: BackwardTimeline | None = None
+        #: With ``config.telemetry``, one labeled
+        #: :class:`~repro.telemetry.Telemetry` session per executed run,
+        #: in run order — exporters (``--trace-out`` / ``--metrics-out``)
+        #: consume this list after the command finishes.
+        self.telemetry_sessions: list[tuple[str, Telemetry]] = []
 
     def _recording_key(self, scheme_name: str, steps: int) -> RecordingKey:
         """Invalidation key for this config's training recording.
@@ -213,6 +227,12 @@ class ExperimentRunner:
 
         config = self.config
         steps = config.steps_for_fraction(fraction)
+        tel: Telemetry | None = None
+        if config.telemetry:
+            tel = Telemetry()
+            self.telemetry_sessions.append(
+                (f"{scheme_name} @{int(round(100 * fraction))}%", tel)
+            )
         rec_key = None
         recording = None
         if self.replay_cache is not None:
@@ -230,6 +250,7 @@ class ExperimentRunner:
                 scheme,
                 config.schedule(steps),
                 config.engine_config(),
+                telemetry=tel,
             )
             eval_every = max(1, steps // max(1, config.eval_points))
             logger.info(
@@ -275,7 +296,7 @@ class ExperimentRunner:
             per_worker, link_utilization = {}, {}
             for name, link in LINKS.items():
 
-                def run_event_sim(link=link):
+                def run_event_sim(link=link, name=name):
                     simulator = EventDrivenSimulator(
                         timeline,
                         self._link_model(link),
@@ -284,12 +305,19 @@ class ExperimentRunner:
                             config.staleness if config.sync_mode == "ssp" else None
                         ),
                         overlap=True,
+                        tracer=tel.tracer if tel is not None else None,
+                        trace_group=f"sim:{name}",
                     )
                     return simulator.simulate(recording.update_events)
 
-                exchange = self._simulate_cached(
-                    rec_key, "event", link, run_event_sim
-                )
+                if tel is not None:
+                    # A cached simulation carries no spans; tracing
+                    # forces a live replay so the timeline is complete.
+                    exchange = run_event_sim()
+                else:
+                    exchange = self._simulate_cached(
+                        rec_key, "event", link, run_event_sim
+                    )
                 mean_step[name] = exchange.mean_update_seconds
                 total[name] = exchange.total_seconds
                 achieved[name] = exchange.achieved_overlap
@@ -307,7 +335,7 @@ class ExperimentRunner:
             link_utilization = {}
             for name, link in LINKS.items():
 
-                def run_bsp_sim(link=link):
+                def run_bsp_sim(link=link, name=name):
                     simulator = NetworkSimulator(
                         timeline,
                         self._link_model(link),
@@ -317,10 +345,19 @@ class ExperimentRunner:
                         # serialized-baseline replay (it would double sim
                         # cost).
                         serialized_baseline=False,
+                        tracer=tel.tracer if tel is not None else None,
+                        trace_group=f"sim:{name}",
                     )
                     return simulator.simulate_run(recording.transmissions)
 
-                sim_run = self._simulate_cached(rec_key, "bsp", link, run_bsp_sim)
+                if tel is not None:
+                    # A cached simulation carries no spans; tracing
+                    # forces a live replay so the timeline is complete.
+                    sim_run = run_bsp_sim()
+                else:
+                    sim_run = self._simulate_cached(
+                        rec_key, "bsp", link, run_bsp_sim
+                    )
                 mean_step[name] = sim_run.mean_step_seconds
                 total[name] = sim_run.total_seconds
                 achieved[name] = sim_run.mean_overlap
@@ -351,6 +388,7 @@ class ExperimentRunner:
             per_worker_throughput=per_worker,
             staleness_distribution=staleness_distribution,
             link_utilization=link_utilization,
+            telemetry_summary=tel.summary() if tel is not None else None,
         )
         self._cache[key] = result
         logger.info(

@@ -211,6 +211,17 @@ class NetworkSimulator:
         holds them together); the scalar path exists for debugging and
         as the benchmark baseline. ``REPRO_SCALAR_SIM=1`` in the
         environment forces the scalar path regardless of this flag.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`. When set, the primary
+        replay of each step emits simulated-clock spans — one track per
+        link (``link:<route>``, one span per transfer record whose
+        duration equals the occupancy charged to ``link_busy``), plus
+        compute / server-codec / pull-decompress phase spans — offset by
+        ``trace_offset`` so consecutive steps lay out contiguously. The
+        serialized-baseline second replay never traces. ``None`` (the
+        default) keeps the replay loops span-free.
+    trace_group:
+        Chrome-trace process name for this simulator's spans.
     """
 
     def __init__(
@@ -222,12 +233,18 @@ class NetworkSimulator:
         overlap: bool = True,
         serialized_baseline: bool = True,
         vectorized: bool = True,
+        tracer=None,
+        trace_group: str = "netsim",
     ):
         self.timeline = timeline
         self.link_model = link_model
         self.time_model = time_model or StepTimeModel()
         self.overlap = bool(overlap)
         self.serialized_baseline = bool(serialized_baseline)
+        self.tracer = tracer
+        self.trace_group = trace_group
+        #: Simulated-clock origin of the next traced step (seconds).
+        self.trace_offset = 0.0
         self.vectorized = bool(vectorized) and not os.environ.get(
             "REPRO_SCALAR_SIM"
         )
@@ -242,7 +259,7 @@ class NetworkSimulator:
 
     def simulate_step(self, st: StepTransmissions) -> SimulatedStep:
         """Replay one step; see the module docstring for the event order."""
-        overlapped = self._replay(st, overlap=self.overlap)
+        overlapped = self._replay(st, overlap=self.overlap, trace=True)
         if self.overlap and self.serialized_baseline:
             serialized = self._replay(st, overlap=False)
             return replace(overlapped, serialized_seconds=serialized.step_seconds)
@@ -267,6 +284,16 @@ class NetworkSimulator:
                 "no recorded transmissions to simulate — was the engine "
                 "built with record_transmissions=True?"
             )
+        if self.tracer is not None:
+            # Traced runs replay step by step (still vectorized): spans
+            # need per-record times laid on one contiguous simulated
+            # clock, which the run-batched fast path does not surface.
+            simulated = []
+            for st in steps:
+                sim = self.simulate_step(st)
+                self.trace_offset += sim.step_seconds
+                simulated.append(sim)
+            return SimulatedRun(tuple(simulated))
         if not self.vectorized or len(steps) < 2:
             return SimulatedRun(tuple(self.simulate_step(s) for s in steps))
         sigs = [step_signature(st) for st in steps]
@@ -373,15 +400,19 @@ class NetworkSimulator:
 
     # -- the event replay --------------------------------------------------
 
-    def _replay(self, st: StepTransmissions, *, overlap: bool) -> SimulatedStep:
+    def _replay(
+        self, st: StepTransmissions, *, overlap: bool, trace: bool = False
+    ) -> SimulatedStep:
         if self.vectorized:
-            return replay_vectorized(self, st, overlap=overlap)
-        return self._replay_scalar(st, overlap=overlap)
+            return replay_vectorized(self, st, overlap=overlap, trace=trace)
+        return self._replay_scalar(st, overlap=overlap, trace=trace)
 
     def _replay_scalar(
-        self, st: StepTransmissions, *, overlap: bool
+        self, st: StepTransmissions, *, overlap: bool, trace: bool = False
     ) -> SimulatedStep:
         """Reference per-record replay (see ``vectorized`` above)."""
+        tracer = self.tracer if trace else None
+        off = self.trace_offset
         tm = self.time_model
         pmo = tm.per_message_overhead
         compute = tm.compute_scale * st.compute_seconds
@@ -427,6 +458,16 @@ class NetworkSimulator:
                 end = start + duration
                 link_free[record.route] = end
                 link_busy[record.route] = link_busy.get(record.route, 0.0) + duration
+                if tracer is not None:
+                    tracer.span(
+                        self.trace_group,
+                        f"link:{record.route}",
+                        record.name,
+                        off + start,
+                        off + end,
+                        phase=record.phase,
+                        step=st.step,
+                    )
                 end_by_name[record.name] = max(
                     end_by_name.get(record.name, 0.0), end
                 )
@@ -468,6 +509,16 @@ class NetworkSimulator:
                 end = free + duration
                 link_free[record.route] = end
                 link_busy[record.route] = link_busy.get(record.route, 0.0) + duration
+                if tracer is not None:
+                    tracer.span(
+                        self.trace_group,
+                        f"link:{record.route}",
+                        record.name,
+                        off + free,
+                        off + end,
+                        phase=record.phase,
+                        step=st.step,
+                    )
                 end_by_name[record.name] = max(
                     end_by_name.get(record.name, 0.0), end
                 )
@@ -478,6 +529,21 @@ class NetworkSimulator:
             tier_floor = wave_end
         pull_cost = tm.codec_scale * st.pull_decompress_seconds
         step_seconds = phase_end + pull_cost
+        if tracer is not None:
+            tracer.span(
+                self.trace_group, "compute", "backward", off, off + compute,
+                step=st.step,
+            )
+            if server_cost > 0:
+                tracer.span(
+                    self.trace_group, "server", "server-codec",
+                    off + push_end, off + pull_ready, step=st.step,
+                )
+            if pull_cost > 0:
+                tracer.span(
+                    self.trace_group, "compute", "pull-decompress",
+                    off + phase_end, off + step_seconds, step=st.step,
+                )
 
         # -- bookkeeping ----------------------------------------------------
         comm = sum(
@@ -593,6 +659,8 @@ class EventDrivenSimulator:
         staleness: int | None = None,
         overlap: bool = True,
         vectorized: bool = True,
+        tracer=None,
+        trace_group: str = "netsim-events",
     ):
         if staleness is not None and staleness < 0:
             raise ValueError("staleness must be >= 0 or None")
@@ -600,6 +668,10 @@ class EventDrivenSimulator:
         self.overlap = bool(overlap)
         self.link_model = link_model
         self.time_model = time_model or StepTimeModel()
+        # Optional telemetry tracer (simulated-clock spans: one track per
+        # worker/rack unit, per link, and for the server commit pipeline).
+        self.tracer = tracer
+        self.trace_group = trace_group
         # The step scheduler carries the per-layer readiness machinery and
         # replays the lock-step (staleness=0) generations.
         self._steps = NetworkSimulator(
@@ -609,6 +681,8 @@ class EventDrivenSimulator:
             overlap=overlap,
             serialized_baseline=False,
             vectorized=vectorized,
+            tracer=tracer,
+            trace_group=trace_group,
         )
 
     # -- public API --------------------------------------------------------
@@ -663,8 +737,13 @@ class EventDrivenSimulator:
         busy: dict[str, float] = {}
         for local_step in sorted(generations):
             generation = generations[local_step]
+            # Traced lockstep generations lay out on one contiguous
+            # simulated clock via the step scheduler's trace offset.
+            self._steps.trace_offset = now
             step = self._steps._replay(
-                self._generation_step(generation), overlap=self.overlap
+                self._generation_step(generation),
+                overlap=self.overlap,
+                trace=self.tracer is not None,
             )
             end = now + step.step_seconds
             sim_updates.extend(
@@ -708,6 +787,8 @@ class EventDrivenSimulator:
     def _simulate_events(self, events) -> SimulatedExchange:
         tm = self.time_model
         codec_scale = tm.codec_scale
+        tracer = self.tracer
+        trace_group = self.trace_group
 
         # Resolve every record's wire occupancy up front in one batched
         # pass (and bank the comm/overhead totals from the same arrays);
@@ -770,9 +851,11 @@ class EventDrivenSimulator:
             )
 
         # -- shared links: FIFO service in arrival order -------------------
-        def enqueue(route: str, duration: float, on_done, now: float) -> None:
+        def enqueue(
+            route: str, duration: float, on_done, now: float, label: str = "xfer"
+        ) -> None:
             queue = link_queue.setdefault(route, deque())
-            queue.append((duration, on_done))
+            queue.append((duration, on_done, label))
             if not link_serving.get(route, False):
                 serve_next(route, now)
 
@@ -782,10 +865,14 @@ class EventDrivenSimulator:
                 link_serving[route] = False
                 return
             link_serving[route] = True
-            duration, on_done = queue.popleft()
+            duration, on_done, label = queue.popleft()
             end = now + duration
             transfer_intervals.append((now, end))
             link_busy[route] = link_busy.get(route, 0.0) + duration
+            if tracer is not None:
+                # Span duration equals the occupancy charged to link_busy,
+                # so per-link span sums reconcile with link_utilization.
+                tracer.span(trace_group, f"link:{route}", label, now, end)
 
             def finish(t: float) -> None:
                 on_done(t)
@@ -799,6 +886,11 @@ class EventDrivenSimulator:
             compute = tm.compute_scale * e.compute_seconds
             compute_end = now + compute
             compute_intervals.append((now, compute_end))
+            if tracer is not None:
+                tracer.span(
+                    trace_group, f"worker{w}", f"compute:u{e.update}",
+                    now, compute_end, staleness=e.staleness,
+                )
             totals["compute"] += compute
             push_cost = codec_scale * e.push_compress_seconds
             totals["codec"] += push_cost + codec_scale * (
@@ -836,6 +928,7 @@ class EventDrivenSimulator:
                     occ[index],
                     lambda td, i=index: push_arrived(flight, i, td),
                     t,
+                    pushes[index].name,
                 )
 
             def release_ready(now_t: float) -> None:
@@ -879,9 +972,15 @@ class EventDrivenSimulator:
             the apply (commit) and the per-worker pull compression."""
             nonlocal server_free
             e = flight["event"]
-            commit = max(now, server_free) + codec_scale * e.server_seconds
+            begin = max(now, server_free)
+            commit = begin + codec_scale * e.server_seconds
             pulls_ready = commit + codec_scale * e.pull_compress_seconds
             server_free = pulls_ready
+            if tracer is not None:
+                tracer.span(
+                    trace_group, "server", f"commit:u{e.update}",
+                    begin, pulls_ready, worker=e.worker,
+                )
             flight["commit"] = commit
             schedule(commit, _P_COMMIT, lambda t, f=flight: committed_at(f, t))
             schedule(pulls_ready, _P_PULLS, lambda t, f=flight: send_pulls(f, t))
@@ -918,6 +1017,7 @@ class EventDrivenSimulator:
                     occ[index],
                     lambda td, i=index: pull_arrived(flight, i, td),
                     t,
+                    pulls[index].name,
                 )
 
             def release_ready(now_t: float) -> None:
@@ -948,6 +1048,11 @@ class EventDrivenSimulator:
             e = flight["event"]
             w = e.worker
             done = now + codec_scale * e.pull_decompress_seconds
+            if tracer is not None and done > now:
+                tracer.span(
+                    trace_group, f"worker{w}", f"pull-decompress:u{e.update}",
+                    now, done,
+                )
             ready[w] = done
             finished.append(
                 SimulatedUpdate(

@@ -542,15 +542,23 @@ def compressed_at_vectorized(
     return compressed
 
 
-def replay_vectorized(sim, st: StepTransmissions, *, overlap: bool):
+def replay_vectorized(
+    sim, st: StepTransmissions, *, overlap: bool, trace: bool = False
+):
     """Vectorized counterpart of ``NetworkSimulator._replay_scalar``.
 
     ``sim`` supplies the timeline, link model, and time model; the event
     order is documented in :mod:`repro.netsim.scheduler`. Returns the same
-    :class:`~repro.netsim.events.SimulatedStep`.
+    :class:`~repro.netsim.events.SimulatedStep`. With ``trace`` and a
+    ``sim.tracer`` attached, the scan results scatter back into per-record
+    transfer spans — the same spans the scalar path emits, paid only when
+    tracing.
     """
     from repro.netsim.events import SimulatedStep
 
+    tracer = sim.tracer if trace else None
+    trace_group = sim.trace_group
+    off = sim.trace_offset
     tm = sim.time_model
     batch = record_batch(st)
     push, pull = batch.push, batch.pull
@@ -601,6 +609,18 @@ def replay_vectorized(sim, st: StepTransmissions, *, overlap: bool):
             ready_sorted[group], occ_push[w], rc, num_routes, link_free
         )
         np.add.at(link_busy, rc, occ_push[w])
+        if tracer is not None:
+            for k in range(w.shape[0]):
+                record = push.records[int(w[k])]
+                tracer.span(
+                    trace_group,
+                    f"link:{record.route}",
+                    record.name,
+                    off + float(starts[k]),
+                    off + float(ends[k]),
+                    phase=record.phase,
+                    step=st.step,
+                )
         np.maximum.at(end_by_name, push.name_code[w], ends)
         # Scatter back to processing ((ready, name)-sorted) order so the
         # first-strict-max bottleneck rule sees the scalar path's ties.
@@ -641,10 +661,22 @@ def replay_vectorized(sim, st: StepTransmissions, *, overlap: bool):
         group = np.argsort(pull.route_code[w], kind="stable")
         w = w[group]
         rc = pull.route_code[w]
-        ends, _, link_free = _segmented_scan(
+        ends, starts, link_free = _segmented_scan(
             base[order][group], occ_pull[w], rc, num_routes, link_free
         )
         np.add.at(link_busy, rc, occ_pull[w])
+        if tracer is not None:
+            for k in range(w.shape[0]):
+                record = pull.records[int(w[k])]
+                tracer.span(
+                    trace_group,
+                    f"link:{record.route}",
+                    record.name,
+                    off + float(starts[k]),
+                    off + float(ends[k]),
+                    phase=record.phase,
+                    step=st.step,
+                )
         np.maximum.at(end_by_name, pull.name_code[w], ends)
         proc_end = np.empty_like(ends)
         proc_end[group] = ends
@@ -655,6 +687,20 @@ def replay_vectorized(sim, st: StepTransmissions, *, overlap: bool):
         tier_floor = max(tier_floor, float(ends.max()))
     pull_cost = tm.codec_scale * st.pull_decompress_seconds
     step_seconds = phase_end + pull_cost
+    if tracer is not None:
+        tracer.span(
+            trace_group, "compute", "backward", off, off + compute, step=st.step
+        )
+        if server_cost > 0:
+            tracer.span(
+                trace_group, "server", "server-codec",
+                off + push_end, off + pull_ready, step=st.step,
+            )
+        if pull_cost > 0:
+            tracer.span(
+                trace_group, "compute", "pull-decompress",
+                off + phase_end, off + step_seconds, step=st.step,
+            )
 
     # -- bookkeeping --------------------------------------------------------
     comm = overhead = 0.0

@@ -1,0 +1,145 @@
+"""Span tracing over simulated and wall clocks.
+
+A :class:`Span` is a closed interval on some track's timeline. Tracks
+are named per worker / link / rack ("worker0", "link:cross", "server")
+and grouped per emitting component ("engine", "sim:10Mbps"), which maps
+one-to-one onto Chrome trace_event processes (groups) and threads
+(tracks) in the exporter.
+
+Two clock disciplines coexist:
+
+* **Simulated clocks** — the engine's virtual step layout and the
+  network simulators' replay clocks. These emit *completed* spans via
+  :meth:`Tracer.span` with explicit start/end floats (seconds on the
+  emitter's virtual timeline; the simulators add their own
+  ``trace_offset`` so multi-step runs lay out contiguously).
+* **Wall clocks** — harness-level phases (training, simulation) wrap
+  real work in :meth:`Tracer.wall`, a context manager measuring
+  ``perf_counter`` deltas relative to the tracer's first wall-clock use.
+
+``begin``/``end`` keep a per-track stack so unbalanced instrumentation
+is detectable: :meth:`check_closed` raises (and the exporters call it),
+which is what the CI smoke's "fail on unclosed spans" check leans on.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["NULL_TRACER", "Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    group: str
+    track: str
+    name: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans; disabled instances ignore every call."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.spans: list[Span] = []
+        self._open: dict[tuple[str, str], list[tuple[str, float, dict]]] = {}
+        self._wall_origin: float | None = None
+
+    def span(
+        self,
+        group: str,
+        track: str,
+        name: str,
+        start: float,
+        end: float,
+        **args,
+    ) -> None:
+        """Record a completed span with explicit (simulated) timestamps."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(
+                f"span {group}/{track}/{name} ends before it starts "
+                f"({end} < {start})"
+            )
+        self.spans.append(Span(group, track, name, start, end, args))
+
+    def begin(
+        self,
+        group: str,
+        track: str,
+        name: str,
+        start: float | None = None,
+        **args,
+    ) -> None:
+        """Open a nested span; ``start=None`` stamps the wall clock."""
+        if not self.enabled:
+            return
+        if start is None:
+            start = self._wall_now()
+        self._open.setdefault((group, track), []).append((name, start, args))
+
+    def end(self, group: str, track: str, end: float | None = None) -> None:
+        """Close the innermost open span on ``(group, track)``."""
+        if not self.enabled:
+            return
+        stack = self._open.get((group, track))
+        if not stack:
+            raise RuntimeError(f"end() on {group}/{track} with no open span")
+        if end is None:
+            end = self._wall_now()
+        name, start, args = stack.pop()
+        self.spans.append(Span(group, track, name, start, end, args))
+
+    @contextmanager
+    def wall(self, group: str, track: str, name: str, **args):
+        """Wall-clock span around real work (perf_counter deltas)."""
+        if not self.enabled:
+            yield
+            return
+        self.begin(group, track, name, **args)
+        try:
+            yield
+        finally:
+            self.end(group, track)
+
+    def _wall_now(self) -> float:
+        now = time.perf_counter()
+        if self._wall_origin is None:
+            self._wall_origin = now
+        return now - self._wall_origin
+
+    def open_spans(self) -> list[str]:
+        """Human-readable ``group/track/name`` of every unclosed span."""
+        return [
+            f"{group}/{track}/{name}"
+            for (group, track), stack in sorted(self._open.items())
+            for (name, _, _) in stack
+        ]
+
+    def check_closed(self) -> None:
+        """Raise if any begin() never saw its end() — exporters call this."""
+        dangling = self.open_spans()
+        if dangling:
+            raise RuntimeError(f"unclosed spans: {', '.join(dangling)}")
+
+    def busy_seconds(self) -> dict[tuple[str, str], float]:
+        """Total span duration per (group, track) — the trace's own
+        occupancy accounting, comparable against simulator link_busy."""
+        busy: dict[tuple[str, str], float] = {}
+        for span in self.spans:
+            key = (span.group, span.track)
+            busy[key] = busy.get(key, 0.0) + span.duration
+        return busy
+
+
+NULL_TRACER = Tracer(enabled=False)

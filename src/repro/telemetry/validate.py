@@ -1,0 +1,103 @@
+"""Schema check for exported Chrome traces (the CI telemetry gate).
+
+Usage::
+
+    python -m repro.telemetry.validate trace.json [more.json ...]
+
+Validates the ``traceEvents`` object format structurally — required
+keys, known phases, non-negative microsecond timestamps/durations — and
+fails on unclosed spans: every ``"B"`` begin event must have a matching
+``"E"`` end on the same ``(pid, tid)`` track. (Our own exporter only
+emits complete ``"X"`` events and refuses to export a tracer with
+dangling ``begin()`` calls, so this doubles as an end-to-end check that
+nothing upstream leaked an open span into the file.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["main", "validate_chrome_trace"]
+
+_REQUIRED_KEYS = ("name", "ph", "pid", "tid")
+_KNOWN_PHASES = frozenset("XMBEiC")
+
+
+def validate_chrome_trace(data) -> list[str]:
+    """Return a list of schema violations (empty means valid)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    open_stacks: dict[tuple, list[str]] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in event]
+        if missing:
+            errors.append(f"{where}: missing keys {missing}")
+            continue
+        phase = event["ph"]
+        if phase not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if phase in ("X", "B", "E", "i"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: bad 'ts' {ts!r} (want number >= 0)")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: bad 'dur' {dur!r} (want number >= 0)")
+        elif phase == "B":
+            open_stacks.setdefault((event["pid"], event["tid"]), []).append(
+                str(event["name"])
+            )
+        elif phase == "E":
+            stack = open_stacks.get((event["pid"], event["tid"]))
+            if not stack:
+                errors.append(f"{where}: 'E' event with no open 'B' span")
+            else:
+                stack.pop()
+    for (pid, tid), stack in sorted(open_stacks.items()):
+        for name in stack:
+            errors.append(f"unclosed span {name!r} on pid={pid} tid={tid}")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", metavar="TRACE.json", type=Path)
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.paths:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            print(f"{path}: unreadable trace: {error}")
+            status = 1
+            continue
+        errors = validate_chrome_trace(data)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID ({len(errors)} problems)")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            events = data["traceEvents"]
+            spans = sum(1 for event in events if event.get("ph") == "X")
+            print(f"{path}: ok ({len(events)} events, {spans} spans)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -5,17 +5,21 @@ from __future__ import annotations
 import logging
 import sys
 
-__all__ = ["get_logger"]
+__all__ = ["get_logger", "set_level", "LOG_LEVELS"]
 
 _CONFIGURED = False
+
+#: Accepted ``--log-level`` names, in increasing verbosity order.
+LOG_LEVELS = ("critical", "error", "warning", "info", "debug")
 
 
 def get_logger(name: str = "repro") -> logging.Logger:
     """Return a logger writing single-line records to stderr.
 
     The first call installs a stream handler on the ``repro`` root logger;
-    subsequent calls reuse it. Level defaults to INFO and can be tuned by
-    callers via the standard :mod:`logging` API.
+    subsequent calls reuse it. Level defaults to INFO and can be tuned via
+    :func:`set_level` (the CLI's ``--log-level``) or the standard
+    :mod:`logging` API.
     """
     global _CONFIGURED
     root = logging.getLogger("repro")
@@ -31,3 +35,20 @@ def get_logger(name: str = "repro") -> logging.Logger:
     if name == "repro":
         return root
     return root.getChild(name.removeprefix("repro."))
+
+
+def set_level(level: int | str) -> None:
+    """Set the ``repro`` root logger level.
+
+    Accepts a :mod:`logging` constant or a (case-insensitive) name from
+    :data:`LOG_LEVELS`. Installs the handler first if needed so an early
+    ``set_level("debug")`` is not undone by the first ``get_logger``.
+    """
+    if isinstance(level, str):
+        name = level.lower()
+        if name not in LOG_LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+            )
+        level = getattr(logging, name.upper())
+    get_logger().setLevel(level)

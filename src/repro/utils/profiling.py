@@ -11,6 +11,10 @@ Usage::
         run_sweep(...)
 
     REPRO_PROFILE=1 python benchmarks/bench_simperf.py --smoke
+
+Pass ``out=`` (the bench CLIs' ``--profile-out``, or the
+``REPRO_PROFILE_OUT`` environment variable) to additionally dump the raw
+profiler stats to a file loadable with :mod:`pstats` or snakeviz.
 """
 
 from __future__ import annotations
@@ -20,8 +24,13 @@ import os
 import pstats
 import sys
 from contextlib import contextmanager
+from pathlib import Path
+
+from repro.utils.logging import get_logger
 
 __all__ = ["maybe_profile", "profiling_requested"]
+
+logger = get_logger("repro.utils.profiling")
 
 
 def profiling_requested() -> bool:
@@ -37,6 +46,7 @@ def maybe_profile(
     top: int = 20,
     label: str = "profile",
     stream=None,
+    out: str | os.PathLike | None = None,
 ):
     """Profile the enclosed block and print the top ``top`` entries.
 
@@ -45,7 +55,9 @@ def maybe_profile(
     enabled:
         ``True`` forces profiling on, ``False`` off; ``None`` (the
         default) defers to the ``REPRO_PROFILE`` environment variable so
-        any invocation can be profiled without a CLI flag.
+        any invocation can be profiled without a CLI flag. Passing
+        ``out`` (or setting ``REPRO_PROFILE_OUT``) also turns profiling
+        on unless ``enabled`` is explicitly ``False``.
     top:
         Number of rows of the cumulative-time report to print.
     label:
@@ -53,19 +65,30 @@ def maybe_profile(
     stream:
         Output stream (default ``sys.stderr``, keeping benchmark stdout
         machine-parseable).
+    out:
+        Optional path for the raw profiler stats (``pstats`` /
+        snakeviz-loadable); defaults to the ``REPRO_PROFILE_OUT``
+        environment variable. The destination is logged once written.
     """
+    if out is None:
+        out = os.environ.get("REPRO_PROFILE_OUT") or None
     if enabled is None:
-        enabled = profiling_requested()
+        enabled = profiling_requested() or out is not None
     if not enabled:
         yield None
         return
-    out = stream if stream is not None else sys.stderr
+    report = stream if stream is not None else sys.stderr
     profiler = cProfile.Profile()
     profiler.enable()
     try:
         yield profiler
     finally:
         profiler.disable()
-        print(f"\n-- cProfile top {top}: {label} --", file=out)
-        stats = pstats.Stats(profiler, stream=out)
+        print(f"\n-- cProfile top {top}: {label} --", file=report)
+        stats = pstats.Stats(profiler, stream=report)
         stats.sort_stats("cumulative").print_stats(top)
+        if out is not None:
+            path = Path(out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            stats.dump_stats(path)
+            logger.info("profile stats for %s written to %s", label, path)

@@ -79,3 +79,34 @@ class TestResultsIo:
     def test_version_check(self):
         with pytest.raises(ValueError, match="format version"):
             run_result_from_dict({"format_version": 99})
+
+    def test_telemetry_summary_roundtrip(self, runner):
+        """A populated telemetry rollup survives the dict round trip."""
+        from dataclasses import replace
+
+        result = replace(
+            runner.run("32-bit float", 1.0),
+            telemetry_summary={
+                "counters": {"wire_bytes{phase=push,scheme=f32}": 123.0},
+                "gauges": {"train_loss": 2.5},
+                "histograms": {},
+                "spans": {"engine/worker0": {"count": 4, "busy_seconds": 0.25}},
+            },
+        )
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.telemetry_summary == result.telemetry_summary
+
+    def test_telemetry_summary_defaults_none(self, runner):
+        """Runs without telemetry round-trip the field as None."""
+        result = runner.run("32-bit float", 1.0)
+        assert result.telemetry_summary is None
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.telemetry_summary is None
+
+    def test_legacy_dict_without_telemetry_loads(self, runner):
+        """Archives written before the telemetry field still load."""
+        data = run_result_to_dict(runner.run("32-bit float", 1.0))
+        del data["telemetry_summary"]
+        restored = run_result_from_dict(data)
+        assert restored.telemetry_summary is None
+        assert restored.scheme == "32-bit float"

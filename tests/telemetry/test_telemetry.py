@@ -1,0 +1,257 @@
+"""Unit tests for the telemetry subsystem: registry, tracer, exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL_REGISTRY,
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    series_key,
+)
+from repro.telemetry.export import (
+    chrome_trace,
+    metric_rows,
+    summary_text,
+    write_chrome_trace,
+    write_metric_snapshots,
+)
+from repro.telemetry.validate import validate_chrome_trace
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("wire_bytes", {}) == "wire_bytes"
+
+    def test_labels_sorted(self):
+        key = series_key("wire_bytes", {"scheme": "3lc", "link": "cross"})
+        assert key == "wire_bytes{link=cross,scheme=3lc}"
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("wire_bytes", phase="push").inc(10)
+        reg.counter("wire_bytes", phase="push").inc(5)
+        reg.counter("wire_bytes", phase="pull").inc(1)
+        snap = reg.snapshot()
+        assert snap["counters"]["wire_bytes{phase=push}"] == 15
+        assert snap["counters"]["wire_bytes{phase=pull}"] == 1
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("n").inc(-1)
+
+    def test_gauge_keeps_last(self):
+        reg = MetricsRegistry()
+        reg.gauge("train_loss").set(2.5)
+        reg.gauge("train_loss").set(1.5)
+        assert reg.snapshot()["gauges"]["train_loss"] == 1.5
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("staleness")
+        for v in (0.5, 1.0, 2.0, 4.0):
+            h.observe(v)
+        snap = reg.snapshot()["histograms"]["staleness"]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(7.5)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 4.0
+        assert snap["mean"] == pytest.approx(7.5 / 4)
+        assert sum(snap["buckets"].values()) == 4
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("wire_bytes", phase="push").inc(10)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        # No-op instruments are shared singletons: no per-call allocation.
+        assert reg.counter("a") is reg.counter("b")
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+
+
+class TestTracer:
+    def test_completed_span(self):
+        tr = Tracer()
+        tr.span("netsim", "link:server", "layer3", 0.0, 0.5, phase="push")
+        (span,) = tr.spans
+        assert span.duration == 0.5
+        assert span.args == {"phase": "push"}
+
+    def test_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Tracer().span("g", "t", "n", 1.0, 0.5)
+
+    def test_begin_end_stack(self):
+        tr = Tracer()
+        tr.begin("engine", "worker0", "step", 0.0)
+        tr.begin("engine", "worker0", "compute", 0.0)
+        tr.end("engine", "worker0", 0.25)
+        tr.end("engine", "worker0", 1.0)
+        names = [s.name for s in tr.spans]
+        assert names == ["compute", "step"]
+        tr.check_closed()
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().end("g", "t")
+
+    def test_check_closed_names_open_spans(self):
+        tr = Tracer()
+        tr.begin("engine", "worker0", "step", 0.0)
+        assert tr.open_spans() == ["engine/worker0/step"]
+        with pytest.raises(RuntimeError, match="worker0/step"):
+            tr.check_closed()
+
+    def test_wall_clock_span(self):
+        tr = Tracer()
+        with tr.wall("bench", "main", "work"):
+            sum(range(100))
+        (span,) = tr.spans
+        assert span.duration >= 0.0
+
+    def test_busy_seconds_groups_by_track(self):
+        tr = Tracer()
+        tr.span("sim", "link:a", "x", 0.0, 1.0)
+        tr.span("sim", "link:a", "y", 2.0, 2.5)
+        tr.span("sim", "link:b", "z", 0.0, 0.25)
+        busy = tr.busy_seconds()
+        assert busy[("sim", "link:a")] == pytest.approx(1.5)
+        assert busy[("sim", "link:b")] == pytest.approx(0.25)
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.span("g", "t", "n", 0.0, 1.0)
+        tr.begin("g", "t", "n")
+        tr.end("g", "t")
+        assert tr.spans == []
+        tr.check_closed()
+        assert NULL_TRACER.spans == []
+
+
+class TestChromeExport:
+    def _tracer(self):
+        tr = Tracer()
+        tr.span("netsim", "link:server", "layer0", 0.0, 0.5, phase="push")
+        tr.span("netsim", "compute", "backward", 0.0, 1.0)
+        return tr
+
+    def test_trace_structure(self):
+        data = chrome_trace([("run", self._tracer())])
+        events = data["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {m["name"] for m in metas} == {"process_name", "thread_name"}
+        assert len(spans) == 2
+        # Seconds scale to microseconds; tracks get distinct tids.
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["layer0"]["dur"] == pytest.approx(0.5e6)
+        assert by_name["layer0"]["args"] == {"phase": "push"}
+        assert by_name["layer0"]["tid"] != by_name["backward"]["tid"]
+
+    def test_export_rejects_unclosed_spans(self):
+        tr = self._tracer()
+        tr.begin("netsim", "compute", "dangling", 5.0)
+        with pytest.raises(RuntimeError, match="dangling"):
+            chrome_trace([("run", tr)])
+
+    def test_written_file_validates(self, tmp_path):
+        path = tmp_path / "out" / "trace.json"
+        count = write_chrome_trace(path, [("run", self._tracer())])
+        data = json.loads(path.read_text())
+        assert count == len(data["traceEvents"])
+        assert validate_chrome_trace(data) == []
+
+    def test_accepts_bare_tracer_and_telemetry(self):
+        tel = Telemetry()
+        tel.tracer.span("engine", "worker0", "compute", 0.0, 1.0)
+        assert chrome_trace(tel)["traceEvents"]
+        assert chrome_trace(self._tracer())["traceEvents"]
+
+
+class TestMetricSnapshots:
+    def test_rows_include_steps_and_final(self, tmp_path):
+        tel = Telemetry()
+        tel.registry.counter("wire_bytes", phase="push").inc(100)
+        tel.snapshot_step(step=0)
+        tel.registry.counter("wire_bytes", phase="push").inc(50)
+        tel.snapshot_step(step=1)
+        path = tmp_path / "metrics.jsonl"
+        count = write_metric_snapshots(path, [("run", tel)])
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert count == len(rows) == 3  # two steps + final rollup
+        assert rows[0]["step"] == 0
+        assert rows[0]["metrics"]["counters"]["wire_bytes{phase=push}"] == 100
+        assert rows[1]["metrics"]["counters"]["wire_bytes{phase=push}"] == 150
+        assert rows[2]["final"] is True
+
+    def test_metric_rows_label_sessions(self):
+        tel = Telemetry()
+        tel.snapshot_step(step=0)
+        rows = metric_rows([("my run", tel)])
+        assert all(r["session"] == "my run" for r in rows)
+
+
+class TestValidator:
+    def test_rejects_missing_keys(self):
+        errors = validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        assert errors
+
+    def test_rejects_unknown_phase(self):
+        event = {"name": "x", "ph": "?", "pid": 1, "tid": 1}
+        assert validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_negative_duration(self):
+        event = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -1}
+        assert validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_unbalanced_begin_end(self):
+        begin = {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 0}
+        assert validate_chrome_trace({"traceEvents": [begin]})
+
+
+class TestTelemetrySession:
+    def test_summary_shape(self):
+        tel = Telemetry()
+        tel.registry.counter("wire_bytes", phase="push").inc(10)
+        tel.registry.gauge("train_loss").set(2.0)
+        tel.registry.histogram("staleness").observe(1.0)
+        tel.tracer.span("engine", "worker0", "compute", 0.0, 1.0)
+        tel.tracer.span("engine", "worker0", "compress", 1.0, 1.5)
+        summary = tel.summary()
+        assert summary["counters"]["wire_bytes{phase=push}"] == 10
+        assert summary["gauges"]["train_loss"] == 2.0
+        assert summary["histograms"]["staleness"]["count"] == 1
+        assert summary["spans"]["engine/worker0"] == {
+            "count": 2,
+            "busy_seconds": pytest.approx(1.5),
+        }
+        assert json.dumps(summary)  # JSON-ready for results_io
+
+    def test_summary_renders_as_text(self):
+        tel = Telemetry()
+        tel.registry.counter("messages", phase="push").inc(3)
+        tel.tracer.span("engine", "server", "apply", 0.0, 0.5)
+        text = summary_text(tel.summary(), title="Run rollup")
+        assert "Run rollup" in text
+        assert "messages{phase=push}" in text
+
+    def test_null_telemetry_is_disabled(self):
+        assert not NULL_TELEMETRY.enabled
+        NULL_TELEMETRY.registry.counter("x").inc(1)
+        NULL_TELEMETRY.snapshot_step(step=0)
+        assert NULL_TELEMETRY.step_snapshots == []
+        assert NULL_TELEMETRY.summary()["counters"] == {}
