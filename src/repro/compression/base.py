@@ -22,7 +22,13 @@ import numpy as np
 from repro.core.codec import CompressionResult
 from repro.core.packets import WireMessage
 
-__all__ = ["Compressor", "CompressorContext", "CompressionResult"]
+__all__ = [
+    "Compressor",
+    "CompressorContext",
+    "CompressionResult",
+    "snapshot_contexts",
+    "restore_contexts",
+]
 
 
 class CompressorContext(abc.ABC):
@@ -77,6 +83,34 @@ class CompressorContext(abc.ABC):
         if arr.shape != self.shape:
             raise ValueError(f"context shape {self.shape}, tensor {arr.shape}")
         return arr
+
+
+def snapshot_contexts(contexts: dict) -> dict:
+    """Checkpoint a keyed mapping of contexts: ``{key: state_dict()}``.
+
+    Each :meth:`CompressorContext.state_dict` copies its arrays, so the
+    snapshot stays valid while the live contexts keep compressing — the
+    fault-recovery layer takes one at crash time and restores it when the
+    worker rejoins.
+    """
+    return {key: context.state_dict() for key, context in contexts.items()}
+
+
+def restore_contexts(contexts: dict, snapshot: dict) -> None:
+    """Restore :func:`snapshot_contexts` output into live contexts.
+
+    The key sets must match exactly: a checkpoint from a different tensor
+    layout (or scheme) must fail loudly rather than partially restore.
+    """
+    if set(contexts) != set(snapshot):
+        missing = sorted(set(contexts) - set(snapshot))
+        extra = sorted(set(snapshot) - set(contexts))
+        raise ValueError(
+            f"checkpoint does not match contexts (missing keys {missing}, "
+            f"unexpected keys {extra})"
+        )
+    for key, context in contexts.items():
+        context.load_state(snapshot[key])
 
 
 class Compressor(abc.ABC):

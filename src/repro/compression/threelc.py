@@ -32,6 +32,12 @@ class _ThreeLCContext(CompressorContext):
         return self.core.state_dict()
 
     def load_state(self, state: dict) -> None:
+        if "residual" in state:
+            # Validate against *this* context's shape before touching the
+            # core buffer: a checkpoint restored into the wrong tensor's
+            # context must fail loudly, not silently corrupt error
+            # feedback.
+            state = dict(state, residual=self._checked_residual(state))
         self.core.load_state(state)
 
 

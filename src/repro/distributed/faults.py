@@ -1,0 +1,136 @@
+"""Fault injection: worker crashes, rack uplink flaps, departures.
+
+The paper's compression schemes keep persistent per-link error-feedback
+state, which is exactly the state a real fleet corrupts when a worker
+crashes or a rack falls off its uplink. A :class:`FaultSpec` describes a
+deterministic churn scenario — *which* worker or rack fails at *which*
+step and for *how long* — so the engine can replay it reproducibly and
+the simulator can score its cost the same way it scores overlap.
+
+Semantics (the engine enforces these; see ``exchange/engine.py``):
+
+- A :class:`WorkerCrash` removes the worker from the barrier for
+  ``down_steps`` steps. On rejoin the recovery layer restores the
+  worker's checkpointed error-feedback residuals and resyncs its model
+  replica from the server (``FaultSpec.checkpoint_state=True``), or —
+  the naive baseline — does neither, leaving zeroed residuals and a
+  stale replica that permanently misses the down-window deltas.
+- Crashes count against ``max_restarts``; a worker that exceeds the cap
+  (or crashes with ``depart=True``) leaves permanently.
+- An :class:`UplinkFlap` takes one rack's cross-rack uplink down for
+  ``down_steps`` steps under ``--topology hier``: the rack keeps
+  ring-reducing and stepping locally, its aggregate is excluded from
+  the global exchange, and on rejoin the backlog is pushed through the
+  uplink's error-feedback context while members resync from the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorkerCrash", "UplinkFlap", "FaultSpec"]
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """One worker process dies at the start of ``step``.
+
+    The worker misses ``down_steps`` consecutive steps (crash step
+    included) and attempts to rejoin at ``step + down_steps`` unless
+    ``depart`` is set or its restart budget is exhausted.
+    """
+
+    worker: int
+    step: int
+    down_steps: int = 1
+    depart: bool = False
+
+    def __post_init__(self):
+        if self.worker < 0:
+            raise ValueError(f"crash worker must be >= 0, got {self.worker}")
+        if self.step < 0:
+            raise ValueError(f"crash step must be >= 0, got {self.step}")
+        if self.down_steps < 1:
+            raise ValueError(
+                f"crash down_steps must be >= 1, got {self.down_steps}"
+            )
+
+
+@dataclass(frozen=True)
+class UplinkFlap:
+    """One rack's cross-rack uplink drops at the start of ``step``.
+
+    The rack degrades to local-only training for ``down_steps`` steps
+    and re-syncs on rejoin; ``rejoin_delay_seconds`` models the extra
+    time the rejoin step's cross link is unavailable while the fabric
+    re-converges (replayed by the simulator as a link-down floor).
+    """
+
+    rack: int
+    step: int
+    down_steps: int = 1
+    rejoin_delay_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.rack < 0:
+            raise ValueError(f"flap rack must be >= 0, got {self.rack}")
+        if self.step < 0:
+            raise ValueError(f"flap step must be >= 0, got {self.step}")
+        if self.down_steps < 1:
+            raise ValueError(
+                f"flap down_steps must be >= 1, got {self.down_steps}"
+            )
+        if self.rejoin_delay_seconds < 0.0:
+            raise ValueError(
+                "flap rejoin_delay_seconds must be >= 0, got "
+                f"{self.rejoin_delay_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A deterministic churn scenario for one run.
+
+    Hashable (tuples of frozen events) so it can ride a frozen config
+    and land in the replay-cache fingerprint — two runs differing only
+    in their faults must never share a recording.
+    """
+
+    crashes: tuple[WorkerCrash, ...] = ()
+    flaps: tuple[UplinkFlap, ...] = ()
+    #: Per-worker restart budget; a crash beyond it becomes a departure.
+    max_restarts: int = 2
+    #: True: restore checkpointed error-feedback residuals and resync
+    #: the replica on rejoin. False: the naive baseline (no recovery
+    #: protocol) — measurably corrupts convergence.
+    checkpoint_state: bool = True
+
+    def __post_init__(self):
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        crash_steps = [(c.worker, c.step) for c in self.crashes]
+        if len(set(crash_steps)) != len(crash_steps):
+            raise ValueError("duplicate (worker, step) crash events")
+        flap_steps = [(f.rack, f.step) for f in self.flaps]
+        if len(set(flap_steps)) != len(flap_steps):
+            raise ValueError("duplicate (rack, step) flap events")
+
+    @property
+    def empty(self) -> bool:
+        return not self.crashes and not self.flaps
+
+    def crash_at(self, worker: int, step: int) -> WorkerCrash | None:
+        """The crash event hitting ``worker`` at ``step``, if any."""
+        for crash in self.crashes:
+            if crash.worker == worker and crash.step == step:
+                return crash
+        return None
+
+    def flap_at(self, rack: int, step: int) -> UplinkFlap | None:
+        """The flap event hitting ``rack`` at ``step``, if any."""
+        for flap in self.flaps:
+            if flap.rack == rack and flap.step == step:
+                return flap
+        return None

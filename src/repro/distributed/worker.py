@@ -19,7 +19,13 @@ import time
 
 import numpy as np
 
-from repro.compression.base import Compressor, CompressorContext, CompressionResult
+from repro.compression.base import (
+    Compressor,
+    CompressorContext,
+    CompressionResult,
+    restore_contexts,
+    snapshot_contexts,
+)
 from repro.compression.fusion import (
     FusedBucketContext,
     FusedCompressionResult,
@@ -221,6 +227,23 @@ class Worker:
 
     def parameter_names(self) -> tuple[str, ...]:
         return tuple(self._params)
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint this worker's push-side error-feedback state.
+
+        Residuals are *training state* (every deferred update lives
+        there); the fault-recovery layer snapshots them at crash time so
+        a restarted worker rejoins without corrupting convergence.
+        """
+        return {
+            "push": snapshot_contexts(self.push_contexts),
+            "fused": snapshot_contexts(self.fused_contexts),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Restore a :meth:`snapshot_state` checkpoint (bit-exact)."""
+        restore_contexts(self.push_contexts, snapshot["push"])
+        restore_contexts(self.fused_contexts, snapshot["fused"])
 
     def residual_norms(self) -> dict[str, float]:
         """Per-tensor push-side error-buffer norms (diagnostics)."""

@@ -40,8 +40,9 @@ from repro.compression.fusion import (
 from repro.data.augment import Augmenter
 from repro.data.batcher import ShardBatcher
 from repro.data.synthetic import SyntheticImageDataset
-from repro.distributed.barriers import StragglerSpec
+from repro.distributed.barriers import FullBarrier, StragglerSpec
 from repro.distributed.defaults import FUSION_BUCKET_ELEMENTS, SMALL_TENSOR_THRESHOLD
+from repro.distributed.faults import FaultSpec
 from repro.distributed.worker import Worker
 from repro.exchange.sync import BSPMode, SyncMode, make_sync_mode
 from repro.exchange.topology import (
@@ -99,6 +100,10 @@ class EngineConfig:
     num_shards: int = 2
     #: Per-step compute-time jitter / straggler injection (None = uniform).
     straggler: StragglerSpec | None = None
+    #: Deterministic churn scenario (worker crashes/restarts/departures
+    #: under a parameter service; rack uplink flaps under "hier"). BSP
+    #: only: the barrier is where membership changes are decided.
+    fault: FaultSpec | None = None
     #: Fused-bucket hot path: pack small tensors into buckets and compress
     #: each bucket with a single codec call. Composes with every
     #: point-to-point topology (partition-aware plans keep buckets inside
@@ -168,6 +173,46 @@ class EngineConfig:
                     "async/SSP hierarchical runs need >= 2 racks; one rack "
                     "has no cross-rack tier to relax"
                 )
+        if self.fault is not None and not self.fault.empty:
+            if self.sync_mode != "bsp":
+                raise ValueError(
+                    "fault injection is BSP-only (the barrier is where "
+                    f"membership changes are decided); got sync_mode="
+                    f"{self.sync_mode!r}"
+                )
+            if self.fault.crashes:
+                if self.topology not in ("single", "sharded"):
+                    raise ValueError(
+                        "worker crash/restart faults need a parameter-"
+                        "service topology (single or sharded) — a ring "
+                        "reduction needs every node's chunk and a rack "
+                        "ring needs every member; got topology="
+                        f"{self.topology!r}"
+                    )
+                for crash in self.fault.crashes:
+                    if crash.worker >= self.num_workers:
+                        raise ValueError(
+                            f"crash worker {crash.worker} out of range for "
+                            f"{self.num_workers} workers"
+                        )
+            if self.fault.flaps:
+                if self.topology != "hier":
+                    raise ValueError(
+                        "uplink flap faults model a rack losing its cross-"
+                        "rack uplink; they require topology='hier', got "
+                        f"{self.topology!r}"
+                    )
+                if self.racks < 2:
+                    raise ValueError(
+                        "uplink flap faults need >= 2 racks; one rack has "
+                        "no uplink to lose"
+                    )
+                for flap in self.fault.flaps:
+                    if flap.rack >= self.racks:
+                        raise ValueError(
+                            f"flap rack {flap.rack} out of range for "
+                            f"{self.racks} racks"
+                        )
 
 
 @dataclass(frozen=True)
@@ -344,6 +389,37 @@ class ExchangeEngine:
         self._test_cache: tuple[np.ndarray, np.ndarray] | None = None
         self.update_count = 0
 
+        # -- fault-injection state (BSP only; validated in EngineConfig) ----
+        fault = config.fault
+        self._fault = fault if fault is not None and not fault.empty else None
+        #: Chronological churn events: crash / restart / departure / flap /
+        #: rejoin dicts, each tagged with the step it happened at.
+        self.fault_log: list[dict] = []
+        # Worker churn: wid -> step it may rejoin at; entries present mean
+        # the worker is down *this* step once `_apply_worker_faults` ran.
+        self._down_until: dict[int, int] = {}
+        self._departed: set[int] = set()
+        self._restart_counts: dict[int, int] = {}
+        # Crash-time error-feedback checkpoints, restored on rejoin.
+        self._checkpoints: dict[int, dict] = {}
+        self._pristine: dict[int, dict] = {}
+        # Rack churn (hier): rack -> rejoin step, banked outage gradients,
+        # and the rejoin step's link-down floor.
+        self._rack_down_until: dict[int, int] = {}
+        self._rack_backlog: dict[int, dict[str, np.ndarray]] = {}
+        self._rack_rejoin_delay: dict[int, float] = {}
+        self._fault_counters = {"resync_bytes": 0, "degraded_steps": 0}
+        if self._fault is not None:
+            for crash in self._fault.crashes:
+                if crash.worker not in self._pristine:
+                    # Zero-residual snapshot taken at init: a crash wipes
+                    # the worker's in-memory error feedback, so its live
+                    # contexts reset to this until recovery restores the
+                    # crash-time checkpoint.
+                    self._pristine[crash.worker] = self.workers[
+                        crash.worker
+                    ].snapshot_state()
+
         # Event-driven state (async / SSP modes). The scheduling unit is
         # one worker — or one *rack* under the hierarchical topology,
         # which is synchronous inside a rack and asynchronous across
@@ -464,13 +540,152 @@ class ExchangeEngine:
         return fixed if fixed is not None else batch.compute_seconds
 
     def _arrivals(self, batches) -> dict[int, float]:
-        """Straggler-scaled push-arrival times for the barrier."""
+        """Straggler-scaled push-arrival times for the barrier.
+
+        Down/departed workers carry a ``None`` batch (fault injection)
+        and never arrive; with no faults every batch is present.
+        """
         step = self.service.global_step
         straggler = self.engine_config.straggler
         return {
             worker.worker_id: self._compute_base(batches[i])
             * (straggler.multiplier(worker.worker_id, step) if straggler else 1.0)
             for i, worker in enumerate(self.workers)
+            if batches[i] is not None
+        }
+
+    # -- fault injection ---------------------------------------------------
+
+    def _barrier_decide(self, arrivals: dict[int, float]):
+        """Barrier decision tolerant of a fault-shrunk arrival set.
+
+        A backup-worker barrier demands ``num_workers - backup_workers``
+        arrivals; when churn leaves fewer live workers the step degrades
+        to waiting for everyone still alive instead of deadlocking.
+        """
+        required = getattr(self.barrier, "required", None)
+        if required is not None and len(arrivals) < required:
+            return FullBarrier().decide(arrivals)
+        return self.barrier.decide(arrivals)
+
+    def _apply_worker_faults(self, step: int) -> list[int]:
+        """Process crash/restart events due at ``step``.
+
+        Returns the workers rejoining this step with a full-model resync
+        (checkpointed recovery only — the naive baseline restarts with a
+        stale replica and transfers nothing).
+        """
+        resynced: list[int] = []
+        fault = self._fault
+        if fault is None:
+            return resynced
+        for worker in self.workers:
+            wid = worker.worker_id
+            if wid in self._departed:
+                continue
+            crash = fault.crash_at(wid, step)
+            if crash is not None:
+                self._crash_worker(worker, crash, step)
+            elif wid in self._down_until and step >= self._down_until[wid]:
+                del self._down_until[wid]
+                if self._recover_worker(worker, step):
+                    resynced.append(wid)
+        return resynced
+
+    def _crash_worker(self, worker: Worker, crash, step: int) -> None:
+        wid = worker.worker_id
+        count = self._restart_counts.get(wid, 0) + 1
+        self._restart_counts[wid] = count
+        # Checkpoint the push-side error feedback *at crash time* — the
+        # state a recovery protocol would have persisted — then wipe the
+        # live contexts: an in-memory crash loses them either way.
+        self._checkpoints[wid] = worker.snapshot_state()
+        worker.restore_state(self._pristine[wid])
+        self.fault_log.append({"event": "crash", "step": step, "worker": wid})
+        if crash.depart or count > self._fault.max_restarts:
+            self._departed.add(wid)
+            self.fault_log.append(
+                {"event": "departure", "step": step, "worker": wid}
+            )
+        else:
+            self._down_until[wid] = step + crash.down_steps
+
+    def _recover_worker(self, worker: Worker, step: int) -> bool:
+        """Rejoin one restarted worker; True when it resynced the model."""
+        wid = worker.worker_id
+        if self._fault.checkpoint_state:
+            worker.restore_state(self._checkpoints.pop(wid))
+            worker.model.load_state_dict(self.service.state_dict())
+            recovery = "checkpoint"
+        else:
+            # Naive baseline: no recovery protocol at all. The worker
+            # keeps zeroed residuals and a replica frozen at crash time —
+            # every pull it missed is permanently lost.
+            self._checkpoints.pop(wid, None)
+            recovery = "none"
+        self.fault_log.append(
+            {"event": "restart", "step": step, "worker": wid, "recovery": recovery}
+        )
+        return recovery == "checkpoint"
+
+    def _apply_rack_faults(self, step: int) -> tuple[frozenset, list[int]]:
+        """Process uplink-flap events due at ``step``.
+
+        Returns ``(down_racks, rejoined)``: racks cut off from the cross
+        tier this step, and racks whose uplink just came back (their
+        members resync after the exchange).
+        """
+        rejoined: list[int] = []
+        fault = self._fault
+        if fault is None:
+            return frozenset(), rejoined
+        for rack in range(self.engine_config.racks):
+            flap = fault.flap_at(rack, step)
+            if flap is not None:
+                self._rack_down_until[rack] = step + flap.down_steps
+                self._rack_rejoin_delay[rack] = flap.rejoin_delay_seconds
+                self._rack_backlog.setdefault(
+                    rack,
+                    {
+                        name: np.zeros(param.shape, dtype=np.float32)
+                        for name, param in self.service.params.items()
+                    },
+                )
+                self.fault_log.append(
+                    {"event": "flap", "step": step, "rack": rack}
+                )
+            elif (
+                rack in self._rack_down_until
+                and step >= self._rack_down_until[rack]
+            ):
+                del self._rack_down_until[rack]
+                rejoined.append(rack)
+        return frozenset(self._rack_down_until), rejoined
+
+    def _resync_route_elements(self) -> dict[str, int]:
+        """Per-route element counts of one full-model resync transfer."""
+        route_elems: dict[str, int] = {}
+        for name, param in self.service.params.items():
+            route = self._routes[name]
+            route_elems[route] = route_elems.get(route, 0) + param.size
+        return route_elems
+
+    def fault_summary(self) -> dict | None:
+        """Aggregate churn telemetry for results archives (None = no faults)."""
+        if self._fault is None:
+            return None
+        counts = {"crash": 0, "restart": 0, "departure": 0, "flap": 0, "rejoin": 0}
+        for event in self.fault_log:
+            counts[event["event"]] += 1
+        return {
+            "crashes": counts["crash"],
+            "restarts": counts["restart"],
+            "departures": counts["departure"],
+            "flaps": counts["flap"],
+            "rejoins": counts["rejoin"],
+            "resync_bytes": self._fault_counters["resync_bytes"],
+            "degraded_steps": self._fault_counters["degraded_steps"],
+            "checkpoint_state": self._fault.checkpoint_state,
         }
 
     # -- telemetry ----------------------------------------------------------
@@ -636,12 +851,25 @@ class ExchangeEngine:
         step = self.service.global_step
         config = self.engine_config
 
-        batches = [worker.train_step() for worker in self.workers]
+        # Fault processing first: crashes due this step take their worker
+        # out *before* compute; rejoins resync from the pre-step global
+        # model and compute normally. Down/departed workers carry a None
+        # batch through the whole step.
+        resynced = self._apply_worker_faults(step)
+        batches = [
+            worker.train_step()
+            if worker.worker_id not in self._down_until
+            and worker.worker_id not in self._departed
+            else None
+            for worker in self.workers
+        ]
+        if all(b is None for b in batches):
+            raise RuntimeError(f"step {step}: no live workers remain")
 
         # Barrier: decide whose pushes enter aggregation. Straggler-scaled
         # compute time determines arrival order; dropped pushes were still
         # transmitted (they consumed bandwidth) but are discarded.
-        decision = self.barrier.decide(self._arrivals(batches))
+        decision = self._barrier_decide(self._arrivals(batches))
         accepted_pushes = [batches[i].messages for i in decision.accepted]
         if self.fusion_plan is not None:
             pull_batch = self.service.step(
@@ -666,18 +894,27 @@ class ExchangeEngine:
                 continue
             deltas.update(self.service.decompress_fused_pull(index, result.message))
         pull_decompress_seconds = time.perf_counter() - t0
-        for worker in self.workers:
-            worker.apply_pull(deltas)
+        for worker, batch in zip(self.workers, batches):
+            if batch is not None:
+                worker.apply_pull(deltas)
 
         # -- traffic + timing accounting -------------------------------------
+        n_active = sum(1 for b in batches if b is not None)
         record = StepTraffic(
             step=step,
-            pull_fanout=config.num_workers,
-            num_workers=config.num_workers,
+            pull_fanout=n_active,
+            num_workers=n_active,
             model_elements=self._model_elements(),
         )
+        if resynced:
+            # Checkpointed rejoin: each restarted worker pulls the full
+            # float32 model once before computing.
+            record.resync_bytes = 4 * record.model_elements * len(resynced)
+            self._fault_counters["resync_bytes"] += record.resync_bytes
         bypassed = self.service.bypassed
         for batch in batches:
+            if batch is None:
+                continue
             for name, result in batch.messages.items():
                 if result is None:
                     continue
@@ -716,7 +953,7 @@ class ExchangeEngine:
         # the server's serialized decompress + compress, and one worker's
         # pull decompression (workers decompress in parallel).
         record.codec_seconds = (
-            max(b.compress_seconds for b in batches)
+            max(b.compress_seconds for b in batches if b is not None)
             + pull_batch.decompress_seconds
             + pull_batch.compress_seconds
             + pull_decompress_seconds
@@ -725,12 +962,17 @@ class ExchangeEngine:
         if self.engine_config.record_transmissions:
             self.transmissions.append(
                 self._ps_transmissions(
-                    step, batches, pull_batch, record, pull_decompress_seconds
+                    step,
+                    batches,
+                    pull_batch,
+                    record,
+                    pull_decompress_seconds,
+                    resynced=resynced,
                 )
             )
         self.update_count += 1
 
-        loss = float(np.mean([b.loss for b in batches]))
+        loss = float(np.mean([b.loss for b in batches if b is not None]))
         lr = self.service.schedule(step)
         if self.telemetry.enabled:
             self._tel_bsp_step(
@@ -739,6 +981,7 @@ class ExchangeEngine:
                 {
                     worker.worker_id: batch.compress_seconds
                     for worker, batch in zip(self.workers, batches)
+                    if batch is not None
                 },
                 [
                     ("server", "decompress", pull_batch.decompress_seconds),
@@ -758,17 +1001,22 @@ class ExchangeEngine:
         pull_batch,
         record: StepTraffic,
         pull_decompress_seconds: float,
+        resynced: tuple[int, ...] | list[int] = (),
     ) -> StepTransmissions:
         """Flatten one parameter-service step into simulator events.
 
         Mirrors the traffic-meter accounting exactly (dropped pushes were
-        still transmitted; deferred messages produce no record), so the
-        simulated serialized schedule reproduces the analytic model's
-        byte and frame totals.
+        still transmitted; deferred messages produce no record; a down
+        worker's ``None`` batch produces nothing), so the simulated
+        serialized schedule reproduces the analytic model's byte and
+        frame totals. Rejoin resyncs ride the step's pull phase as raw
+        float32 records, one per service route per restarted worker.
         """
         sends: list[TransmissionRecord] = []
         fusion_plan = self.fusion_plan
         for position, batch in enumerate(batches):
+            if batch is None:
+                continue
             worker_id = self.workers[position].worker_id
             for name, result in batch.messages.items():
                 if result is None:
@@ -833,10 +1081,25 @@ class ExchangeEngine:
                     frames=fanout,
                 )
             )
+        for wid in resynced:
+            for route, elements in sorted(self._resync_route_elements().items()):
+                sends.append(
+                    TransmissionRecord(
+                        name=f"resync:w{wid}:{route}",
+                        params=(),
+                        wire_bytes=4 * elements,
+                        elements=elements,
+                        route=route,
+                        worker=wid,
+                        phase="pull",
+                    )
+                )
         return StepTransmissions(
             step=step,
             compute_seconds=record.compute_seconds,
-            push_compress_seconds=max(b.compress_seconds for b in batches),
+            push_compress_seconds=max(
+                b.compress_seconds for b in batches if b is not None
+            ),
             server_decompress_seconds=pull_batch.decompress_seconds,
             server_compress_seconds=pull_batch.compress_seconds,
             pull_decompress_seconds=pull_decompress_seconds,
@@ -917,20 +1180,69 @@ class ExchangeEngine:
         step = self.service.global_step
         config = self.engine_config
 
+        down_racks, rejoined = self._apply_rack_faults(step)
+        rejoin_delay = max(
+            (self._rack_rejoin_delay.pop(r, 0.0) for r in rejoined), default=0.0
+        )
+
         batches = [worker.train_step_raw() for worker in self.workers]
-        decision = self.barrier.decide(self._arrivals(batches))
-        outcome = self.service.exchange([b.grads for b in batches])
-        for worker in self.workers:
-            worker.apply_pull(outcome.deltas)
+        decision = self._barrier_decide(self._arrivals(batches))
+        if self._fault is not None:
+            outcome = self.service.exchange(
+                [b.grads for b in batches],
+                down_racks=down_racks,
+                catch_up=(
+                    {r: self._rack_backlog[r] for r in rejoined}
+                    if rejoined
+                    else None
+                ),
+            )
+        else:
+            outcome = self.service.exchange([b.grads for b in batches])
+        lr = self.service.schedule(step)
+        for rack in range(config.racks):
+            members = self._rack_workers(rack)
+            if rack in down_racks:
+                # Degraded local-only step: the rack ring-reduced its
+                # members' gradients but the aggregate cannot reach the
+                # core. Members apply a plain SGD step on the rack average
+                # (no momentum or weight decay — the core owns the
+                # optimizer state) and the gradient is banked for the
+                # rejoin catch-up push.
+                grads = outcome.down_rack_grads[rack]
+                backlog = self._rack_backlog[rack]
+                local_delta = {name: -lr * grad for name, grad in grads.items()}
+                for name, grad in grads.items():
+                    backlog[name] += grad
+                for worker in members:
+                    worker.apply_pull(local_delta)
+            else:
+                for worker in members:
+                    worker.apply_pull(outcome.deltas)
+        if down_racks:
+            self._fault_counters["degraded_steps"] += 1
+        if rejoined:
+            # The rejoining rack's banked catch-up went up this step; its
+            # members now resync their replicas from the post-step global
+            # model, replacing the outage-window local drift.
+            global_state = self.service.state_dict()
+            for rack in rejoined:
+                for worker in self._rack_workers(rack):
+                    worker.model.load_state_dict(global_state)
+                self._rack_backlog.pop(rack, None)
+                self.fault_log.append(
+                    {"event": "rejoin", "step": step, "rack": rack}
+                )
 
         racks, rack_size = config.racks, config.rack_size
+        n_up = racks - len(down_racks)
         has_cross = racks > 1
         record = StepTraffic(
             step=step,
-            # Every worker receives one physical copy of each shared
-            # cross-rack pull: one copy per rack crosses the uplink, then
-            # rack_size - 1 more circulate the rack ring.
-            pull_fanout=config.num_workers if has_cross else 0,
+            # Every member of an up rack receives one physical copy of
+            # each shared cross-rack pull: one copy per up rack crosses
+            # the uplink, then rack_size - 1 more circulate the rack ring.
+            pull_fanout=n_up * rack_size if has_cross else 0,
             num_workers=config.num_workers,
             model_elements=self._model_elements(),
         )
@@ -942,11 +1254,21 @@ class ExchangeEngine:
         record.pull_messages = outcome.pull_message_count
         record.intra_rack_bytes = (
             outcome.intra_wire_bytes
-            + outcome.cross_pull_bytes * racks * (rack_size - 1)
+            + outcome.cross_pull_bytes * n_up * (rack_size - 1)
         )
         record.cross_rack_bytes = (
-            outcome.cross_push_bytes + outcome.cross_pull_bytes * racks
+            outcome.cross_push_bytes + outcome.cross_pull_bytes * n_up
         )
+        if rejoined:
+            # Rejoin resync: one full float32 model per rejoined rack —
+            # one copy over the uplink, rack_size - 1 over the rack ring.
+            model_bytes = 4 * record.model_elements
+            record.resync_bytes = model_bytes * rack_size * len(rejoined)
+            record.cross_rack_bytes += model_bytes * len(rejoined)
+            record.intra_rack_bytes += (
+                model_bytes * (rack_size - 1) * len(rejoined)
+            )
+            self._fault_counters["resync_bytes"] += record.resync_bytes
         record.compute_seconds = decision.compute_seconds
         # Critical path: the slowest rack's serial (ring + uplink codec)
         # pipeline, the upper service's serialized decompress + compress,
@@ -959,6 +1281,45 @@ class ExchangeEngine:
         )
         self.traffic.record(record)
         if config.record_transmissions:
+            up_racks = tuple(r for r in range(racks) if r not in down_racks)
+            link_down: tuple[tuple[str, float], ...] = ()
+            extra: list[TransmissionRecord] = []
+            if rejoined:
+                if rejoin_delay > 0.0:
+                    # The cross fabric is back but still re-converging:
+                    # floor every cross route for the rejoin step.
+                    link_down = tuple(
+                        (route, rejoin_delay)
+                        for route in sorted(set(self._routes.values()))
+                    )
+                route_elems = self._resync_route_elements()
+                for rack in rejoined:
+                    for route, elements in sorted(route_elems.items()):
+                        extra.append(
+                            TransmissionRecord(
+                                name=f"resync:rack{rack}:{route}",
+                                params=(),
+                                wire_bytes=4 * elements,
+                                elements=elements,
+                                route=route,
+                                phase="pull",
+                            )
+                        )
+                    extra.append(
+                        TransmissionRecord(
+                            name=f"resync:rack{rack}:bcast",
+                            params=(),
+                            wire_bytes=4 * record.model_elements,
+                            elements=record.model_elements,
+                            route=f"rack{rack}",
+                            phase="pull",
+                            frames=rack_size - 1,
+                            depends_on=tuple(
+                                f"resync:rack{rack}:{route}"
+                                for route in sorted(route_elems)
+                            ),
+                        )
+                    )
             self.transmissions.append(
                 StepTransmissions(
                     step=step,
@@ -969,14 +1330,15 @@ class ExchangeEngine:
                     pull_decompress_seconds=outcome.pull_decompress_seconds,
                     records=tuple(
                         self._hier_push_records(outcome)
-                        + self._hier_pull_records(outcome)
+                        + self._hier_pull_records(outcome, up_racks=up_racks)
+                        + extra
                     ),
+                    link_down=link_down,
                 )
             )
         self.update_count += 1
 
         loss = float(np.mean([b.loss for b in batches]))
-        lr = self.service.schedule(step)
         if self.telemetry.enabled:
             self._tel_bsp_step(
                 step,
@@ -1070,12 +1432,18 @@ class ExchangeEngine:
                 )
         return records
 
-    def _hier_pull_records(self, outcome) -> list[TransmissionRecord]:
+    def _hier_pull_records(
+        self, outcome, up_racks: tuple[int, ...] | None = None
+    ) -> list[TransmissionRecord]:
         """Downward records for a BSP step: one shared pull copy per rack
         over the cross tier, then an intra-rack pipeline broadcast per
-        rack depending on it."""
+        rack depending on it. ``up_racks`` (fault injection) restricts the
+        fan-out to racks whose uplink is alive this step."""
         racks = self.engine_config.racks
         rack_size = self.engine_config.rack_size
+        if up_racks is None:
+            up_racks = tuple(range(racks))
+        fanout = len(up_racks)
         records: list[TransmissionRecord] = []
 
         def shared_pull(name: str, params: tuple[str, ...], message) -> None:
@@ -1086,12 +1454,12 @@ class ExchangeEngine:
                     wire_bytes=message.wire_size,
                     elements=message.element_count,
                     route=self._routes[params[0]],
-                    copies=racks,
+                    copies=fanout,
                     phase="pull",
-                    frames=racks,
+                    frames=fanout,
                 )
             )
-            for rack in range(racks):
+            for rack in up_racks:
                 records.append(
                     TransmissionRecord(
                         name=f"{name}@bcast{rack}",

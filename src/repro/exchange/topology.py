@@ -422,6 +422,13 @@ class HierarchicalOutcome:
     pull_fused: dict[int, FusedCompressionResult | None] = field(
         default_factory=dict
     )
+    #: Rack-averaged gradients of racks whose uplink was down this step
+    #: (fault injection): reduced on the healthy rack fabric but excluded
+    #: from the global exchange. The engine applies them as degraded
+    #: local-only steps and banks them for the rejoin catch-up push.
+    down_rack_grads: dict[int, dict[str, np.ndarray]] = field(
+        default_factory=dict
+    )
 
     @property
     def cross_push_count(self) -> int:
@@ -712,17 +719,41 @@ class HierarchicalExchangeService:
         return len(self.params) * 2 * (w - 1) * w * racks
 
     def exchange(
-        self, grad_dicts: list[dict[str, np.ndarray]]
+        self,
+        grad_dicts: list[dict[str, np.ndarray]],
+        *,
+        down_racks: frozenset[int] = frozenset(),
+        catch_up: dict[int, dict[str, np.ndarray]] | None = None,
     ) -> HierarchicalOutcome:
-        """One full BSP step: every rack reduces, then the core aggregates."""
+        """One full BSP step: every rack reduces, then the core aggregates.
+
+        ``down_racks`` (fault injection) are racks whose cross uplink is
+        out this step: their members still ring-reduce over the healthy
+        rack fabric, but the aggregate never reaches the core — it comes
+        back in :attr:`HierarchicalOutcome.down_rack_grads` for the engine
+        to apply locally. ``catch_up`` maps a rejoining rack to its banked
+        outage-window gradient sum, folded into that rack's uplink push
+        (through the persistent uplink error-feedback context) this step.
+        """
         expected = self.racks * self.rack_size
         if len(grad_dicts) != expected:
             raise ValueError(
                 f"expected {expected} gradient sets "
                 f"({self.racks} racks x {self.rack_size}), got {len(grad_dicts)}"
             )
+        for rack in down_racks:
+            if not (0 <= rack < self.racks):
+                raise ValueError(f"down rack {rack} out of range")
+        if len(down_racks) >= self.racks:
+            raise RuntimeError(
+                "every rack is cut off from the core; no exchange possible"
+            )
         per_tensor_elements = self._per_tensor_elements()
         if self._flat is not None:
+            if down_racks or catch_up:
+                raise ValueError(
+                    "a single rack has no cross uplink to take down"
+                )
             out = self._flat.exchange(grad_dicts)
             return HierarchicalOutcome(
                 deltas=out.deltas,
@@ -752,11 +783,30 @@ class HierarchicalExchangeService:
             intra_wire += wire
         intra_elements = self.racks * sum(per_tensor_elements.values())
 
+        if catch_up:
+            # Late rejoin push: fold the banked outage-window gradients
+            # into the rejoining rack's aggregate before it crosses the
+            # uplink — compression errors land in the uplink's persistent
+            # error-feedback residual like any other step.
+            for rack, backlog in catch_up.items():
+                if rack in down_racks:
+                    raise ValueError(
+                        f"rack {rack} cannot catch up while its uplink is down"
+                    )
+                grads = rack_grads[rack]
+                for name, banked in backlog.items():
+                    grads[name] = grads[name] + banked
+
+        # Positions in every per-rack tuple follow ``rack_indices``: up
+        # racks first (the only ones with cross-push entries), then the
+        # cut-off racks. With no faults this is simply 0..racks-1.
+        up_racks = [r for r in range(self.racks) if r not in down_racks]
+        order = up_racks + sorted(down_racks)
         cross_results: list[dict[str, CompressionResult | None]] = []
         cross_fused: list[dict[int, FusedCompressionResult | None]] = []
         cross_compress: list[float] = []
         cross_bytes = cross_elements = 0
-        for rack in range(self.racks):
+        for rack in up_racks:
             messages, fused, seconds = self._compress_uplink(
                 rack, rack_grads[rack]
             )
@@ -773,13 +823,16 @@ class HierarchicalExchangeService:
                     continue
                 cross_bytes += result.message.wire_size
                 cross_elements += result.message.element_count
+        # Down racks pay no uplink compression; pad so the critical-path
+        # zip in ``push_compress_seconds`` stays position-aligned.
+        cross_compress.extend(0.0 for _ in down_racks)
 
         if self.fusion_plan is not None:
             pull_batch = self.upper.step(
-                cross_results, divisor=self.racks, fused_pushes=cross_fused
+                cross_results, divisor=len(up_racks), fused_pushes=cross_fused
             )
         else:
-            pull_batch = self.upper.step(cross_results, divisor=self.racks)
+            pull_batch = self.upper.step(cross_results, divisor=len(up_racks))
 
         t0 = time.perf_counter()
         deltas: dict[str, np.ndarray] = {}
@@ -802,13 +855,13 @@ class HierarchicalExchangeService:
 
         return HierarchicalOutcome(
             deltas=deltas,
-            rack_indices=tuple(range(self.racks)),
-            per_rack_link_bytes=tuple(per_rack_link_bytes),
+            rack_indices=tuple(order),
+            per_rack_link_bytes=tuple(per_rack_link_bytes[r] for r in order),
             per_tensor_elements=per_tensor_elements,
             intra_wire_bytes=intra_wire,
             intra_elements=intra_elements,
             ring_frames=self._ring_frames(self.racks),
-            rack_codec_seconds=tuple(rack_codec),
+            rack_codec_seconds=tuple(rack_codec[r] for r in order),
             cross_push_results=tuple(cross_results),
             cross_compress_seconds=tuple(cross_compress),
             cross_push_bytes=cross_bytes,
@@ -821,6 +874,7 @@ class HierarchicalExchangeService:
             pull_decompress_seconds=pull_decompress,
             cross_fused_results=tuple(cross_fused),
             pull_fused=pull_batch.fused,
+            down_rack_grads={r: rack_grads[r] for r in sorted(down_racks)},
         )
 
     def rack_exchange(

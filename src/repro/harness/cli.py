@@ -20,6 +20,12 @@ steps with the discrete-event network simulator (per-layer overlap,
 per-topology links — two dependent tiers for ``hier``) instead of the
 calibrated overlap constant.
 
+Churn: ``--backup-workers N`` arms the paper's §2.1 backup-worker
+barrier; ``--crash W:STEP[:DOWN][:depart]`` and
+``--flap RACK:STEP[:DOWN[:DELAY]]`` inject worker crashes and rack
+uplink flaps (``--max-restarts`` caps restarts before permanent
+departure, ``--no-checkpoint-state`` ablates error-feedback recovery).
+
 Observability: ``--telemetry`` records per-run metric series and
 simulated-clock spans; ``--trace-out PATH`` writes a Chrome
 ``trace_event`` JSON timeline (load in Perfetto / ``chrome://tracing``;
@@ -38,6 +44,7 @@ from repro.compression.registry import (
     TABLE1_SCHEMES,
     make_compressor,
 )
+from repro.distributed.faults import FaultSpec, UplinkFlap, WorkerCrash
 from repro.exchange.wireplan import fusion_incompatibility
 from repro.harness.config import DEFAULT_CONFIG, FAST_CONFIG
 from repro.harness.figures import (
@@ -75,6 +82,54 @@ def _drop_deferring(schemes: tuple[str, ...]) -> tuple[str, ...]:
         name
         for name in schemes
         if not make_compressor(name, seed=0).defers_transmission
+    )
+
+
+def _parse_crash(text: str) -> WorkerCrash:
+    """``WORKER:STEP[:DOWN_STEPS][:depart]`` → :class:`WorkerCrash`.
+
+    Raises :class:`ValueError` naming the malformed flag value; range
+    errors come from the spec's own validation.
+    """
+    parts = text.split(":")
+    depart = False
+    if parts and parts[-1] == "depart":
+        depart = True
+        parts = parts[:-1]
+    if not 2 <= len(parts) <= 3:
+        raise ValueError(
+            f"--crash {text!r}: expected WORKER:STEP[:DOWN_STEPS][:depart]"
+        )
+    try:
+        numbers = [int(part) for part in parts]
+    except ValueError:
+        raise ValueError(
+            f"--crash {text!r}: WORKER/STEP/DOWN_STEPS must be integers"
+        ) from None
+    down_steps = numbers[2] if len(numbers) == 3 else 1
+    return WorkerCrash(
+        worker=numbers[0], step=numbers[1], down_steps=down_steps, depart=depart
+    )
+
+
+def _parse_flap(text: str) -> UplinkFlap:
+    """``RACK:STEP[:DOWN_STEPS[:DELAY_SECONDS]]`` → :class:`UplinkFlap`."""
+    parts = text.split(":")
+    if not 2 <= len(parts) <= 4:
+        raise ValueError(
+            f"--flap {text!r}: expected RACK:STEP[:DOWN_STEPS[:DELAY_SECONDS]]"
+        )
+    try:
+        rack, step = int(parts[0]), int(parts[1])
+        down_steps = int(parts[2]) if len(parts) >= 3 else 1
+        delay = float(parts[3]) if len(parts) == 4 else 0.0
+    except ValueError:
+        raise ValueError(
+            f"--flap {text!r}: RACK/STEP/DOWN_STEPS must be integers, "
+            "DELAY_SECONDS a number"
+        ) from None
+    return UplinkFlap(
+        rack=rack, step=step, down_steps=down_steps, rejoin_delay_seconds=delay
     )
 
 
@@ -136,6 +191,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--staleness", type=int, default=None,
         help="staleness bound for --sync-mode ssp",
+    )
+    parser.add_argument(
+        "--backup-workers", type=int, default=None, metavar="N",
+        help="backup workers (paper §2.1, BSP parameter-server topologies "
+        "only): each step proceeds once num_workers - N pushes arrive and "
+        "drops the stragglers",
+    )
+    parser.add_argument(
+        "--crash", action="append", default=None, metavar="W:STEP[:DOWN]",
+        help="inject a worker crash: worker W goes down at STEP for DOWN "
+        "steps (default 1) and then restarts; append ':depart' to make "
+        "the departure permanent; repeatable; BSP single/sharded only",
+    )
+    parser.add_argument(
+        "--flap", action="append", default=None,
+        metavar="RACK:STEP[:DOWN[:DELAY]]",
+        help="inject a rack uplink flap: rack RACK loses its cross-rack "
+        "uplink at STEP for DOWN steps (default 1), degrading to "
+        "local-only steps, then rejoins (resync floored by DELAY "
+        "seconds); repeatable; --topology hier only",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="per-worker restart budget before a crash becomes a "
+        "permanent departure (default 2; requires --crash/--flap)",
+    )
+    parser.add_argument(
+        "--no-checkpoint-state", action="store_true",
+        help="disable error-feedback checkpointing on crash recovery "
+        "(restarted workers rejoin with zeroed residuals and a stale "
+        "replica -- the ablation bench_churn measures)",
     )
     parser.add_argument(
         "--racks", type=int, default=None,
@@ -229,6 +315,58 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.sync_mode == "ssp" and args.staleness is None:
         parser.error("--sync-mode ssp requires --staleness")
+    if args.backup_workers is not None:
+        # The engine would reject these too, but only after the sweep
+        # starts training; fail at parse time with the value spelled out.
+        if not (0 <= args.backup_workers < config.num_workers):
+            parser.error(
+                f"--backup-workers {args.backup_workers} must be in "
+                f"[0, num_workers={config.num_workers})"
+            )
+        if args.topology == "ring":
+            parser.error(
+                f"--backup-workers {args.backup_workers} is incompatible "
+                "with --topology ring (a ring reduction needs every "
+                "node's chunk)"
+            )
+    if (args.max_restarts is not None or args.no_checkpoint_state) and not (
+        args.crash or args.flap
+    ):
+        offender = (
+            f"--max-restarts {args.max_restarts}"
+            if args.max_restarts is not None
+            else "--no-checkpoint-state"
+        )
+        parser.error(f"{offender} requires --crash or --flap")
+    if (args.crash or args.flap) and args.sync_mode not in (None, "bsp"):
+        parser.error(
+            "--crash/--flap require BSP (the barrier is where membership "
+            f"changes are decided; got --sync-mode {args.sync_mode})"
+        )
+    if args.crash and (args.topology or "single") not in ("single", "sharded"):
+        parser.error(
+            f"--crash requires --topology single|sharded "
+            f"(got --topology {args.topology})"
+        )
+    if args.flap and args.topology != "hier":
+        parser.error(
+            f"--flap requires --topology hier "
+            f"(got --topology {args.topology or 'single'})"
+        )
+    fault = None
+    if args.crash or args.flap:
+        fault_kwargs = {}
+        if args.max_restarts is not None:
+            fault_kwargs["max_restarts"] = args.max_restarts
+        try:
+            fault = FaultSpec(
+                crashes=tuple(_parse_crash(text) for text in args.crash or ()),
+                flaps=tuple(_parse_flap(text) for text in args.flap or ()),
+                checkpoint_state=not args.no_checkpoint_state,
+                **fault_kwargs,
+            )
+        except ValueError as error:
+            parser.error(str(error))
     for flag, value in (
         ("--racks", args.racks),
         ("--rack-size", args.rack_size),
@@ -275,6 +413,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["num_shards"] = args.shards
     if args.staleness is not None:
         overrides["staleness"] = args.staleness
+    if args.backup_workers is not None:
+        overrides["backup_workers"] = args.backup_workers
+    if fault is not None:
+        overrides["fault"] = fault
     if args.racks is not None:
         overrides["racks"] = args.racks
     if args.rack_size is not None:

@@ -17,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.data.synthetic import DatasetSpec, SyntheticImageDataset
+from repro.distributed.barriers import StragglerSpec
 from repro.distributed.cluster import ClusterConfig
 from repro.distributed.defaults import FUSION_BUCKET_ELEMENTS, SMALL_TENSOR_THRESHOLD
+from repro.distributed.faults import FaultSpec
 from repro.exchange.engine import EngineConfig
 from repro.exchange.sync import SYNC_MODES
 from repro.exchange.topology import TOPOLOGIES
@@ -64,6 +66,14 @@ class ExperimentConfig:
     num_shards: int = 2
     backup_workers: int = 0
     staleness: int | None = None
+    #: Per-step compute-time jitter / straggler injection (None = uniform
+    #: compute). Changes what the engine records, so it is part of the
+    #: sweep-replay fingerprint — never canonicalized away.
+    straggler: StragglerSpec | None = None
+    #: Injected churn (worker crash/restart, rack uplink flaps, permanent
+    #: departures). Validated against topology/sync mode by the engine;
+    #: like ``straggler`` it invalidates cached recordings.
+    fault: FaultSpec | None = None
     #: Hierarchical topology shape: ``racks`` racks of ``rack_size``
     #: workers (must multiply to ``num_workers``), with the cross-rack
     #: tier reusing the single or sharded parameter service.
@@ -237,6 +247,8 @@ class ExperimentConfig:
             num_shards=self.num_shards,
             backup_workers=self.backup_workers,
             staleness=self.staleness,
+            straggler=self.straggler,
+            fault=self.fault,
             racks=self.racks,
             rack_size=self.rack_size,
             hier_upper=self.hier_upper,

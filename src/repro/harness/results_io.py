@@ -66,6 +66,9 @@ def run_result_to_dict(result: RunResult) -> dict:
         # Additive field: already JSON-shaped (Telemetry.summary()), and
         # absent from pre-telemetry archives — from_dict tolerates both.
         "telemetry_summary": result.telemetry_summary,
+        # Additive field: churn rollup (fault-injected runs only); None
+        # for fault-free runs and absent from pre-churn archives.
+        "fault_summary": result.fault_summary,
     }
 
 
@@ -103,6 +106,7 @@ def run_result_from_dict(data: dict) -> RunResult:
         staleness_distribution=staleness,
         link_utilization=data.get("link_utilization"),
         telemetry_summary=data.get("telemetry_summary"),
+        fault_summary=data.get("fault_summary"),
     )
 
 

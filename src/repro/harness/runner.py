@@ -82,6 +82,11 @@ class RunResult:
         histogram stats, per-track span counts/busy seconds) when the run
         executed with ``config.telemetry``; ``None`` otherwise. A plain
         JSON-ready dict so it round-trips through ``results_io``.
+    fault_summary:
+        Churn rollup from the engine's fault-injection layer (crash /
+        restart / departure / flap / rejoin counts, resync bytes,
+        degraded steps) when the run had a ``config.fault`` spec;
+        ``None`` otherwise — including for legacy archives.
     """
 
     scheme: str
@@ -101,6 +106,7 @@ class RunResult:
     staleness_distribution: dict[int, int] | None = None
     link_utilization: dict[str, dict[str, float]] | None = None
     telemetry_summary: dict | None = None
+    fault_summary: dict | None = None
 
     def total_minutes(self, link_name: str) -> float:
         return self.total_seconds[link_name] / 60.0
@@ -273,6 +279,7 @@ class ExperimentRunner:
                 loss_curve=tuple(log.train_loss for log in cluster.step_logs),
                 traffic=cluster.traffic,
                 synchronous=cluster.sync.synchronous,
+                fault_summary=cluster.fault_summary(),
             )
             if self.replay_cache is not None:
                 self.replay_cache.store_recording(rec_key, recording)
@@ -389,6 +396,7 @@ class ExperimentRunner:
             staleness_distribution=staleness_distribution,
             link_utilization=link_utilization,
             telemetry_summary=tel.summary() if tel is not None else None,
+            fault_summary=recording.fault_summary,
         )
         self._cache[key] = result
         logger.info(

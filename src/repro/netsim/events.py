@@ -126,6 +126,19 @@ class StepTransmissions:
     server_compress_seconds: float = 0.0
     pull_decompress_seconds: float = 0.0
     records: tuple[TransmissionRecord, ...] = ()
+    #: Injected-fault outage floors: ``(route, seconds)`` pairs meaning
+    #: the route is unavailable until ``seconds`` into *this step* (a
+    #: rejoin delay while the fabric re-converges). All three simulator
+    #: cores seed the route's link-free time from the floor.
+    link_down: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for route, down in self.link_down:
+            if down < 0.0:
+                raise ValueError(
+                    f"step {self.step}: link_down[{route!r}] must be >= 0, "
+                    f"got {down}"
+                )
 
     @property
     def codec_seconds(self) -> float:
@@ -179,10 +192,22 @@ class UpdateTransmissions:
     pull_compress_seconds: float = 0.0
     pull_decompress_seconds: float = 0.0
     records: tuple[TransmissionRecord, ...] = ()
+    #: Injected-fault outage floors: ``(route, seconds)`` pairs. For a
+    #: direct event stream the floor is *absolute* simulated time; when
+    #: updates are folded back into lock-step generations the floors
+    #: become step-local (max-merged per route), matching
+    #: :attr:`StepTransmissions.link_down`.
+    link_down: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.staleness < 0:
             raise ValueError(f"update {self.update}: negative staleness")
+        for route, down in self.link_down:
+            if down < 0.0:
+                raise ValueError(
+                    f"update {self.update}: link_down[{route!r}] must be "
+                    f">= 0, got {down}"
+                )
 
     @property
     def codec_seconds(self) -> float:
@@ -260,6 +285,7 @@ def updates_from_bsp_steps(
                     pull_compress_seconds=st.server_compress_seconds / num_workers,
                     pull_decompress_seconds=st.pull_decompress_seconds,
                     records=tuple(records),
+                    link_down=st.link_down,
                 )
             )
     return tuple(updates)

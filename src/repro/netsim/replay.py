@@ -91,6 +91,12 @@ class RecordedTraining:
     traffic: Any
     #: Whether the exchange plan was synchronous (selects the simulator).
     synchronous: bool
+    #: ``ExchangeEngine.fault_summary()`` of the recording run — churn
+    #: event counts and resync accounting, ``None`` when the run had no
+    #: fault spec. Cached here because a replay hit never rebuilds the
+    #: engine (and the recording key covers the fault spec, so a hit is
+    #: guaranteed to describe the same churn).
+    fault_summary: dict | None = None
 
 
 class SweepReplayCache:

@@ -426,7 +426,22 @@ class NetworkSimulator:
         )
 
         # -- push transmission: FIFO per link, in dependency tiers ---------
+        # Injected-fault outage floors seed the per-route free times: a
+        # route that is down until T within this step serves nothing
+        # earlier. Outage windows ride their own trace track so the
+        # link:<route> span totals still reconcile with link_busy.
         link_free: dict[str, float] = {}
+        for route, down in st.link_down:
+            link_free[route] = max(link_free.get(route, 0.0), down)
+            if tracer is not None and down > 0.0:
+                tracer.span(
+                    self.trace_group,
+                    f"outage:{route}",
+                    "link-down",
+                    off,
+                    off + down,
+                    step=st.step,
+                )
         link_busy: dict[str, float] = {}
         end_by_name: dict[str, float] = {}
         push_end = compute if not push_records else 0.0
@@ -712,9 +727,15 @@ class EventDrivenSimulator:
 
         Workers run in parallel (max compute / push-compress / pull
         decode); the server serializes every update's apply and pull
-        compression (sums). The inverse of
+        compression (sums). Outage floors max-merge per route (the
+        split copies of one step all carry the same floor, so the merge
+        is idempotent). The inverse of
         :func:`~repro.netsim.events.updates_from_bsp_steps`.
         """
+        down: dict[str, float] = {}
+        for e in generation:
+            for route, floor in e.link_down:
+                down[route] = max(down.get(route, 0.0), floor)
         return StepTransmissions(
             step=generation[0].local_step,
             compute_seconds=max(e.compute_seconds for e in generation),
@@ -725,6 +746,7 @@ class EventDrivenSimulator:
                 e.pull_decompress_seconds for e in generation
             ),
             records=tuple(r for e in generation for r in e.records),
+            link_down=tuple(sorted(down.items())),
         )
 
     def _simulate_lockstep(self, events) -> SimulatedExchange:
@@ -814,6 +836,21 @@ class EventDrivenSimulator:
             pull_occ[e.update] = occ_list[pos : pos + n_pull]
             pos += n_pull
 
+        # Injected-fault outage floors (absolute simulated time): a route
+        # serves nothing before its floor. Windows ride dedicated
+        # outage:<route> tracks so link:<route> span totals still
+        # reconcile with link_busy.
+        down_until: dict[str, float] = {}
+        for e in events:
+            for route, floor in e.link_down:
+                down_until[route] = max(down_until.get(route, 0.0), floor)
+        if tracer is not None:
+            for route, floor in sorted(down_until.items()):
+                if floor > 0.0:
+                    tracer.span(
+                        trace_group, f"outage:{route}", "link-down", 0.0, floor
+                    )
+
         by_worker: dict[int, list[UpdateTransmissions]] = {}
         for e in events:
             by_worker.setdefault(e.worker, []).append(e)
@@ -865,6 +902,15 @@ class EventDrivenSimulator:
                 link_serving[route] = False
                 return
             link_serving[route] = True
+            floor = down_until.get(route, 0.0)
+            if now < floor:
+                # The route is down: hold the head of the queue (keeping
+                # the link marked serving so no other enqueue races past)
+                # and retry when the outage lifts.
+                schedule(
+                    floor, _P_ENQUEUE, lambda t, r=route: serve_next(r, t)
+                )
+                return
             duration, on_done, label = queue.popleft()
             end = now + duration
             transfer_intervals.append((now, end))

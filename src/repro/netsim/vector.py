@@ -582,6 +582,24 @@ def replay_vectorized(
 
     num_routes = len(batch.route_names)
     link_free = np.zeros(num_routes)
+    if st.link_down:
+        # Injected-fault outage floors seed the per-route free times
+        # (routes carrying no records this step are timing no-ops, but
+        # their windows still trace). Same max as the scalar dict seed.
+        route_index = {route: i for i, route in enumerate(batch.route_names)}
+        for route, down in st.link_down:
+            i = route_index.get(route)
+            if i is not None:
+                link_free[i] = max(link_free[i], down)
+            if tracer is not None and down > 0.0:
+                tracer.span(
+                    trace_group,
+                    f"outage:{route}",
+                    "link-down",
+                    off,
+                    off + down,
+                    step=st.step,
+                )
     link_busy = np.zeros(num_routes)
     end_by_name = np.zeros(batch.num_names)
 
@@ -841,6 +859,16 @@ def replay_run_vectorized(sim, steps, *, overlap):
 
     num_routes = len(batch.route_names)
     link_free = np.zeros((S, num_routes))
+    if any(st.link_down for st in steps):
+        # Per-row outage floors: the segmented scans take per-row initial
+        # link-free times, so steps with different injected outages batch
+        # together bit-exactly (service order is floor-independent).
+        route_index = {route: i for i, route in enumerate(batch.route_names)}
+        for s, st in enumerate(steps):
+            for route, down in st.link_down:
+                i = route_index.get(route)
+                if i is not None:
+                    link_free[s, i] = max(link_free[s, i], down)
     link_busy = np.zeros((S, num_routes))
     end_by_name = np.zeros((S, batch.num_names))
 

@@ -78,6 +78,11 @@ class StepTraffic:
     #: ``wire_bytes`` exactly — Table 1's intra/cross columns sum these.
     intra_rack_bytes: int = 0
     cross_rack_bytes: int = 0
+    #: Full-model float32 state transferred to workers/racks rejoining
+    #: after an injected fault this step (already fan-out inclusive — NOT
+    #: multiplied by ``pull_fanout``). Part of ``wire_bytes`` but outside
+    #: the compressed push/pull streams.
+    resync_bytes: int = 0
 
     @property
     def pull_bytes_total(self) -> int:
@@ -98,7 +103,7 @@ class StepTraffic:
     @property
     def wire_bytes(self) -> int:
         """Bytes crossing the server NIC this step (in + out)."""
-        return self.push_bytes + self.pull_bytes_total
+        return self.push_bytes + self.pull_bytes_total + self.resync_bytes
 
     @property
     def baseline_bytes(self) -> int:
@@ -147,6 +152,11 @@ class TrafficMeter:
     def total_cross_rack_bytes(self) -> int:
         """Bytes that crossed rack uplinks (hierarchical runs)."""
         return sum(s.cross_rack_bytes for s in self.steps)
+
+    @property
+    def total_resync_bytes(self) -> int:
+        """Full-model rejoin-resync bytes (fault-injected runs)."""
+        return sum(s.resync_bytes for s in self.steps)
 
     @property
     def total_baseline_bytes(self) -> int:
