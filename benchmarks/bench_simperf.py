@@ -129,7 +129,7 @@ def synthesize_fleet_run(
                     params=(),
                     wire_bytes=int(rng.integers(20_000, 120_000)),
                     elements=int(rng.integers(50_000, 400_000)),
-                    route="cross",
+                    route=f"cross:rack{rack}",
                     worker=None,
                     phase="push",
                     frames=2,
@@ -143,7 +143,7 @@ def synthesize_fleet_run(
                     params=(),
                     wire_bytes=int(rng.integers(20_000, 120_000)),
                     elements=int(rng.integers(50_000, 400_000)),
-                    route="cross",
+                    route=f"cross:rack{rack}",
                     worker=None,
                     phase="pull",
                     frames=2,

@@ -662,11 +662,26 @@ class ExchangeEngine:
                 rejoined.append(rack)
         return frozenset(self._rack_down_until), rejoined
 
-    def _resync_route_elements(self) -> dict[str, int]:
-        """Per-route element counts of one full-model resync transfer."""
+    def _cross_route(self, name: str, rack: int) -> str:
+        """Cross-tier route for ``name``'s aggregate from ``rack``.
+
+        A single upper server sits behind one per-rack uplink
+        (``cross:rack<r>``), so the route depends on which rack the
+        transfer serves; a sharded upper's NICs (``cross:shard<k>``)
+        are owned by the destination shard and shared by every rack.
+        """
+        route = self._routes[name]
+        return f"cross:rack{rack}" if route == "cross" else route
+
+    def _resync_route_elements(self, rack: int = 0) -> dict[str, int]:
+        """Per-route element counts of one full-model resync transfer.
+
+        ``rack`` qualifies hier single-upper routes to that rack's own
+        uplink; flat topologies' routes pass through unchanged.
+        """
         route_elems: dict[str, int] = {}
         for name, param in self.service.params.items():
-            route = self._routes[name]
+            route = self._cross_route(name, rack)
             route_elems[route] = route_elems.get(route, 0) + param.size
         return route_elems
 
@@ -1181,9 +1196,9 @@ class ExchangeEngine:
         config = self.engine_config
 
         down_racks, rejoined = self._apply_rack_faults(step)
-        rejoin_delay = max(
-            (self._rack_rejoin_delay.pop(r, 0.0) for r in rejoined), default=0.0
-        )
+        rejoin_delays = {
+            r: self._rack_rejoin_delay.pop(r, 0.0) for r in rejoined
+        }
 
         batches = [worker.train_step_raw() for worker in self.workers]
         decision = self._barrier_decide(self._arrivals(batches))
@@ -1285,15 +1300,22 @@ class ExchangeEngine:
             link_down: tuple[tuple[str, float], ...] = ()
             extra: list[TransmissionRecord] = []
             if rejoined:
-                if rejoin_delay > 0.0:
-                    # The cross fabric is back but still re-converging:
-                    # floor every cross route for the rejoin step.
-                    link_down = tuple(
-                        (route, rejoin_delay)
-                        for route in sorted(set(self._routes.values()))
-                    )
-                route_elems = self._resync_route_elements()
+                # The rejoining rack's uplink is back but still
+                # re-converging: floor only that rack's cross routes, each
+                # with its own rejoin delay. (Sharded uppers share their
+                # NICs across racks, so those floors still bleed over.)
+                floors: dict[str, float] = {}
+                for rack, delay in rejoin_delays.items():
+                    if delay <= 0.0:
+                        continue
+                    for base in set(self._routes.values()):
+                        route = (
+                            f"cross:rack{rack}" if base == "cross" else base
+                        )
+                        floors[route] = max(floors.get(route, 0.0), delay)
+                link_down = tuple(sorted(floors.items()))
                 for rack in rejoined:
+                    route_elems = self._resync_route_elements(rack)
                     for route, elements in sorted(route_elems.items()):
                         extra.append(
                             TransmissionRecord(
@@ -1402,7 +1424,7 @@ class ExchangeEngine:
                         params=(name,),
                         wire_bytes=result.message.wire_size,
                         elements=result.message.element_count,
-                        route=self._routes[name],
+                        route=self._cross_route(name, rack),
                         worker=leader,
                         phase="push",
                         depends_on=(f"{name}@rack{rack}",),
@@ -1422,7 +1444,7 @@ class ExchangeEngine:
                         params=bucket.names,
                         wire_bytes=result.message.wire_size,
                         elements=result.message.element_count,
-                        route=self._routes[bucket.names[0]],
+                        route=self._cross_route(bucket.names[0], rack),
                         worker=leader,
                         phase="push",
                         depends_on=tuple(
@@ -1447,18 +1469,35 @@ class ExchangeEngine:
         records: list[TransmissionRecord] = []
 
         def shared_pull(name: str, params: tuple[str, ...], message) -> None:
-            records.append(
-                TransmissionRecord(
-                    name=name,
-                    params=params,
-                    wire_bytes=message.wire_size,
-                    elements=message.element_count,
-                    route=self._routes[params[0]],
-                    copies=fanout,
-                    phase="pull",
-                    frames=fanout,
+            per_rack = self._routes[params[0]] == "cross"
+            if per_rack:
+                # Single upper server behind per-rack uplinks: each up
+                # rack pulls its own copy down its own uplink (the
+                # copies ride independent links, not one shared core).
+                for rack in up_racks:
+                    records.append(
+                        TransmissionRecord(
+                            name=f"{name}@down{rack}",
+                            params=params,
+                            wire_bytes=message.wire_size,
+                            elements=message.element_count,
+                            route=f"cross:rack{rack}",
+                            phase="pull",
+                        )
+                    )
+            else:
+                records.append(
+                    TransmissionRecord(
+                        name=name,
+                        params=params,
+                        wire_bytes=message.wire_size,
+                        elements=message.element_count,
+                        route=self._routes[params[0]],
+                        copies=fanout,
+                        phase="pull",
+                        frames=fanout,
+                    )
                 )
-            )
             for rack in up_racks:
                 records.append(
                     TransmissionRecord(
@@ -1469,7 +1508,9 @@ class ExchangeEngine:
                         route=f"rack{rack}",
                         phase="pull",
                         frames=rack_size - 1,
-                        depends_on=(name,),
+                        depends_on=(
+                            (f"{name}@down{rack}",) if per_rack else (name,)
+                        ),
                     )
                 )
 
@@ -1754,7 +1795,7 @@ class ExchangeEngine:
                         params=params,
                         wire_bytes=message.wire_size,
                         elements=message.element_count,
-                        route=self._routes[params[0]],
+                        route=self._cross_route(params[0], rack),
                         worker=rack,
                         phase="pull",
                     )

@@ -645,7 +645,13 @@ class HierarchicalExchangeService:
         )
 
     def cross_routes(self) -> dict[str, str]:
-        """Map each tensor to the cross-rack link its aggregate traverses."""
+        """Map each tensor to the cross-rack tier its aggregate traverses.
+
+        Sharded uppers name the owning shard's NIC directly; a single
+        upper server returns the ``"cross"`` marker, which the engine
+        qualifies per rack (``cross:rack<r>``) when it emits records —
+        each rack reaches the core over its own uplink.
+        """
         if self._flat is not None:
             return {name: "rack0" for name in self.params}
         if isinstance(self.upper, ShardedParameterService):

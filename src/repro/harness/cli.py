@@ -31,7 +31,12 @@ simulated-clock spans; ``--trace-out PATH`` writes a Chrome
 ``trace_event`` JSON timeline (load in Perfetto / ``chrome://tracing``;
 one track per worker, link, and server tier) and ``--metrics-out PATH``
 writes JSONL per-step metric snapshots — both imply ``--telemetry``.
-``--log-level`` tunes the shared stderr logger (default ``info``).
+``--report-out PATH`` runs critical-path attribution over every traced
+run and writes the ranked ``repro.bottleneck-report/v1`` artifact;
+``--serve-metrics PORT`` exposes live Prometheus text (``/metrics``)
+and an NDJSON snapshot feed (``/stream``) while the command runs —
+all imply ``--telemetry``. ``--log-level`` tunes the shared stderr
+logger (default ``info``).
 """
 
 from __future__ import annotations
@@ -177,6 +182,11 @@ def main(argv: list[str] | None = None) -> int:
         "--steps", type=int, default=None, help="override the standard step budget"
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="override the worker count (e.g. to shape --fast runs into "
+        "multiple racks: --workers 4 --racks 2 --rack-size 2)",
+    )
+    parser.add_argument(
         "--topology", choices=["single", "sharded", "ring", "hier"], default=None,
         help="exchange topology (default: single parameter server)",
     )
@@ -286,6 +296,18 @@ def main(argv: list[str] | None = None) -> int:
         "plus a final rollup per run); implies --telemetry",
     )
     parser.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="write a repro.bottleneck-report/v1 JSON artifact (ranked "
+        "critical-path attribution of every traced run) and print the "
+        "ranked bucket tables; implies --telemetry",
+    )
+    parser.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve live metrics on 127.0.0.1:PORT while the command "
+        "runs (Prometheus text on /metrics, NDJSON snapshots on "
+        "/stream); implies --telemetry",
+    )
+    parser.add_argument(
         "--log-level", choices=list(LOG_LEVELS), default=None,
         help="stderr logger verbosity (default: info)",
     )
@@ -301,6 +323,10 @@ def main(argv: list[str] | None = None) -> int:
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
     if args.steps is not None:
         config = config.scaled(standard_steps=args.steps)
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        config = config.scaled(num_workers=args.workers)
     # Flag/topology coherence checks name the offending value so a long
     # sweep command fails with an actionable message, not a bare rule.
     if args.shards is not None and args.topology != "sharded":
@@ -433,7 +459,13 @@ def main(argv: list[str] | None = None) -> int:
         overrides["fuse_lossy"] = True
     if args.sim_overlap:
         overrides["sim_overlap"] = True
-    if args.telemetry or args.trace_out or args.metrics_out:
+    if (
+        args.telemetry
+        or args.trace_out
+        or args.metrics_out
+        or args.report_out
+        or args.serve_metrics is not None
+    ):
         overrides["telemetry"] = True
     if overrides:
         try:
@@ -444,6 +476,18 @@ def main(argv: list[str] | None = None) -> int:
     # One sweep replay cache per invocation: commands sharing a scheme and
     # budget reuse the training recording and per-link simulations.
     runner = ExperimentRunner(config, replay_cache=SweepReplayCache())
+
+    metrics_server = None
+    if args.serve_metrics is not None:
+        from repro.telemetry.analysis.serve import MetricsServer
+
+        metrics_server = MetricsServer(
+            lambda: list(runner.telemetry_sessions), port=args.serve_metrics
+        ).start()
+        print(
+            f"serving metrics on {metrics_server.url}/metrics "
+            f"(NDJSON feed on {metrics_server.url}/stream)"
+        )
 
     commands = (
         ["table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "related-work"]
@@ -502,6 +546,28 @@ def main(argv: list[str] | None = None) -> int:
         if args.metrics_out:
             rows = write_metric_snapshots(args.metrics_out, sessions)
             print(f"wrote {rows} metric rows to {args.metrics_out}")
+    if args.report_out:
+        import json as _json
+        from pathlib import Path as _Path
+
+        from repro.telemetry.analysis.attribution import (
+            attribute_trace,
+            bottleneck_report,
+            report_text,
+            spans_from_tracer,
+        )
+
+        spans = []
+        for label, session in runner.telemetry_sessions:
+            spans.extend(spans_from_tracer(session.tracer, label))
+        report = bottleneck_report(attribute_trace(spans))
+        out = _Path(args.report_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(report, indent=2) + "\n")
+        print(report_text(report))
+        print(f"wrote bottleneck report to {args.report_out}")
+    if metrics_server is not None:
+        metrics_server.stop()
     if args.save:
         from repro.harness.results_io import save_results
 

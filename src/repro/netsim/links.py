@@ -20,10 +20,11 @@ Three shapes ship, one per exchange topology:
   hop link's.
 * :func:`hierarchical_links` — the first *composed* model: one fast
   ``"rack<r>"`` channel per rack (the rack's ring hop links, collapsed
-  as for :func:`ring_links`) plus the slow cross-rack tier (a shared
-  ``"cross"`` core link, or ``"cross:shard<k>"`` NICs when the upper
-  tier is sharded). Intra- and cross-tier specs are independent —
-  asymmetric bandwidth and RTT is the regime the paper targets.
+  as for :func:`ring_links`) plus the slow cross-rack tier (one
+  ``"cross:rack<r>"`` uplink per rack for a single upper server, or
+  ``"cross:shard<k>"`` NICs when the upper tier is sharded). Intra- and
+  cross-tier specs are independent — asymmetric bandwidth and RTT is
+  the regime the paper targets.
 """
 
 from __future__ import annotations
@@ -126,8 +127,9 @@ def hierarchical_links(
 
     Each rack's hop links collapse to one ``"rack<r>"`` channel (as in
     :func:`ring_links` — records carry per-link volume). The cross-rack
-    tier mirrors the upper parameter service: one shared ``"cross"``
-    core link for a single upper server, or independent
+    tier mirrors the upper parameter service: one ``"cross:rack<r>"``
+    uplink per rack for a single upper server (so an outage on one
+    rack's uplink floors only that rack's route), or independent
     ``"cross:shard<k>"`` NICs when the upper tier is sharded.
     """
     if racks < 1:
@@ -136,7 +138,7 @@ def hierarchical_links(
         raise ValueError(f"a rack ring needs >= 2 workers, got {rack_size}")
     links = {f"rack{index}": intra for index in range(racks)}
     if upper == "single":
-        links["cross"] = cross
+        links.update({f"cross:rack{index}": cross for index in range(racks)})
     elif upper == "sharded":
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")

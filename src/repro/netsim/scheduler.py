@@ -179,6 +179,56 @@ def dependency_waves(
     return waves
 
 
+def _trace_push_codec(
+    tracer,
+    group: str,
+    off: float,
+    step: int | None,
+    push_records,
+    compressed_at,
+    compute: float,
+    push_cost: float,
+    *,
+    overlap: bool,
+) -> None:
+    """Emit push-compression spans matching ``_push_compressed_at``.
+
+    Overlapped schedules run one serial codec pipeline per sending
+    worker, so each record gets its own span on a ``codec:w<worker>``
+    track ending exactly at its compression-done time (the attribution
+    layer reads these to separate codec time from barrier wait).
+    Serialized schedules charge one staged block after compute. Costs
+    are recomputed with the scalar pipeline's exact expression so the
+    scalar and vectorized replays emit bit-identical spans.
+    """
+    args = {"step": step} if step is not None else {}
+    if not overlap:
+        if push_cost > 0.0:
+            tracer.span(
+                group, "codec", "push-compress",
+                off + compute, off + compute + push_cost, **args,
+            )
+        return
+    totals: dict[int | None, int] = {}
+    for record in push_records:
+        totals[record.worker] = totals.get(record.worker, 0) + record.elements
+    for index, record in enumerate(push_records):
+        total = totals[record.worker]
+        cost = push_cost * record.elements / total if total else 0.0
+        if cost <= 0.0:
+            continue
+        end = float(compressed_at[index])
+        tracer.span(
+            group,
+            f"codec:w{record.worker}",
+            f"compress:{record.name}",
+            off + end - cost,
+            off + end,
+            worker=record.worker,
+            **args,
+        )
+
+
 class NetworkSimulator:
     """Replays recorded step transmissions against a link model.
 
@@ -424,6 +474,12 @@ class NetworkSimulator:
         compressed_at = self._push_compressed_at(
             push_records, compute, push_cost, overlap=overlap
         )
+        if tracer is not None:
+            _trace_push_codec(
+                tracer, self.trace_group, off, st.step,
+                push_records, compressed_at, compute, push_cost,
+                overlap=overlap,
+            )
 
         # -- push transmission: FIFO per link, in dependency tiers ---------
         # Injected-fault outage floors seed the per-route free times: a
@@ -482,6 +538,7 @@ class NetworkSimulator:
                         off + end,
                         phase=record.phase,
                         step=st.step,
+                        worker=record.worker,
                     )
                 end_by_name[record.name] = max(
                     end_by_name.get(record.name, 0.0), end
@@ -533,6 +590,7 @@ class NetworkSimulator:
                         off + end,
                         phase=record.phase,
                         step=st.step,
+                        worker=record.worker,
                     )
                 end_by_name[record.name] = max(
                     end_by_name.get(record.name, 0.0), end
@@ -889,10 +947,15 @@ class EventDrivenSimulator:
 
         # -- shared links: FIFO service in arrival order -------------------
         def enqueue(
-            route: str, duration: float, on_done, now: float, label: str = "xfer"
+            route: str,
+            duration: float,
+            on_done,
+            now: float,
+            label: str = "xfer",
+            span_args: dict | None = None,
         ) -> None:
             queue = link_queue.setdefault(route, deque())
-            queue.append((duration, on_done, label))
+            queue.append((duration, on_done, label, span_args))
             if not link_serving.get(route, False):
                 serve_next(route, now)
 
@@ -911,14 +974,17 @@ class EventDrivenSimulator:
                     floor, _P_ENQUEUE, lambda t, r=route: serve_next(r, t)
                 )
                 return
-            duration, on_done, label = queue.popleft()
+            duration, on_done, label, span_args = queue.popleft()
             end = now + duration
             transfer_intervals.append((now, end))
             link_busy[route] = link_busy.get(route, 0.0) + duration
             if tracer is not None:
                 # Span duration equals the occupancy charged to link_busy,
                 # so per-link span sums reconcile with link_utilization.
-                tracer.span(trace_group, f"link:{route}", label, now, end)
+                tracer.span(
+                    trace_group, f"link:{route}", label, now, end,
+                    **(span_args or {}),
+                )
 
             def finish(t: float) -> None:
                 on_done(t)
@@ -951,6 +1017,12 @@ class EventDrivenSimulator:
             }
 
             if not pushes:
+                if tracer is not None and push_cost > 0.0:
+                    tracer.span(
+                        trace_group, f"codec:w{w}", f"push-compress:u{e.update}",
+                        compute_end, compute_end + push_cost,
+                        worker=w, update=e.update,
+                    )
                 schedule(
                     compute_end + push_cost,
                     _P_ENQUEUE,
@@ -964,17 +1036,53 @@ class EventDrivenSimulator:
             compressed_at = self._steps._push_compressed_at(
                 pushes, compute, push_cost, overlap=self.overlap
             )
+            if tracer is not None and push_cost > 0.0:
+                if not self.overlap:
+                    tracer.span(
+                        trace_group, f"codec:w{w}", f"push-compress:u{e.update}",
+                        compute_end, compute_end + push_cost,
+                        worker=w, update=e.update,
+                    )
+                else:
+                    # Mirror the serial per-worker compression pipeline the
+                    # step replay traces: each record's slot ends at its
+                    # compressed_at offset and costs its share of push_cost.
+                    pipe_totals: dict[int | None, int] = {}
+                    for record in pushes:
+                        pipe_totals[record.worker] = (
+                            pipe_totals.get(record.worker, 0) + record.elements
+                        )
+                    for index, record in enumerate(pushes):
+                        total = pipe_totals[record.worker]
+                        cost = (
+                            push_cost * record.elements / total if total else 0.0
+                        )
+                        if cost <= 0.0:
+                            continue
+                        slot_end = now + compressed_at[index]
+                        tracer.span(
+                            trace_group, f"codec:w{w}",
+                            f"compress:{record.name}",
+                            slot_end - cost, slot_end,
+                            worker=w, update=e.update,
+                        )
             waiting: dict[int, tuple[str, ...]] = {}
 
             occ = push_occ[e.update]
 
             def enqueue_push(index: int, t: float) -> None:
+                record = pushes[index]
                 enqueue(
-                    pushes[index].route,
+                    record.route,
                     occ[index],
                     lambda td, i=index: push_arrived(flight, i, td),
                     t,
-                    pushes[index].name,
+                    record.name,
+                    {
+                        "phase": record.phase,
+                        "worker": record.worker,
+                        "update": e.update,
+                    },
                 )
 
             def release_ready(now_t: float) -> None:
@@ -1058,12 +1166,18 @@ class EventDrivenSimulator:
             occ = pull_occ[e.update]
 
             def enqueue_pull(index: int, t: float) -> None:
+                record = pulls[index]
                 enqueue(
-                    pulls[index].route,
+                    record.route,
                     occ[index],
                     lambda td, i=index: pull_arrived(flight, i, td),
                     t,
-                    pulls[index].name,
+                    record.name,
+                    {
+                        "phase": record.phase,
+                        "worker": record.worker,
+                        "update": e.update,
+                    },
                 )
 
             def release_ready(now_t: float) -> None:

@@ -579,6 +579,14 @@ def replay_vectorized(
     compressed_at = compressed_at_vectorized(
         batch, compute, push_cost, max_frac, overlap=overlap
     )
+    if tracer is not None:
+        from repro.netsim.scheduler import _trace_push_codec
+
+        _trace_push_codec(
+            tracer, trace_group, off, st.step,
+            push.records, compressed_at, compute, push_cost,
+            overlap=overlap,
+        )
 
     num_routes = len(batch.route_names)
     link_free = np.zeros(num_routes)
@@ -638,6 +646,7 @@ def replay_vectorized(
                     off + float(ends[k]),
                     phase=record.phase,
                     step=st.step,
+                    worker=record.worker,
                 )
         np.maximum.at(end_by_name, push.name_code[w], ends)
         # Scatter back to processing ((ready, name)-sorted) order so the
@@ -694,6 +703,7 @@ def replay_vectorized(
                     off + float(ends[k]),
                     phase=record.phase,
                     step=st.step,
+                    worker=record.worker,
                 )
         np.maximum.at(end_by_name, pull.name_code[w], ends)
         proc_end = np.empty_like(ends)

@@ -12,6 +12,10 @@ Chrome trace, JSONL metric rows, or a text summary.
 ``NULL_TELEMETRY`` is the shared disabled session: every instrument it
 hands out is a no-op, so instrumented code paths can hold an
 unconditional reference and stay overhead-free when telemetry is off.
+
+The :mod:`repro.telemetry.analysis` subpackage consumes what this layer
+records: critical-path attribution and bottleneck reports, trace
+diffing, and live Prometheus/NDJSON exposition.
 """
 
 from __future__ import annotations

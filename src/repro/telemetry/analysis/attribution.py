@@ -1,0 +1,428 @@
+"""Critical-path attribution: step time → exhaustive cost buckets.
+
+The simulators trace every piece of work they schedule (compute,
+per-record codec slots, per-link transfers, server serialization,
+outage floors) as closed spans on named tracks. Attribution partitions
+each step's time window into elementary slices at every span boundary
+and charges each slice to exactly one bucket:
+
+``compute``
+    some worker's backward pass is running;
+``codec``
+    no compute, but compression / decompression / server apply work is;
+``wire:<route>``
+    only transfers are in flight — the slice charges the transfer that
+    *ends last* (the one on the critical path out of the slice);
+``outage:<route>``
+    nothing productive is scheduled and an injected outage floor is
+    holding a route down;
+``barrier_wait``
+    nothing at all is scheduled — pure dependency / barrier stall.
+
+Because the buckets partition the window, their sums reconcile with
+the simulated step time **by construction** (to float addition error,
+well under the 1e-6 the CI gate asserts). That makes the ranked
+report trustworthy: a bucket's share *is* its share of the step.
+
+Step windows come from span ``step`` args: consecutive steps lay out
+contiguously on the simulators' trace clocks (``trace_offset``), so
+step *k*'s window runs from its earliest span start to step *k+1*'s.
+Traces without step args (per-update event streams) attribute as one
+window spanning the whole run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.utils.format import format_table
+
+__all__ = [
+    "RunAttribution",
+    "StepAttribution",
+    "TraceSpan",
+    "attribute_group",
+    "attribute_trace",
+    "bottleneck_report",
+    "classify",
+    "load_chrome_trace",
+    "report_text",
+    "spans_from_chrome",
+    "spans_from_tracer",
+]
+
+REPORT_SCHEMA = "repro.bottleneck-report/v1"
+
+#: Lower number wins when spans of several kinds cover one slice.
+_PRIORITY = {"compute": 0, "codec": 1, "wire": 2, "barrier": 3, "outage": 4}
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One closed span, loader-normalized to seconds.
+
+    ``group`` is the emitting component (Chrome process, minus any
+    session label prefix), ``track`` the timeline it rode on.
+    """
+
+    group: str
+    track: str
+    name: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def load_chrome_trace(path) -> dict:
+    """Read a Chrome ``traceEvents`` JSON file."""
+    return json.loads(Path(path).read_text())
+
+
+def spans_from_chrome(data: dict) -> list[TraceSpan]:
+    """Complete (``"X"``) events of a Chrome trace as :class:`TraceSpan`.
+
+    Process / thread names come from the ``"M"`` metadata events the
+    exporter writes; microsecond timestamps convert back to seconds.
+    """
+    events = data.get("traceEvents") or []
+    process_of: dict[int, str] = {}
+    track_of: dict[tuple[int, int], str] = {}
+    spans: list[TraceSpan] = []
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            name = (event.get("args") or {}).get("name", "")
+            if event.get("name") == "process_name":
+                process_of[event["pid"]] = name
+            elif event.get("name") == "thread_name":
+                track_of[(event["pid"], event["tid"])] = name
+        elif phase == "X":
+            pid, tid = event["pid"], event["tid"]
+            start = float(event["ts"]) / 1e6
+            end = start + float(event.get("dur", 0.0)) / 1e6
+            spans.append(
+                TraceSpan(
+                    group=process_of.get(pid, f"pid{pid}"),
+                    track=track_of.get((pid, tid), f"tid{tid}"),
+                    name=str(event.get("name", "")),
+                    start=start,
+                    end=end,
+                    args=dict(event.get("args") or {}),
+                )
+            )
+    return spans
+
+
+def spans_from_tracer(tracer, label: str = "") -> list[TraceSpan]:
+    """A live :class:`~repro.telemetry.tracing.Tracer`'s spans.
+
+    ``label`` prefixes group names the way the Chrome exporter prefixes
+    process names, so live and exported attributions key identically.
+    """
+    prefix = f"{label}:" if label else ""
+    return [
+        TraceSpan(
+            group=f"{prefix}{span.group}",
+            track=span.track,
+            name=span.name,
+            start=span.start,
+            end=span.end,
+            args=dict(span.args),
+        )
+        for span in tracer.spans
+    ]
+
+
+def classify(track: str, name: str) -> tuple[str, str]:
+    """Map a span's (track, name) to ``(kind, bucket)``.
+
+    ``kind`` drives slice priority (see module docstring); ``bucket``
+    is the report key — per-route for wire and outage kinds.
+    """
+    if track.startswith("link:"):
+        route = track[len("link:"):]
+        return "wire", f"wire:{route}"
+    if track.startswith("outage:"):
+        route = track[len("outage:"):]
+        return "outage", f"outage:{route}"
+    if track.startswith("codec"):
+        return "codec", "codec"
+    if track.startswith("server"):
+        return "codec", "codec"
+    if track == "compute":
+        # The replay's shared compute track carries "backward" plus the
+        # serialized pull decode.
+        return ("compute", "compute") if name.startswith("backward") else (
+            "codec", "codec"
+        )
+    if track.startswith(("worker", "rack")):
+        if name.startswith("compute"):
+            return "compute", "compute"
+        if "wait" in name:
+            return "barrier", "barrier_wait"
+        # compress / push-compress / pull-decompress
+        return "codec", "codec"
+    return "barrier", "barrier_wait"
+
+
+def _rack_of(track: str) -> str | None:
+    """Rack label for a track, when one is encoded in its route/name."""
+    for prefix in ("link:", "outage:"):
+        if track.startswith(prefix):
+            track = track[len(prefix):]
+            break
+    if track.startswith("cross:"):
+        track = track[len("cross:"):]
+    if track.startswith("rack"):
+        suffix = track[len("rack"):]
+        if suffix.isdigit():
+            return f"rack{suffix}"
+    return None
+
+
+@dataclass(frozen=True)
+class StepAttribution:
+    """One step window's exhaustive decomposition."""
+
+    step: int | None
+    start: float
+    end: float
+    buckets: dict[str, float]
+
+    @property
+    def total_seconds(self) -> float:
+        return self.end - self.start
+
+    @property
+    def reconciliation_error(self) -> float:
+        return abs(sum(self.buckets.values()) - self.total_seconds)
+
+
+@dataclass(frozen=True)
+class RunAttribution:
+    """One trace group's attribution across every step window."""
+
+    group: str
+    steps: tuple[StepAttribution, ...]
+    per_worker: dict[str, dict[str, float]]
+    per_rack: dict[str, dict[str, float]]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(step.total_seconds for step in self.steps)
+
+    @property
+    def buckets(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for step in self.steps:
+            for bucket, seconds in step.buckets.items():
+                totals[bucket] = totals.get(bucket, 0.0) + seconds
+        return totals
+
+    @property
+    def max_reconciliation_error(self) -> float:
+        return max(
+            (step.reconciliation_error for step in self.steps), default=0.0
+        )
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Buckets by descending seconds (the bottleneck order)."""
+        return sorted(self.buckets.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def _step_windows(spans: list[TraceSpan]) -> list[tuple[int | None, float, float]]:
+    """Derive ``(step, start, end)`` windows covering the group's clock.
+
+    Steps tile contiguously (the simulators advance ``trace_offset`` by
+    each step's duration), so window *k* ends where *k+1* begins; the
+    last window ends at the group's latest span end. Spans without a
+    ``step`` arg fall into whichever window contains them.
+    """
+    starts: dict[int, float] = {}
+    for span in spans:
+        step = span.args.get("step")
+        if isinstance(step, int):
+            starts[step] = min(starts.get(step, span.start), span.start)
+    trace_end = max((span.end for span in spans), default=0.0)
+    if not starts:
+        trace_start = min((span.start for span in spans), default=0.0)
+        return [(None, trace_start, trace_end)]
+    ordered = sorted(starts)
+    windows: list[tuple[int | None, float, float]] = []
+    for index, step in enumerate(ordered):
+        begin = starts[step]
+        end = starts[ordered[index + 1]] if index + 1 < len(ordered) else trace_end
+        windows.append((step, begin, max(begin, end)))
+    return windows
+
+
+def _attribute_window(
+    spans: list[TraceSpan], begin: float, end: float
+) -> dict[str, float]:
+    """Exact partition of ``[begin, end]`` into bucket seconds.
+
+    Every span boundary inside the window cuts an elementary slice;
+    each slice charges the highest-priority active kind (wire slices
+    charge the active transfer ending last — the one the critical path
+    exits through). Uncovered slices are barrier waits.
+    """
+    clipped: list[tuple[float, float, str, str, float]] = []
+    for span in spans:
+        lo = max(span.start, begin)
+        hi = min(span.end, end)
+        if hi <= lo:
+            continue
+        kind, bucket = classify(span.track, span.name)
+        # A wire slice charges the transfer ending last; keep the
+        # span's true end (not the clipped end) as the tie-breaker key.
+        clipped.append((lo, hi, kind, bucket, span.end))
+    if end <= begin:
+        return {}
+    cuts = {begin, end}
+    for lo, hi, _, _, _ in clipped:
+        cuts.add(lo)
+        cuts.add(hi)
+    edges = sorted(cuts)
+    buckets: dict[str, float] = {}
+    for lo, hi in zip(edges, edges[1:]):
+        if hi <= lo:
+            continue
+        # Every span endpoint is a cut, so a span either covers this
+        # whole elementary slice or none of it.
+        best: tuple[int, float, str] | None = None
+        for s_lo, s_hi, kind, bucket, true_end in clipped:
+            if s_lo > lo or s_hi < hi:
+                continue
+            # Within one priority class prefer the span ending last
+            # (meaningful for wire; harmless elsewhere).
+            key = (_PRIORITY[kind], -true_end, bucket)
+            if best is None or key < best:
+                best = key
+        bucket = best[2] if best is not None else "barrier_wait"
+        buckets[bucket] = buckets.get(bucket, 0.0) + (hi - lo)
+    return buckets
+
+
+def attribute_group(spans: list[TraceSpan], group: str) -> RunAttribution:
+    """Attribute one group's spans across its step windows."""
+    mine = [span for span in spans if span.group == group]
+    windows = _step_windows(mine)
+    steps = tuple(
+        StepAttribution(
+            step=step,
+            start=begin,
+            end=end,
+            buckets=_attribute_window(mine, begin, end),
+        )
+        for step, begin, end in windows
+    )
+    # Busy-seconds rollups (span-duration sums, not a partition): which
+    # worker / rack each bucket's work belongs to.
+    per_worker: dict[str, dict[str, float]] = {}
+    per_rack: dict[str, dict[str, float]] = {}
+    for span in mine:
+        _, bucket = classify(span.track, span.name)
+        worker = span.args.get("worker")
+        if worker is None and span.track.startswith("worker"):
+            suffix = span.track[len("worker"):]
+            if suffix.isdigit():
+                worker = int(suffix)
+        if worker is not None:
+            row = per_worker.setdefault(f"worker{worker}", {})
+            row[bucket] = row.get(bucket, 0.0) + span.duration
+        rack = _rack_of(span.track)
+        if rack is not None:
+            row = per_rack.setdefault(rack, {})
+            row[bucket] = row.get(bucket, 0.0) + span.duration
+    return RunAttribution(
+        group=group, steps=steps, per_worker=per_worker, per_rack=per_rack
+    )
+
+
+def attribute_trace(data_or_spans) -> list[RunAttribution]:
+    """Attribute every group of a Chrome trace (or span list).
+
+    Groups are attributed in first-appearance order; empty groups are
+    skipped.
+    """
+    if isinstance(data_or_spans, dict):
+        spans = spans_from_chrome(data_or_spans)
+    else:
+        spans = list(data_or_spans)
+    groups: list[str] = []
+    for span in spans:
+        if span.group not in groups:
+            groups.append(span.group)
+    return [attribute_group(spans, group) for group in groups]
+
+
+def bottleneck_report(
+    attributions: list[RunAttribution], *, top: int = 5
+) -> dict:
+    """JSON-ready ranked bottleneck report (``repro.bottleneck-report/v1``)."""
+    sessions = []
+    for attribution in attributions:
+        total = attribution.total_seconds
+        ranked = attribution.ranked()
+        sessions.append(
+            {
+                "group": attribution.group,
+                "total_seconds": total,
+                "buckets": dict(ranked),
+                "bottlenecks": [
+                    {
+                        "bucket": bucket,
+                        "seconds": seconds,
+                        "share": (seconds / total) if total > 0 else 0.0,
+                    }
+                    for bucket, seconds in ranked[:top]
+                ],
+                "steps": [
+                    {
+                        "step": step.step,
+                        "start": step.start,
+                        "end": step.end,
+                        "total_seconds": step.total_seconds,
+                        "buckets": step.buckets,
+                    }
+                    for step in attribution.steps
+                ],
+                "per_worker": attribution.per_worker,
+                "per_rack": attribution.per_rack,
+                "reconciliation": {
+                    "max_abs_error": attribution.max_reconciliation_error,
+                },
+            }
+        )
+    return {"schema": REPORT_SCHEMA, "sessions": sessions}
+
+
+def report_text(report: dict, *, top: int = 5) -> str:
+    """Table rendering of a bottleneck report (harness / CLI output)."""
+    sections = []
+    for session in report.get("sessions", []):
+        total = session["total_seconds"]
+        rows = [
+            [
+                entry["bucket"],
+                f"{entry['seconds']:.6f}",
+                f"{100.0 * entry['share']:.1f}%",
+            ]
+            for entry in session["bottlenecks"][:top]
+        ]
+        title = (
+            f"Bottlenecks: {session['group']} "
+            f"({total:.6f} s over {len(session['steps'])} windows)"
+        )
+        sections.append(
+            format_table(["Bucket", "Seconds", "Share"], rows, title=title)
+        )
+    if not sections:
+        return "Bottleneck report: no attributable groups"
+    return "\n\n".join(sections)

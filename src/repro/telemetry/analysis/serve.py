@@ -1,0 +1,236 @@
+"""Live metrics exposition over stdlib HTTP (no dependencies).
+
+:class:`MetricsServer` wraps a ``ThreadingHTTPServer`` on a daemon
+thread, reading the harness's live ``telemetry_sessions`` list through
+a provider callable — runs appear on the endpoints as the sweep
+executes them, no registration step.
+
+Endpoints:
+
+``GET /metrics``
+    Prometheus text exposition format 0.0.4. Every registry series
+    (``wire_bytes{phase=push,scheme=3lc}``) renders with its labels
+    plus a ``session`` label; histograms expand to cumulative
+    ``_bucket`` / ``_sum`` / ``_count`` series.
+``GET /stream``
+    NDJSON feed: one JSON object per recorded step snapshot, then
+    follow-mode — new snapshots stream as runs record them (0.2 s
+    poll). Closes when the client disconnects or the server stops.
+``GET /``
+    Tiny plain-text index of the two endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.telemetry.metrics import Gauge, Histogram
+
+__all__ = ["MetricsServer", "prometheus_text"]
+
+
+def _parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`~repro.telemetry.metrics.series_key`."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{label}="{_escape(value)}"' for label, value in sorted(labels.items())
+    )
+    return f"{{{inner}}}"
+
+
+def _bound_of(bucket_key: str) -> float:
+    """Upper bound of a snapshot bucket key (``le=0.5`` / ``gt=1024``)."""
+    _, _, text = bucket_key.partition("=")
+    return float(text)
+
+
+def prometheus_text(sessions) -> str:
+    """Render labeled sessions as Prometheus exposition format 0.0.4.
+
+    ``sessions`` is an iterable of ``(label, Telemetry-or-registry)``
+    pairs (the harness's ``telemetry_sessions`` list). Series names
+    collect across sessions under one ``# TYPE`` header; the session
+    label keeps same-named series distinct.
+    """
+    by_name: dict[str, list[str]] = {}
+    kind_of: dict[str, str] = {}
+    for label, session in sessions:
+        registry = getattr(session, "registry", session)
+        snapshot = registry.snapshot()
+        for kind, series in (
+            ("counter", snapshot["counters"]),
+            ("gauge", snapshot["gauges"]),
+            ("histogram", snapshot["histograms"]),
+        ):
+            for key, value in series.items():
+                name, labels = _parse_series_key(key)
+                if label:
+                    labels = {**labels, "session": label}
+                kind_of.setdefault(name, kind)
+                lines = by_name.setdefault(name, [])
+                if kind == "histogram":
+                    cumulative = 0
+                    # Snapshot buckets are per-bin occupancy in bound
+                    # order; Prometheus wants cumulative le= counts.
+                    finite = sorted(
+                        (
+                            (bucket, count)
+                            for bucket, count in value["buckets"].items()
+                            if bucket.startswith("le=")
+                        ),
+                        key=lambda item: _bound_of(item[0]),
+                    )
+                    for bucket, count in finite:
+                        cumulative += count
+                        bucket_labels = {**labels, "le": f"{_bound_of(bucket):g}"}
+                        lines.append(
+                            f"{name}_bucket{_labels_text(bucket_labels)}"
+                            f" {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_labels_text({**labels, 'le': '+Inf'})}"
+                        f" {value['count']}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_labels_text(labels)} {value['sum']:g}"
+                    )
+                    lines.append(
+                        f"{name}_count{_labels_text(labels)} {value['count']}"
+                    )
+                else:
+                    lines.append(f"{name}{_labels_text(labels)} {value:g}")
+    out: list[str] = []
+    for name in sorted(by_name):
+        out.append(f"# TYPE {name} {kind_of[name]}")
+        out.extend(by_name[name])
+    return "\n".join(out) + "\n" if out else "\n"
+
+
+def _snapshot_rows(sessions) -> list[dict]:
+    """Flattened step-snapshot rows across sessions, in record order."""
+    rows: list[dict] = []
+    for label, session in sessions:
+        for index, snapshot in enumerate(
+            getattr(session, "step_snapshots", ())
+        ):
+            rows.append({"session": label, "seq": index, **snapshot})
+    return rows
+
+
+class MetricsServer:
+    """Background exposition server over a live session-list provider.
+
+    ``provider`` returns the current ``[(label, Telemetry)]`` list on
+    every request, so sessions appended mid-sweep show up immediately.
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports
+    the bound one.
+    """
+
+    def __init__(self, provider, *, host: str = "127.0.0.1", port: int = 0):
+        self._provider = provider
+        self._stopping = threading.Event()
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, format, *args):  # noqa: A002 - stdlib name
+                pass  # exposition is quiet; the harness owns stdout
+
+            def _send(self, status: int, content_type: str, body: bytes):
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                if self.path.split("?")[0] == "/metrics":
+                    body = prometheus_text(outer._provider()).encode()
+                    self._send(
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        body,
+                    )
+                elif self.path.split("?")[0] == "/stream":
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/x-ndjson")
+                    self.end_headers()
+                    sent = 0
+                    try:
+                        while not outer._stopping.is_set():
+                            rows = _snapshot_rows(outer._provider())
+                            for row in rows[sent:]:
+                                self.wfile.write(
+                                    json.dumps(row).encode() + b"\n"
+                                )
+                            if len(rows) > sent:
+                                self.wfile.flush()
+                                sent = len(rows)
+                            outer._stopping.wait(0.2)
+                    except (BrokenPipeError, ConnectionResetError):
+                        pass
+                elif self.path == "/":
+                    self._send(
+                        200,
+                        "text/plain; charset=utf-8",
+                        b"repro metrics exposition\n"
+                        b"  /metrics  Prometheus text format\n"
+                        b"  /stream   NDJSON step-snapshot feed\n",
+                    )
+                else:
+                    self._send(404, "text/plain", b"not found\n")
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

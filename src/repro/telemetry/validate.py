@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.telemetry.validate trace.json [more.json ...]
+    python -m repro.telemetry.validate [--strict] trace.json [more.json ...]
 
 Validates the ``traceEvents`` object format structurally — required
 keys, known phases, non-negative microsecond timestamps/durations — and
@@ -11,6 +11,13 @@ fails on unclosed spans: every ``"B"`` begin event must have a matching
 emits complete ``"X"`` events and refuses to export a tracer with
 dangling ``begin()`` calls, so this doubles as an end-to-end check that
 nothing upstream leaked an open span into the file.)
+
+``--strict`` adds per-track discipline checks: overlapping complete
+spans on one ``(pid, tid)`` track, and ``"X"`` timestamps that go
+backwards in file order on one track. Strict stays **opt-in** because
+some legitimate tracks interleave concurrent work (e.g. a shared
+server track serving several racks), and emission order within a
+replayed step follows schedule order, not strictly time order.
 """
 
 from __future__ import annotations
@@ -26,7 +33,12 @@ _REQUIRED_KEYS = ("name", "ph", "pid", "tid")
 _KNOWN_PHASES = frozenset("XMBEiC")
 
 
-def validate_chrome_trace(data) -> list[str]:
+#: Overlap slack in microseconds: spans touching at a shared boundary
+#: (end == next start) are not overlapping.
+_STRICT_OVERLAP_SLACK_US = 1e-3
+
+
+def validate_chrome_trace(data, *, strict: bool = False) -> list[str]:
     """Return a list of schema violations (empty means valid)."""
     errors: list[str] = []
     if not isinstance(data, dict):
@@ -36,6 +48,8 @@ def validate_chrome_trace(data) -> list[str]:
         return ["missing or non-list 'traceEvents'"]
     if not events:
         errors.append("'traceEvents' is empty")
+    complete: dict[tuple, list[tuple[float, float, str, int]]] = {}
+    last_ts: dict[tuple, tuple[float, int]] = {}
     open_stacks: dict[tuple, list[str]] = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
@@ -58,6 +72,20 @@ def validate_chrome_trace(data) -> list[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(f"{where}: bad 'dur' {dur!r} (want number >= 0)")
+            elif strict and isinstance(event.get("ts"), (int, float)):
+                track = (event["pid"], event["tid"])
+                ts = float(event["ts"])
+                complete.setdefault(track, []).append(
+                    (ts, ts + float(dur), str(event["name"]), index)
+                )
+                prev = last_ts.get(track)
+                if prev is not None and ts < prev[0]:
+                    errors.append(
+                        f"{where}: out-of-order 'ts' {ts:g} on "
+                        f"pid={track[0]} tid={track[1]} (follows "
+                        f"traceEvents[{prev[1]}] at ts {prev[0]:g})"
+                    )
+                last_ts[track] = (ts, index)
         elif phase == "B":
             open_stacks.setdefault((event["pid"], event["tid"]), []).append(
                 str(event["name"])
@@ -71,12 +99,28 @@ def validate_chrome_trace(data) -> list[str]:
     for (pid, tid), stack in sorted(open_stacks.items()):
         for name in stack:
             errors.append(f"unclosed span {name!r} on pid={pid} tid={tid}")
+    if strict:
+        for (pid, tid), spans in sorted(complete.items()):
+            spans.sort()
+            for (s0, e0, n0, i0), (s1, e1, n1, i1) in zip(spans, spans[1:]):
+                if s1 < e0 - _STRICT_OVERLAP_SLACK_US:
+                    errors.append(
+                        f"overlapping spans on pid={pid} tid={tid}: "
+                        f"{n0!r} (traceEvents[{i0}], ends {e0:g}) overlaps "
+                        f"{n1!r} (traceEvents[{i1}], starts {s1:g})"
+                    )
     return errors
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="+", metavar="TRACE.json", type=Path)
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also flag overlapping spans and backwards timestamps "
+        "per track (opt-in: concurrent shared tracks overlap "
+        "legitimately)",
+    )
     args = parser.parse_args(argv)
     status = 0
     for path in args.paths:
@@ -86,7 +130,7 @@ def main(argv=None) -> int:
             print(f"{path}: unreadable trace: {error}")
             status = 1
             continue
-        errors = validate_chrome_trace(data)
+        errors = validate_chrome_trace(data, strict=args.strict)
         if errors:
             status = 1
             print(f"{path}: INVALID ({len(errors)} problems)")

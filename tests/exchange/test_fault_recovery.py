@@ -258,10 +258,11 @@ class TestUplinkFlap:
         assert summary["flaps"] == 1 and summary["rejoins"] == 1
         assert summary["degraded_steps"] == 2
         assert summary["resync_bytes"] > 0
-        # The rejoin step's recorded plan floors the cross routes.
+        # The rejoin step's recorded plan floors only the rejoined
+        # rack's own uplink, not the other racks' routes.
         flooded = [st for st in engine.transmissions if st.link_down]
         assert len(flooded) == 1 and flooded[0].step == 4
-        assert flooded[0].link_down == (("cross", 0.5),)
+        assert flooded[0].link_down == (("cross:rack1", 0.5),)
         assert all(np.isfinite(l) for l in losses(engine))
 
     def test_degraded_rack_keeps_training(self):

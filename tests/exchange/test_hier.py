@@ -155,22 +155,27 @@ class TestRecording:
         engine.train(2)
         st = engine.transmissions[0]
         routes = {r.route for r in st.records}
-        assert routes == {"rack0", "rack1", "cross"}
+        assert routes == {"rack0", "rack1", "cross:rack0", "cross:rack1"}
         cross_pushes = [r for r in st.records if r.phase == "push"]
         assert cross_pushes and all(
             r.depends_on == (f"{r.params[0]}@rack{r.worker // 2}",)
+            and r.route == f"cross:rack{r.worker // 2}"
             for r in cross_pushes
         )
         broadcasts = [
             r for r in st.records if r.phase == "pull" and r.depends_on
         ]
-        shared = [
+        downs = [
             r for r in st.records if r.phase == "pull" and not r.depends_on
         ]
-        assert shared and all(r.copies == 2 and r.frames == 2 for r in shared)
-        # One broadcast per rack per pulled tensor, riding the rack ring.
-        assert len(broadcasts) == 2 * len(shared)
+        # One pull copy per rack down that rack's own uplink...
+        assert downs and all(r.copies == 1 and r.frames == 1 for r in downs)
+        assert {r.route for r in downs} == {"cross:rack0", "cross:rack1"}
+        # ...then one broadcast per rack per pulled tensor, riding the
+        # rack ring and depending on its rack's down copy.
+        assert len(broadcasts) == len(downs)
         assert all(r.route.startswith("rack") for r in broadcasts)
+        assert all(len(r.depends_on) == 1 for r in broadcasts)
 
     def test_async_updates_are_rack_granular(self):
         engine = make_engine(
@@ -194,7 +199,8 @@ class TestRecording:
                 r for r in e.records if r.phase == "pull" and r.depends_on
             ]
             assert len(downs) == len(bcasts)
-            assert all(r.route == "cross" for r in downs)
+            # Each rack's individual pull rides its own uplink.
+            assert all(r.route == f"cross:rack{e.worker}" for r in downs)
 
     def test_ssp_staleness_observed_at_rack_granularity(self):
         from repro.distributed import StragglerSpec

@@ -278,11 +278,11 @@ class TestFusedHierParity:
         assert ups
         for record in ups:
             rack = int(record.name.split("@up")[1])
-            assert record.route == "cross"
+            assert record.route == f"cross:rack{rack}"
             assert set(record.depends_on) == {
                 f"{name}@rack{rack}" for name in record.params
             }
-        shared = [
+        downs = [
             r for r in st.records
             if r.phase == "pull"
             and r.name.startswith("bucket:")
@@ -292,7 +292,10 @@ class TestFusedHierParity:
             r for r in st.records
             if r.phase == "pull" and r.name.startswith("bucket:") and r.depends_on
         ]
-        assert shared and len(bcasts) == 2 * len(shared)
+        # One down copy per rack per bucket on that rack's own uplink,
+        # each feeding exactly one rack-ring broadcast.
+        assert downs and len(bcasts) == len(downs)
+        assert {r.route for r in downs} == {"cross:rack0", "cross:rack1"}
 
 
 class TestGoldenFusedTrace:

@@ -275,9 +275,11 @@ class TestHierarchicalHarness:
         assert result.achieved_overlap is not None
         assert result.link_utilization is not None
         utilization = result.link_utilization["10Mbps"]
-        assert set(utilization) == {"rack0", "rack1", "cross"}
+        assert set(utilization) == {
+            "rack0", "rack1", "cross:rack0", "cross:rack1",
+        }
         # The 10x-scarcer core is the busy tier.
-        assert utilization["cross"] > utilization["rack0"]
+        assert utilization["cross:rack0"] > utilization["rack0"]
         meter = result.traffic
         assert meter.total_cross_rack_bytes > 0
         assert (
@@ -332,7 +334,9 @@ class TestHierarchicalHarness:
         throughput = result.per_worker_throughput["10Mbps"]
         assert set(throughput) == {0, 1}
         utilization = result.link_utilization["10Mbps"]
-        assert set(utilization) == {"rack0", "rack1", "cross"}
+        assert set(utilization) == {
+            "rack0", "rack1", "cross:rack0", "cross:rack1",
+        }
         assert sum(result.staleness_distribution.values()) == result.steps
 
     def test_config_rejects_mismatched_rack_shape(self):

@@ -196,7 +196,7 @@ class TestOutageReplay:
         engine = train_faulted("hier", fault)
         flooded = [st for st in engine.transmissions if st.link_down]
         assert len(flooded) == 1 and flooded[0].step == 4
-        assert flooded[0].link_down == (("cross", 0.4),)
+        assert flooded[0].link_down == (("cross:rack1", 0.4),)
 
         lm = link_model_for("hier", link("100Mbps"), racks=2, rack_size=2)
         # One timeline for both cores: profile_backward measures real

@@ -1,0 +1,367 @@
+"""Analysis-layer tests: attribution reconciliation across the topology ×
+sync-mode matrix, trace diffing with fault localization, and the live
+exposition endpoints.
+
+The acceptance invariant: attribution is an exact partition of each
+step window, so bucket sums equal the simulated step time to 1e-6 on
+every topology (single / sharded / ring / hier) under every sync mode
+(bsp / async / ssp)."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.compression import make_compressor
+from repro.data import DatasetSpec, SyntheticImageDataset
+from repro.distributed.faults import FaultSpec, UplinkFlap
+from repro.exchange import EngineConfig, ExchangeEngine
+from repro.harness.config import FAST_CONFIG
+from repro.harness.runner import ExperimentRunner
+from repro.netsim import (
+    EventDrivenSimulator,
+    NetworkSimulator,
+    link_model_for,
+    updates_from_bsp_steps,
+)
+from repro.network.bandwidth import link
+from repro.network.timing import StepTimeModel
+from repro.nn import CosineDecay, build_resnet
+from repro.nn.stats import profile_backward
+from repro.telemetry import Telemetry, Tracer
+from repro.telemetry.analysis import (
+    attribute_group,
+    attribute_trace,
+    bottleneck_report,
+    diff_report,
+    diff_text,
+    prometheus_text,
+    report_text,
+    spans_from_chrome,
+    spans_from_tracer,
+    MetricsServer,
+)
+from repro.telemetry.export import chrome_trace
+
+TIME_MODEL = StepTimeModel(
+    overlap=0.0, per_message_overhead=25e-6, compute_scale=0.05, codec_scale=0.5
+)
+
+
+def train_engine(topology="single", sync_mode="bsp", steps=4, fault=None, **overrides):
+    config = dict(
+        num_workers=2,
+        batch_size=8,
+        shard_size=32,
+        seed=0,
+        topology=topology,
+        sync_mode=sync_mode,
+        record_transmissions=True,
+        fixed_compute_seconds=0.05,
+    )
+    if topology == "hier":
+        config.update(num_workers=4, racks=2, rack_size=2)
+    if topology == "sharded":
+        config.update(num_shards=2)
+    if sync_mode == "ssp":
+        config.update(staleness=1)
+    if fault is not None:
+        config.update(fault=fault)
+    config.update(overrides)
+    engine = ExchangeEngine(
+        lambda: build_resnet(8, base_width=4, seed=1),
+        SyntheticImageDataset(DatasetSpec(image_size=12, seed=0)),
+        make_compressor("3LC (s=1.00)", seed=0),
+        CosineDecay(0.05, steps),
+        EngineConfig(**config),
+    )
+    engine.train(steps)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    model = build_resnet(8, base_width=4, seed=1)
+    dataset = SyntheticImageDataset(DatasetSpec(image_size=12, seed=0))
+    return profile_backward(model, *dataset.train_shard(0, 8))
+
+
+def _link_model(topology):
+    return link_model_for(
+        topology,
+        link("100Mbps"),
+        num_shards=2,
+        num_workers=2,
+        racks=2,
+        rack_size=2,
+        cross_bw_fraction=0.1,
+    )
+
+
+def _trace_bsp(engine, timeline, topology, *, vectorized=True, fault=False):
+    tracer = Tracer()
+    sim = NetworkSimulator(
+        timeline,
+        _link_model(topology),
+        TIME_MODEL,
+        overlap=True,
+        vectorized=vectorized,
+        tracer=tracer,
+        trace_group="sim",
+    )
+    run = sim.simulate_run(engine.transmissions)
+    return tracer, run
+
+
+class TestAttributionReconciles:
+    """Bucket sums == simulated step time to 1e-6, full matrix."""
+
+    @pytest.mark.parametrize("topology", ["single", "sharded", "ring", "hier"])
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_bsp_step_windows(self, topology, vectorized, timeline):
+        engine = train_engine(topology)
+        tracer, run = _trace_bsp(
+            engine, timeline, topology, vectorized=vectorized
+        )
+        attribution = attribute_group(spans_from_tracer(tracer), "sim")
+        assert len(attribution.steps) == len(run.steps)
+        for window, st in zip(attribution.steps, run.steps):
+            assert window.step == st.step
+            assert window.total_seconds == pytest.approx(
+                st.step_seconds, abs=1e-6
+            )
+            assert window.reconciliation_error <= 1e-6
+            assert sum(window.buckets.values()) == pytest.approx(
+                st.step_seconds, abs=1e-6
+            )
+        assert attribution.total_seconds == pytest.approx(
+            sum(st.step_seconds for st in run.steps), abs=1e-6
+        )
+
+    @pytest.mark.parametrize(
+        "topology,sync_mode",
+        [
+            ("single", "async"),
+            ("single", "ssp"),
+            ("sharded", "async"),
+            ("sharded", "ssp"),
+            ("ring", "async"),
+            ("ring", "ssp"),
+            ("hier", "async"),
+            ("hier", "ssp"),
+        ],
+    )
+    def test_event_driven_single_window(self, topology, sync_mode, timeline):
+        if topology == "ring":
+            # The ring is a synchronous collective: its event-mode
+            # coverage rides the staleness-0 fold of a BSP recording
+            # (the same bridge the event core's parity anchor walks).
+            engine = train_engine(topology, steps=4)
+            events = updates_from_bsp_steps(engine.transmissions, 2)
+        else:
+            engine = train_engine(topology, sync_mode=sync_mode, steps=4)
+            events = engine.update_events
+        tracer = Tracer()
+        sim = EventDrivenSimulator(
+            timeline,
+            _link_model(topology),
+            TIME_MODEL,
+            staleness=1 if sync_mode == "ssp" else None,
+            overlap=True,
+            tracer=tracer,
+            trace_group="sim",
+        )
+        exchange = sim.simulate(events)
+        attribution = attribute_group(spans_from_tracer(tracer), "sim")
+        # Per-update streams carry no step args: one window spans the run.
+        assert len(attribution.steps) == 1
+        window = attribution.steps[0]
+        assert window.reconciliation_error <= 1e-6
+        assert window.end == pytest.approx(exchange.total_seconds, abs=1e-6)
+
+    def test_hier_buckets_name_both_tiers(self, timeline):
+        engine = train_engine("hier")
+        tracer, _ = _trace_bsp(engine, timeline, "hier")
+        buckets = attribute_group(spans_from_tracer(tracer), "sim").buckets
+        assert buckets.get("compute", 0.0) > 0.0
+        assert buckets.get("codec", 0.0) > 0.0
+        assert any(key.startswith("wire:rack") for key in buckets)
+        assert any(key.startswith("wire:cross:rack") for key in buckets)
+
+    def test_chrome_round_trip_attributes_identically(self, timeline):
+        engine = train_engine("hier")
+        tracer, _ = _trace_bsp(engine, timeline, "hier")
+        live = attribute_group(spans_from_tracer(tracer), "sim")
+        exported = chrome_trace(tracer)
+        loaded = attribute_group(spans_from_chrome(exported), "sim")
+        # Chrome rides microsecond floats: boundary coincidences can
+        # split into hairline slices, so compare values (not key sets)
+        # inside the reconciliation budget.
+        for bucket in live.buckets.keys() | loaded.buckets.keys():
+            assert loaded.buckets.get(bucket, 0.0) == pytest.approx(
+                live.buckets.get(bucket, 0.0), abs=1e-6
+            )
+
+
+class TestBottleneckReport:
+    def test_schema_and_ranking(self, timeline):
+        engine = train_engine("hier")
+        tracer, _ = _trace_bsp(engine, timeline, "hier")
+        report = bottleneck_report(
+            attribute_trace(spans_from_tracer(tracer)), top=3
+        )
+        assert report["schema"] == "repro.bottleneck-report/v1"
+        (session,) = report["sessions"]
+        assert session["group"] == "sim"
+        ranked = [entry["seconds"] for entry in session["bottlenecks"]]
+        assert ranked == sorted(ranked, reverse=True)
+        assert session["reconciliation"]["max_abs_error"] <= 1e-6
+        assert 0.0 < sum(e["share"] for e in session["bottlenecks"]) <= 1.0 + 1e-9
+        assert session["per_rack"]  # hier traces carry rack rollups
+        text = report_text(report, top=3)
+        assert "sim" in text and "Bucket" in text
+
+
+class TestTraceDiff:
+    def test_flapped_run_names_the_link(self, timeline):
+        clean = train_engine("hier", steps=6)
+        flapped = train_engine(
+            "hier",
+            steps=6,
+            fault=FaultSpec(
+                flaps=(
+                    UplinkFlap(
+                        rack=1, step=2, down_steps=1, rejoin_delay_seconds=0.05
+                    ),
+                )
+            ),
+        )
+        traces = {}
+        for label, engine in (("clean", clean), ("flapped", flapped)):
+            tracer, _ = _trace_bsp(engine, timeline, "hier")
+            traces[label] = chrome_trace(tracer)
+        report = diff_report(traces["clean"], traces["flapped"])
+        assert report["schema"] == "repro.trace-diff/v1"
+        (group,) = report["groups"]
+        assert group["new_outage_routes"] == ["cross:rack1"]
+        flagged = [
+            entry
+            for entry in group["regressions"]
+            if entry.get("outage_routes")
+        ]
+        assert flagged, "no regression window carries the outage"
+        assert all(
+            entry["outage_routes"] == ["cross:rack1"] for entry in flagged
+        )
+        # The rejoin step regressed and the diff localizes it.
+        worst = max(
+            (e for e in group["regressions"] if "delta_seconds" in e),
+            key=lambda e: e["delta_seconds"],
+        )
+        assert worst["delta_seconds"] > 0.0
+        assert worst["outage_routes"] == ["cross:rack1"]
+        text = diff_text(report)
+        assert "cross:rack1" in text
+
+    def test_identical_traces_diff_clean(self, timeline):
+        engine = train_engine("single")
+        tracer, _ = _trace_bsp(engine, timeline, "single")
+        data = chrome_trace(tracer)
+        report = diff_report(data, data)
+        (group,) = report["groups"]
+        assert group["delta_seconds"] == 0.0
+        assert group["new_outage_routes"] == []
+        assert all("delta_seconds" not in e for e in group["regressions"])
+
+
+def _parse_prometheus(body: str) -> dict[str, float]:
+    """Minimal exposition-format parser: sample name+labels -> value."""
+    samples = {}
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name, f"malformed sample line: {line!r}"
+        samples[name] = float(value)
+    return samples
+
+
+class TestExposition:
+    def test_prometheus_text_renders_all_kinds(self):
+        tel = Telemetry()
+        tel.registry.counter("wire_bytes", phase="push", scheme="3lc").inc(64)
+        tel.registry.gauge("loss").set(1.25)
+        tel.registry.histogram("staleness").observe(1)
+        tel.registry.histogram("staleness").observe(3)
+        body = prometheus_text([("run A", tel)])
+        samples = _parse_prometheus(body)
+        assert (
+            samples['wire_bytes{phase="push",scheme="3lc",session="run A"}']
+            == 64.0
+        )
+        assert samples['loss{session="run A"}'] == 1.25
+        assert samples['staleness_count{session="run A"}'] == 2.0
+        assert samples['staleness_sum{session="run A"}'] == 4.0
+        assert samples['staleness_bucket{le="+Inf",session="run A"}'] == 2.0
+        # Cumulative bucket counts never decrease.
+        buckets = [
+            value
+            for key, value in samples.items()
+            if key.startswith("staleness_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert "# TYPE wire_bytes counter" in body
+        assert "# TYPE staleness histogram" in body
+
+    def test_metrics_endpoint_during_live_sweep(self):
+        config = FAST_CONFIG.scaled(standard_steps=4, telemetry=True)
+        runner = ExperimentRunner(config)
+        done = threading.Event()
+
+        def sweep():
+            try:
+                runner.run("3LC (s=1.00)")
+            finally:
+                done.set()
+
+        with MetricsServer(lambda: list(runner.telemetry_sessions)) as server:
+            thread = threading.Thread(target=sweep, daemon=True)
+            thread.start()
+            # Poll /metrics while the sweep runs; the feed must parse at
+            # every point, and carry series once the run registers.
+            saw_series = False
+            while not done.is_set() or not saw_series:
+                body = (
+                    urllib.request.urlopen(f"{server.url}/metrics", timeout=10)
+                    .read()
+                    .decode()
+                )
+                samples = _parse_prometheus(body)
+                if samples:
+                    saw_series = True
+                if done.is_set() and saw_series:
+                    break
+            thread.join(timeout=30)
+            assert done.is_set()
+            body = (
+                urllib.request.urlopen(f"{server.url}/metrics", timeout=10)
+                .read()
+                .decode()
+            )
+            samples = _parse_prometheus(body)
+            assert any(key.startswith("wire_bytes") for key in samples)
+            stream = urllib.request.urlopen(f"{server.url}/stream", timeout=10)
+            first = json.loads(stream.readline())
+            stream.close()
+            assert first["session"].startswith("3LC")
+            assert "metrics" in first
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(lambda: []) as server:
+            try:
+                urllib.request.urlopen(f"{server.url}/nope", timeout=10)
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:  # pragma: no cover - fail loudly
+                pytest.fail("expected 404")
