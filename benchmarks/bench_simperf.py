@@ -262,6 +262,13 @@ def bench_config(cfg: dict, *, seed: int = 0) -> dict:
         "events": events,
         "vector_seconds": vec_seconds,
         "vector_cold_seconds": vec_cold_seconds,
+        # Cold/warm ratio: what the first replay of a recording costs
+        # relative to the steady-state sweep replay. The extraction
+        # amortization work (warm_extraction via SweepReplayCache) keeps
+        # this bounded; --check gates it against the baseline.
+        "cold_warm_ratio": (
+            vec_cold_seconds / vec_seconds if vec_seconds > 0 else float("inf")
+        ),
         "vector_events_per_sec": vec_eps,
         "scalar_steps_measured": len(scalar_plans),
         "scalar_seconds": scalar_seconds,
@@ -290,6 +297,18 @@ def check_against_baseline(rows: list[dict], baseline_path: Path) -> list[str]:
                 f"{floor:.0f} (baseline {ref['vector_events_per_sec']:.0f} "
                 f"/ {REGRESSION_FACTOR:g})"
             )
+        # Cold-extraction gate (additive: pre-ratio baselines skip it):
+        # the first replay of a recording must not get relatively more
+        # expensive than the committed cold/warm ratio allows.
+        ref_ratio = ref.get("cold_warm_ratio")
+        if ref_ratio is not None:
+            ceiling = ref_ratio * REGRESSION_FACTOR
+            if row["cold_warm_ratio"] > ceiling:
+                failures.append(
+                    f"{key}: cold/warm ratio {row['cold_warm_ratio']:.1f} > "
+                    f"{ceiling:.1f} (baseline {ref_ratio:.1f} x "
+                    f"{REGRESSION_FACTOR:g})"
+                )
     return failures
 
 
@@ -341,6 +360,7 @@ def main(argv=None) -> int:
             "events",
             "cold s",
             "vec s",
+            "cold/warm",
             "vec ev/s",
             "scalar ev/s",
             "speedup",
@@ -353,6 +373,7 @@ def main(argv=None) -> int:
                 str(r["events"]),
                 f"{r['vector_cold_seconds']:.3f}",
                 f"{r['vector_seconds']:.3f}",
+                f"{r['cold_warm_ratio']:.1f}x",
                 f"{r['vector_events_per_sec']:.0f}",
                 f"{r['scalar_events_per_sec']:.0f}",
                 f"{r['speedup']:.1f}x",

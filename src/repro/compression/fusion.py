@@ -152,6 +152,7 @@ def build_fusion_plan(
     bucket_elements: int,
     partition=None,
     lossy: bool = False,
+    boundaries: frozenset[str] | None = None,
 ) -> FusionPlan:
     """Group every below-threshold tensor into capacity-bounded buckets.
 
@@ -162,6 +163,11 @@ def build_fusion_plan(
     when the next tensor's ``partition(name)`` key differs from the open
     bucket's, so no bucket ever spans two wire destinations. Partition keys
     must be hashable; ``partition=None`` means a single unpartitioned group.
+
+    ``boundaries`` names tensors that force-close the open bucket before
+    they are packed — explicit per-layer bucket boundaries the plan tuner
+    searches over. Names not present in ``shapes`` (or above threshold)
+    are ignored, so a boundary set transfers across models.
     """
     if bucket_elements < 1:
         raise ValueError(f"bucket_elements must be >= 1, got {bucket_elements}")
@@ -197,7 +203,10 @@ def build_fusion_plan(
 
         for name, shape in members:
             size = math.prod(shape) if shape else 1
-            if names and used + size > bucket_elements:
+            if names and (
+                used + size > bucket_elements
+                or (boundaries is not None and name in boundaries)
+            ):
                 close()
             names.append(name)
             bucket_shapes.append(shape)

@@ -116,6 +116,9 @@ class EngineConfig:
     #: concatenated bucket (one shared quantization scale per bucket)
     #: instead of the exact float32 bypass. Requires ``fuse_small_tensors``.
     fuse_lossy: bool = False
+    #: Parameter names that force-close the open fusion bucket before
+    #: packing them (per-layer bucket boundaries for the plan tuner).
+    bucket_boundaries: tuple[str, ...] = ()
     #: Record transmission plans for the discrete-event network simulator.
     #: BSP steps append per-step plans to ``ExchangeEngine.transmissions``;
     #: async/SSP modes append per-update event streams (push/pull records
@@ -145,6 +148,11 @@ class EngineConfig:
             raise ValueError(
                 "fuse_lossy selects the codec mode of the fused-bucket "
                 "path; it requires fuse_small_tensors=True"
+            )
+        if self.bucket_boundaries and not self.fuse_small_tensors:
+            raise ValueError(
+                "bucket_boundaries shape the fused-bucket packing; they "
+                "require fuse_small_tensors=True"
             )
         if self.fuse_small_tensors:
             reason = fusion_incompatibility(
@@ -311,6 +319,7 @@ class ExchangeEngine:
                 threshold=config.small_tensor_threshold,
                 bucket_elements=config.bucket_elements,
                 lossy=config.fuse_lossy,
+                boundaries=frozenset(config.bucket_boundaries),
             )
 
         self.workers: list[Worker] = []

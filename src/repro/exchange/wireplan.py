@@ -61,6 +61,7 @@ def build_wire_plan(
     threshold: int,
     bucket_elements: int,
     lossy: bool = False,
+    boundaries: frozenset[str] | None = None,
 ) -> FusionPlan | None:
     """Build the topology's partition-aware fusion plan, or ``None``.
 
@@ -84,6 +85,7 @@ def build_wire_plan(
         bucket_elements=bucket_elements,
         partition=partition,
         lossy=lossy,
+        boundaries=boundaries,
     )
     return plan if plan.buckets else None
 

@@ -18,7 +18,11 @@ sizes the buckets, ``--fuse-lossy`` compresses each whole bucket through
 the scheme's codec with one shared scale); ``--sim-overlap`` times
 steps with the discrete-event network simulator (per-layer overlap,
 per-topology links — two dependent tiers for ``hier``) instead of the
-calibrated overlap constant.
+calibrated overlap constant; ``--priority smallest`` serves the
+smallest compressed gradient first inside the simulator. ``--plan
+FILE`` overlays a tuned ``repro.plan/v1`` artifact from
+``python -m repro.tuner`` (the plan's fields win, its scheme joins
+every sweep).
 
 Churn: ``--backup-workers N`` arms the paper's §2.1 backup-worker
 barrier; ``--crash W:STEP[:DOWN][:depart]`` and
@@ -271,6 +275,20 @@ def main(argv: list[str] | None = None) -> int:
         "--fuse only",
     )
     parser.add_argument(
+        "--priority", choices=["registration", "smallest"], default=None,
+        help="transmission service order inside the simulator "
+        "(simulation-side only): 'registration' (default) serves "
+        "gradients in backward-pass order, 'smallest' drains the "
+        "smallest compressed gradient first at equal readiness",
+    )
+    parser.add_argument(
+        "--plan", metavar="PATH", default=None,
+        help="load a repro.plan/v1 artifact (python -m repro.tuner) and "
+        "overlay its tuned plan on the configuration — the plan's "
+        "topology/fusion/priority fields win over flags, sim-overlap is "
+        "forced on, and the plan's scheme joins every sweep",
+    )
+    parser.add_argument(
         "--sim-overlap", action="store_true",
         help="derive per-link step times from the discrete-event network "
         "simulator (per-layer overlap scheduling, honest per-topology "
@@ -459,6 +477,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["fuse_lossy"] = True
     if args.sim_overlap:
         overrides["sim_overlap"] = True
+    if args.priority is not None:
+        overrides["transmission_priority"] = args.priority
     if (
         args.telemetry
         or args.trace_out
@@ -473,6 +493,24 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as error:
             # e.g. a worker count not divisible into racks of rack-size.
             parser.error(str(error))
+    plan_scheme = None
+    if args.plan is not None:
+        from repro.tuner.artifact import apply_plan, load_plan
+
+        try:
+            config, plan_scheme = apply_plan(config, load_plan(args.plan))
+        except OSError as error:
+            parser.error(f"--plan {args.plan}: {error}")
+        except ValueError as error:
+            # Malformed artifact, or a plan the config's cluster shape
+            # rejects (ExperimentConfig validation wording).
+            parser.error(f"--plan {args.plan}: {error}")
+        print(
+            f"loaded plan {args.plan}: scheme={plan_scheme!r} "
+            f"topology={config.topology} "
+            f"priority={config.transmission_priority} "
+            f"fuse={config.fuse_small_tensors}"
+        )
     # One sweep replay cache per invocation: commands sharing a scheme and
     # budget reuse the training recording and per-link simulations.
     runner = ExperimentRunner(config, replay_cache=SweepReplayCache())
@@ -499,6 +537,17 @@ def main(argv: list[str] | None = None) -> int:
     overview_schemes = OVERVIEW_SCHEMES
     fast_schemes = FAST_SCHEMES
     figure7_schemes = FIGURE7_SCHEMES
+    if plan_scheme is not None:
+        # The tuned scheme joins every sweep (the plan is pointless
+        # without it); deferring-scheme filtering below still applies.
+        def _with_plan(schemes: tuple[str, ...]) -> tuple[str, ...]:
+            return schemes if plan_scheme in schemes else schemes + (plan_scheme,)
+
+        table1_schemes = _with_plan(table1_schemes)
+        related_schemes = _with_plan(related_schemes)
+        overview_schemes = _with_plan(overview_schemes)
+        fast_schemes = _with_plan(fast_schemes)
+        figure7_schemes = _with_plan(figure7_schemes)
     if config.topology in ("ring", "hier") or (
         config.sim_overlap and config.sync_mode in ("async", "ssp")
     ):
@@ -532,6 +581,18 @@ def main(argv: list[str] | None = None) -> int:
             _, text = related_work_table(runner, related_schemes)
             print(text)
         print()
+
+    stats = runner.replay_cache.stats()
+    print(
+        "replay cache: "
+        f"{stats['recordings']} recordings "
+        f"({stats['recording_hits']} hits / "
+        f"{stats['recording_misses']} misses), "
+        f"{stats['simulations']} simulations "
+        f"({stats['simulation_hits']} hits / "
+        f"{stats['simulation_misses']} misses), "
+        f"{stats['extraction_hits']} warm extractions"
+    )
 
     if args.trace_out or args.metrics_out:
         from repro.telemetry.export import (

@@ -26,7 +26,7 @@ from repro.exchange.sync import SYNC_MODES
 from repro.exchange.topology import TOPOLOGIES
 from repro.exchange.wireplan import fusion_incompatibility
 from repro.network.timing import StepTimeModel
-from repro.nn.resnet import build_resnet
+from repro.nn.resnet import build_mlp, build_resnet
 from repro.nn.schedule import CosineDecay, scale_lr_for_workers
 
 __all__ = ["ExperimentConfig", "DEFAULT_CONFIG", "FAST_CONFIG"]
@@ -36,9 +36,13 @@ __all__ = ["ExperimentConfig", "DEFAULT_CONFIG", "FAST_CONFIG"]
 class ExperimentConfig:
     """Declarative description of one experiment family."""
 
-    # Model (paper: ResNet-110, base width 16)
+    # Model (paper: ResNet-110, base width 16). ``model_family`` selects
+    # the architecture: "resnet" (depth/base_width) or "mlp" (the bench
+    # MLP over flattened inputs, hidden widths = ``mlp_hidden``).
+    model_family: str = "resnet"
     depth: int = 14
     base_width: int = 8
+    mlp_hidden: tuple[int, ...] = (64, 64)
     model_seed: int = 42
 
     # Dataset (paper: CIFAR-10)
@@ -95,6 +99,16 @@ class ExperimentConfig:
     #: Lossy fused buckets: the scheme's codec over each whole bucket with
     #: one shared scale, instead of the exact float32 bypass.
     fuse_lossy: bool = False
+    #: Parameter names that force-close the open fusion bucket *before*
+    #: packing them — per-layer bucket boundaries the tuner searches over.
+    #: Only meaningful with ``fuse_small_tensors``.
+    bucket_boundaries: tuple[str, ...] = ()
+    #: Simulator service order within a transmission wave:
+    #: "registration" (the engine's record order) or "smallest"
+    #: (smallest-gradient-first, so short messages clear the link ahead of
+    #: large ones). Simulation-only: recordings are shared across
+    #: priorities by the replay cache.
+    transmission_priority: str = "registration"
     #: Per-link timing via the discrete-event simulator (``repro.netsim``):
     #: per-layer overlap scheduling replaces the analytic model's
     #: calibrated overlap constant, and sharded/ring runs are charged
@@ -155,6 +169,19 @@ class ExperimentConfig:
             )
         if self.fuse_lossy and not self.fuse_small_tensors:
             raise ValueError("fuse_lossy requires fuse_small_tensors")
+        if self.bucket_boundaries and not self.fuse_small_tensors:
+            raise ValueError("bucket_boundaries requires fuse_small_tensors")
+        if self.model_family not in ("resnet", "mlp"):
+            raise ValueError(
+                f"unknown model_family {self.model_family!r}; "
+                "expected 'resnet' or 'mlp'"
+            )
+        if self.transmission_priority not in ("registration", "smallest"):
+            raise ValueError(
+                "unknown transmission_priority "
+                f"{self.transmission_priority!r}; "
+                "expected 'registration' or 'smallest'"
+            )
         if self.fuse_small_tensors:
             reason = fusion_incompatibility(
                 self.topology,
@@ -203,12 +230,19 @@ class ExperimentConfig:
         )
 
     def model_factory(self):
-        depth, width, classes, seed = (
-            self.depth,
-            self.base_width,
-            self.num_classes,
-            self.model_seed,
-        )
+        classes, seed = self.num_classes, self.model_seed
+        if self.model_family == "mlp":
+            in_features = 3 * self.image_size * self.image_size
+            hidden = self.mlp_hidden
+
+            def factory():
+                return build_mlp(
+                    in_features, hidden, num_classes=classes, seed=seed
+                )
+
+            return factory
+
+        depth, width = self.depth, self.base_width
 
         def factory():
             return build_resnet(
@@ -255,6 +289,7 @@ class ExperimentConfig:
             fuse_small_tensors=self.fuse_small_tensors,
             bucket_elements=self.bucket_elements,
             fuse_lossy=self.fuse_lossy,
+            bucket_boundaries=self.bucket_boundaries,
             record_transmissions=self.sim_overlap,
         )
 

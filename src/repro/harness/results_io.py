@@ -17,7 +17,14 @@ from repro.harness.runner import RunResult
 from repro.distributed.cluster import EvalResult
 from repro.network.traffic import StepTraffic, TrafficMeter
 
-__all__ = ["run_result_to_dict", "run_result_from_dict", "save_results", "load_results"]
+__all__ = [
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "save_results",
+    "load_results",
+    "save_plan",
+    "load_plan",
+]
 
 _FORMAT_VERSION = 1
 
@@ -122,3 +129,22 @@ def load_results(path: str | Path) -> list[RunResult]:
     """Load runs written by :func:`save_results`."""
     with Path(path).open("r", encoding="utf-8") as fh:
         return [run_result_from_dict(d) for d in json.load(fh)]
+
+
+def save_plan(path: str | Path, data: dict) -> None:
+    """Write a validated ``repro.plan/v1`` tuner artifact.
+
+    Thin alias for :func:`repro.tuner.artifact.save_plan` so harness
+    consumers have one results-IO entry point (imported lazily: loading
+    archived runs must not require the tuner package's dependencies).
+    """
+    from repro.tuner.artifact import save_plan as _save_plan
+
+    _save_plan(path, data)
+
+
+def load_plan(path: str | Path) -> dict:
+    """Load and validate a ``repro.plan/v1`` tuner artifact."""
+    from repro.tuner.artifact import load_plan as _load_plan
+
+    return _load_plan(path)

@@ -53,6 +53,7 @@ from repro.netsim.events import (
 )
 from repro.netsim.links import LinkModel
 from repro.netsim.vector import (
+    matches_signature,
     phase_partition,
     replay_run_vectorized,
     replay_vectorized,
@@ -285,11 +286,23 @@ class NetworkSimulator:
         vectorized: bool = True,
         tracer=None,
         trace_group: str = "netsim",
+        priority: str = "registration",
     ):
+        if priority not in ("registration", "smallest"):
+            raise ValueError(
+                f"unknown transmission priority {priority!r}; "
+                "expected 'registration' or 'smallest'"
+            )
         self.timeline = timeline
         self.link_model = link_model
         self.time_model = time_model or StepTimeModel()
         self.overlap = bool(overlap)
+        #: Service order among same-readiness records: "registration"
+        #: breaks ties by record name (the engine's registration order);
+        #: "smallest" serves the fewest-element record first so short
+        #: messages clear the codec pipeline and the link ahead of bulky
+        #: ones (shortest-job-first on the wire).
+        self.priority = priority
         self.serialized_baseline = bool(serialized_baseline)
         self.tracer = tracer
         self.trace_group = trace_group
@@ -344,19 +357,26 @@ class NetworkSimulator:
                 self.trace_offset += sim.step_seconds
                 simulated.append(sim)
             return SimulatedRun(tuple(simulated))
-        if not self.vectorized or len(steps) < 2:
+        if (
+            not self.vectorized
+            or len(steps) < 2
+            or self.priority != "registration"
+        ):
+            # Non-registration priorities sort by per-step element counts,
+            # which vary across steps, so no single service order covers a
+            # run-batched group; replay per step (still vectorized).
             return SimulatedRun(tuple(self.simulate_step(s) for s in steps))
-        sigs = [step_signature(st) for st in steps]
         simulated: list[SimulatedStep] = []
         i, n = 0, len(steps)
         while i < n:
+            # Only the group leader materializes a signature tuple;
+            # followers are checked field-by-field against it (no per-step
+            # tuple allocation on the warm path) and then share the
+            # leader's tuple so the next replay compares by identity.
+            sig = step_signature(steps[i])
             j = i + 1
-            while j < n and (sigs[j] is sigs[i] or sigs[j] == sigs[i]):
-                if sigs[j] is not sigs[i]:
-                    # Equal structure: share one tuple so the next replay
-                    # of this recording compares signatures by identity.
-                    sigs[j] = sigs[i]
-                    share_signature(steps[j], sigs[i])
+            while j < n and matches_signature(steps[j], sig):
+                share_signature(steps[j], sig)
                 j += 1
             group = steps[i:j]
             if len(group) >= 2:
@@ -426,13 +446,23 @@ class NetworkSimulator:
             )
         compressed_at: dict[int, float] = {}
         pipeline_free: dict[int | None, float] = {}
-        ordered = sorted(
-            range(len(push_records)),
-            key=lambda i: (
-                self._grad_ready_seconds(push_records[i], compute),
-                push_records[i].name,
-            ),
-        )
+        if self.priority == "smallest":
+            ordered = sorted(
+                range(len(push_records)),
+                key=lambda i: (
+                    self._grad_ready_seconds(push_records[i], compute),
+                    push_records[i].elements,
+                    push_records[i].name,
+                ),
+            )
+        else:
+            ordered = sorted(
+                range(len(push_records)),
+                key=lambda i: (
+                    self._grad_ready_seconds(push_records[i], compute),
+                    push_records[i].name,
+                ),
+            )
         for index in ordered:
             record = push_records[index]
             total = pipeline_elements[record.worker]
@@ -519,9 +549,20 @@ class NetworkSimulator:
                     dep_end = tier_floor if record.depends_on else 0.0
                 ready[index] = max(compressed_at[index], dep_end)
             wave_end = 0.0
-            for index in sorted(
-                ready, key=lambda i: (ready[i], push_records[i].name)
-            ):
+            if self.priority == "smallest":
+                wave_order = sorted(
+                    ready,
+                    key=lambda i: (
+                        ready[i],
+                        push_records[i].elements,
+                        push_records[i].name,
+                    ),
+                )
+            else:
+                wave_order = sorted(
+                    ready, key=lambda i: (ready[i], push_records[i].name)
+                )
+            for index in wave_order:
                 record = push_records[index]
                 free = link_free.get(record.route, 0.0)
                 start = max(ready[index], free)
@@ -567,7 +608,17 @@ class NetworkSimulator:
         tier_floor = pull_ready
         for wave in dependency_waves(pull_records, push_names):
             wave_end = tier_floor
-            for index in sorted(wave, key=lambda i: pull_records[i].name):
+            if self.priority == "smallest":
+                pull_order = sorted(
+                    wave,
+                    key=lambda i: (
+                        pull_records[i].elements,
+                        pull_records[i].name,
+                    ),
+                )
+            else:
+                pull_order = sorted(wave, key=lambda i: pull_records[i].name)
+            for index in pull_order:
                 record = pull_records[index]
                 if overlap:
                     dep_end = max(
@@ -734,6 +785,7 @@ class EventDrivenSimulator:
         vectorized: bool = True,
         tracer=None,
         trace_group: str = "netsim-events",
+        priority: str = "registration",
     ):
         if staleness is not None and staleness < 0:
             raise ValueError("staleness must be >= 0 or None")
@@ -756,6 +808,7 @@ class EventDrivenSimulator:
             vectorized=vectorized,
             tracer=tracer,
             trace_group=trace_group,
+            priority=priority,
         )
 
     # -- public API --------------------------------------------------------

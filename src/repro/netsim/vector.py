@@ -42,11 +42,13 @@ from repro.netsim.events import StepTransmissions, TransmissionRecord
 __all__ = [
     "RecordBatch",
     "record_batch",
+    "matches_signature",
     "phase_partition",
     "replay_run_vectorized",
     "share_signature",
     "step_signature",
     "structure_signature",
+    "warm_extraction",
     "wire_occupancy_batch",
 ]
 
@@ -94,6 +96,64 @@ def share_signature(st: StepTransmissions, sig) -> None:
     comparison into an identity hit instead of an O(records) walk.
     """
     st.__dict__[_SIG_ATTR] = sig
+
+
+def matches_signature(st: StepTransmissions, sig) -> bool:
+    """Does ``st``'s record structure equal the (leader) signature ``sig``?
+
+    The cold-replay fast path: group followers are checked field-by-field
+    against the group leader's tuple — early-exiting on the first
+    mismatch, allocating no per-step tuples — instead of materializing
+    their own signatures first. A step that already carries a cached
+    signature compares by identity, then by equality.
+    """
+    cached = st.__dict__.get(_SIG_ATTR)
+    if cached is not None:
+        return cached is sig or cached == sig
+    records = st.records
+    if len(records) != len(sig):
+        return False
+    for r, row in zip(records, sig):
+        if (
+            r.name != row[0]
+            or r.phase != row[1]
+            or r.route != row[2]
+            or r.worker != row[3]
+            or r.params != row[4]
+            or r.depends_on != row[5]
+        ):
+            return False
+    return True
+
+
+def warm_extraction(steps) -> int:
+    """Pre-extract every step's cached replay artifacts; returns the
+    number of structure groups found.
+
+    The first simulation of a freshly recorded training pays the full
+    "cold" extraction cost — structure signatures, the group leaders'
+    :class:`RecordBatch` conversions (phase split, name/route tables,
+    dependency waves), and each step's :func:`numeric_rows` payload.
+    Doing it once per recording, keyed by the replay cache's
+    ``RecordingKey`` (see ``SweepReplayCache.prepare_extraction``),
+    amortizes that cost across every timeline configuration the sweep or
+    tuner replays the recording under.
+    """
+    steps = tuple(steps)
+    groups = 0
+    i, n = 0, len(steps)
+    while i < n:
+        sig = step_signature(steps[i])
+        record_batch(steps[i])
+        j = i + 1
+        while j < n and matches_signature(steps[j], sig):
+            share_signature(steps[j], sig)
+            j += 1
+        groups += 1
+        i = j
+    for st in steps:
+        numeric_rows(st)
+    return groups
 
 
 def numeric_rows(st: StepTransmissions) -> np.ndarray:
@@ -502,11 +562,13 @@ def compressed_at_vectorized(
     max_frac: np.ndarray,
     *,
     overlap: bool,
+    priority: str = "registration",
 ) -> np.ndarray:
     """Vectorized per-worker compression pipeline (push phase).
 
     Mirrors ``NetworkSimulator._push_compressed_at``: records enter their
-    sending worker's serial pipeline in (gradient-ready, name) order and
+    sending worker's serial pipeline in (gradient-ready, name) order —
+    (gradient-ready, elements, name) under the "smallest" priority — and
     cost their element-share of the step's push-compression budget.
     """
     push = batch.push
@@ -514,7 +576,10 @@ def compressed_at_vectorized(
     if not overlap:
         return np.full(n, compute + push_cost)
     grad_ready = max_frac * compute
-    order = np.lexsort((push.name_code, grad_ready))
+    if priority == "smallest":
+        order = np.lexsort((push.name_code, push.elements, grad_ready))
+    else:
+        order = np.lexsort((push.name_code, grad_ready))
     totals = np.bincount(
         push.worker_code, weights=push.elements, minlength=push.num_workers
     )
@@ -576,8 +641,9 @@ def replay_vectorized(
         + per_frame[pull.route_code] * pull.frames
     )
     max_frac = batch.max_ready_fraction(sim.timeline, sim._ready_fraction)
+    priority = sim.priority
     compressed_at = compressed_at_vectorized(
-        batch, compute, push_cost, max_frac, overlap=overlap
+        batch, compute, push_cost, max_frac, overlap=overlap, priority=priority
     )
     if tracer is not None:
         from repro.netsim.scheduler import _trace_push_codec
@@ -625,7 +691,10 @@ def replay_vectorized(
             # schedule equal the analytic per-tier sum.
             dep_end = np.where(push.has_deps[w0], tier_floor, 0.0)
         ready = np.maximum(compressed_at[w0], dep_end)
-        order = np.lexsort((push.name_code[w0], ready))
+        if priority == "smallest":
+            order = np.lexsort((push.name_code[w0], push.elements[w0], ready))
+        else:
+            order = np.lexsort((push.name_code[w0], ready))
         ready_sorted = ready[order]
         w = w0[order]
         group = np.argsort(push.route_code[w], kind="stable")
@@ -683,7 +752,10 @@ def replay_vectorized(
         else:
             dep_end = np.where(pull.has_deps[w0], tier_floor, 0.0)
         base = np.maximum(pull_ready, dep_end)
-        order = np.argsort(pull.name_code[w0], kind="stable")
+        if priority == "smallest":
+            order = np.lexsort((pull.name_code[w0], pull.elements[w0]))
+        else:
+            order = np.argsort(pull.name_code[w0], kind="stable")
         w = w0[order]
         group = np.argsort(pull.route_code[w], kind="stable")
         w = w[group]
@@ -782,6 +854,11 @@ def replay_run_vectorized(sim, steps, *, overlap):
     and the caller must fall back to per-step replay.
     """
     from repro.netsim.events import SimulatedStep
+
+    if sim.priority != "registration":
+        # Non-registration priorities sort by per-step element counts, so
+        # the group cannot share one service order across its step axis.
+        return None
 
     tm = sim.time_model
     batch = record_batch(steps[0])

@@ -1,0 +1,146 @@
+"""The ``repro.plan/v1`` artifact: winning plans as loadable JSON.
+
+A tuner run's outcome is a plan, not a table — so the winning point is
+emitted in a small versioned schema the harness CLI loads back with
+``--plan <file>``. The artifact carries no timestamps or wall-clock
+numbers: two same-seed tuner runs write byte-identical files (the
+reproducibility guarantee asserted in ``tests/tuner``); trajectory
+wall-clock lives in ``BENCH_tuner.json`` instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.harness.config import ExperimentConfig
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "plan_to_dict",
+    "save_plan",
+    "load_plan",
+    "validate_plan",
+    "apply_plan",
+]
+
+PLAN_SCHEMA = "repro.plan/v1"
+
+_PLAN_FIELDS = {
+    "scheme": str,
+    "topology": str,
+    "num_shards": int,
+    "racks": int,
+    "rack_size": int,
+    "cross_bw_fraction": (int, float),
+    "transmission_priority": str,
+    "fuse_small_tensors": bool,
+    "fuse_lossy": bool,
+    "bucket_elements": int,
+    "bucket_boundaries": list,
+}
+
+
+def plan_to_dict(result, space, *, link: str = "10Mbps") -> dict:
+    """Serialize a :class:`~repro.tuner.search.TunerResult` as a plan.
+
+    ``objective`` records what was optimized (link, both step times, the
+    fractional improvement) and ``search`` how (strategy, budget, spent
+    evaluations, seed) — enough provenance to rerun the search, nothing
+    run-dependent.
+    """
+    best, default = result.best, result.default
+    return {
+        "schema": PLAN_SCHEMA,
+        "plan": best.point.as_dict(),
+        "objective": {
+            "link": link,
+            "mean_step_seconds": best.step_seconds,
+            "default_step_seconds": default.step_seconds,
+            "improvement": result.improvement,
+        },
+        "accuracy": {
+            "plan": best.accuracy,
+            "default": default.accuracy,
+        },
+        "search": {
+            "strategy": result.strategy,
+            "budget": result.budget,
+            "evaluations": result.evaluations,
+            "seed": result.seed,
+        },
+        "base": {
+            "num_workers": space.base.num_workers,
+            "standard_steps": space.base.standard_steps,
+            "model_family": space.base.model_family,
+        },
+    }
+
+
+def validate_plan(data: dict) -> None:
+    """Raise ``ValueError`` unless ``data`` is a well-formed v1 plan."""
+    if not isinstance(data, dict):
+        raise ValueError("plan artifact must be a JSON object")
+    schema = data.get("schema")
+    if schema != PLAN_SCHEMA:
+        raise ValueError(
+            f"unsupported plan schema {schema!r}; expected {PLAN_SCHEMA!r}"
+        )
+    plan = data.get("plan")
+    if not isinstance(plan, dict):
+        raise ValueError("plan artifact is missing the 'plan' object")
+    for key, types in _PLAN_FIELDS.items():
+        if key not in plan:
+            raise ValueError(f"plan is missing required field {key!r}")
+        value = plan[key]
+        if isinstance(value, bool) and types is int:
+            raise ValueError(f"plan field {key!r} must be an integer")
+        if not isinstance(value, types):
+            raise ValueError(
+                f"plan field {key!r} has type {type(value).__name__}"
+            )
+    if not all(isinstance(n, str) for n in plan["bucket_boundaries"]):
+        raise ValueError("bucket_boundaries must be a list of names")
+    for section in ("objective", "search"):
+        if not isinstance(data.get(section), dict):
+            raise ValueError(f"plan artifact is missing {section!r}")
+
+
+def save_plan(path, data: dict) -> None:
+    """Validate and write (sorted keys: same plan -> same bytes)."""
+    validate_plan(data)
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def load_plan(path) -> dict:
+    data = json.loads(Path(path).read_text())
+    validate_plan(data)
+    return data
+
+
+def apply_plan(config: ExperimentConfig, data: dict):
+    """Overlay a loaded plan onto a config.
+
+    Returns ``(config, scheme)``: the plan's fields override the config's
+    (the plan wins — it is the tuned object), ``sim_overlap`` is forced
+    on (plans are simulator-scored; analytic timing would misrepresent
+    them), and the plan's scheme comes back for the caller to run.
+    ``ExperimentConfig`` validation applies, so a plan incompatible with
+    the config's cluster shape fails loudly here.
+    """
+    validate_plan(data)
+    plan = data["plan"]
+    applied = config.scaled(
+        topology=plan["topology"],
+        num_shards=int(plan["num_shards"]),
+        racks=int(plan["racks"]),
+        rack_size=int(plan["rack_size"]),
+        cross_bw_fraction=float(plan["cross_bw_fraction"]),
+        transmission_priority=plan["transmission_priority"],
+        fuse_small_tensors=bool(plan["fuse_small_tensors"]),
+        fuse_lossy=bool(plan["fuse_lossy"]),
+        bucket_elements=int(plan["bucket_elements"]),
+        bucket_boundaries=tuple(plan["bucket_boundaries"]),
+        sim_overlap=True,
+    )
+    return applied, plan["scheme"]

@@ -1,0 +1,151 @@
+"""Parallel plan scoring: a process pool with per-process replay caches.
+
+The search layer hands :class:`ParallelScorer` deterministic candidate
+batches; the scorer shards them across a
+:class:`concurrent.futures.ProcessPoolExecutor` and merges results back
+by the candidates' original indices. Bit-identity with serial scoring
+holds by construction:
+
+* every evaluation is deterministic (the evaluator normalizes measured
+  seconds and pre-seeds a synthetic timeline — see
+  :mod:`repro.tuner.evaluator`), so *where* a point is scored cannot
+  change its score;
+* the candidate sequence is fixed by the search seed, and the merge is
+  by index, so the search sees the same scores in the same order at any
+  ``jobs`` — only wall-clock changes.
+
+Each worker process holds its own :class:`~repro.netsim.SweepReplayCache`
+(recordings cannot be shared across processes cheaply), so the chunking
+is cache-aware: candidates are grouped by
+:meth:`~repro.tuner.space.PlanSpace.recording_signature` — points
+differing only in simulation-side knobs — and whole groups are packed
+onto workers, keeping each process's recording reuse as high as the
+serial evaluator's within its share.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.tuner.evaluator import PlanEvaluator
+from repro.tuner.space import PlanSpace
+
+__all__ = ["ParallelScorer"]
+
+# Per-process evaluator, built once by the pool initializer: recordings
+# and simulations then persist across every chunk the process scores.
+_EVALUATOR: PlanEvaluator | None = None
+
+
+def _init_worker(space: PlanSpace, eval_kwargs: dict) -> None:
+    global _EVALUATOR
+    _EVALUATOR = PlanEvaluator(space, **eval_kwargs)
+
+
+def _score_chunk(items, fraction: float):
+    """Score ``[(index, point), ...]`` in the per-process evaluator."""
+    assert _EVALUATOR is not None, "pool initializer did not run"
+    return [
+        (index, _EVALUATOR.evaluate(point, fraction)) for index, point in items
+    ]
+
+
+class ParallelScorer:
+    """``evaluate_batch`` across processes, bit-identical to serial.
+
+    ``jobs <= 1`` degrades to an in-process
+    :class:`~repro.tuner.evaluator.PlanEvaluator` (no pool, no pickling).
+    Use as a context manager — or call :meth:`close` — to shut the pool
+    down.
+    """
+
+    def __init__(self, space: PlanSpace, *, jobs: int = 1, **eval_kwargs):
+        self.space = space
+        self.jobs = max(1, int(jobs))
+        self._eval_kwargs = dict(eval_kwargs)
+        self._serial: PlanEvaluator | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self.evaluations = 0
+        if self.jobs == 1:
+            self._serial = PlanEvaluator(space, **self._eval_kwargs)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.space, self._eval_kwargs),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelScorer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- scoring -----------------------------------------------------------
+
+    def set_baseline(self, accuracy: float) -> None:
+        """Anchor the accuracy-feasibility floor in every evaluator.
+
+        Serial: set directly. Parallel: recorded in the init kwargs and
+        the pool is restarted so worker evaluators pick it up — called
+        once per tuner run (right after the default plan is scored), so
+        the restart cost is paid once.
+        """
+        self._eval_kwargs["baseline_accuracy"] = float(accuracy)
+        if self._serial is not None:
+            self._serial.set_baseline(accuracy)
+        elif self._pool is not None:
+            self.close()
+
+    def evaluate_batch(self, points, fraction: float = 1.0):
+        points = list(points)
+        self.evaluations += len(points)
+        if self._serial is not None:
+            return self._serial.evaluate_batch(points, fraction)
+        if not points:
+            return []
+        pool = self._ensure_pool()
+        chunks = self._chunk(points)
+        futures = [
+            pool.submit(_score_chunk, chunk, fraction)
+            for chunk in chunks
+            if chunk
+        ]
+        merged = [None] * len(points)
+        for future in futures:
+            for index, score in future.result():
+                merged[index] = score
+        return merged
+
+    def _chunk(self, points):
+        """Pack recording-signature groups onto ``jobs`` balanced chunks.
+
+        Groups (points sharing one training recording) stay whole so no
+        recording is trained twice; greedy largest-first balancing keeps
+        the chunks' evaluation counts even. Deterministic: group order
+        follows first appearance, sizes break ties by that order.
+        """
+        groups: dict = {}
+        for index, point in enumerate(points):
+            sig = self.space.recording_signature(point)
+            groups.setdefault(sig, []).append((index, point))
+        ordered = sorted(
+            groups.values(), key=lambda items: (-len(items), items[0][0])
+        )
+        chunks = [[] for _ in range(min(self.jobs, len(ordered)) or 1)]
+        loads = [0] * len(chunks)
+        for items in ordered:
+            target = loads.index(min(loads))
+            chunks[target].extend(items)
+            loads[target] += len(items)
+        return chunks

@@ -1,0 +1,400 @@
+"""The joint wire-plan search space: points, legality, canonical form.
+
+A :class:`PlanPoint` pins every knob the autotuner optimizes over —
+scheme, topology shape, cross-rack bandwidth, fused-bucket geometry,
+per-layer bucket boundaries, and the simulator's transmission priority.
+:class:`PlanSpace` couples the point type to one base
+:class:`~repro.harness.config.ExperimentConfig` and supplies the four
+operations every search strategy needs:
+
+* ``legal_reason(point)`` — the constraint set as *data* (one message per
+  illegal combination), built from the same rules the engine enforces
+  (:func:`~repro.exchange.wireplan.fusion_incompatibility`, hier rack
+  arithmetic, deferring schemes on collective topologies);
+* ``sample(rng)`` — rejection sampling of legal, *canonical* points;
+* ``apply(point)`` — the point as a runnable ``ExperimentConfig``
+  (``sim_overlap=True``: the simulator is the scoring oracle);
+* ``encode(points)`` — a one-hot + numeric feature matrix for the
+  cost-model search.
+
+Canonicalization is the cache-efficiency anchor: fields irrelevant to a
+point's topology (shard count on ``single``, rack shape on ``sharded``,
+bucket geometry with fusion off …) are reset to the base config's values,
+so equivalent points collapse to one representative — and
+``recording_signature`` further projects out the simulation-only knobs
+(cross-bandwidth, priority), grouping points that share one training
+recording in the replay cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.compression.registry import available_schemes, make_compressor
+from repro.exchange.wireplan import fusion_incompatibility
+from repro.harness.config import ExperimentConfig
+
+__all__ = ["PlanPoint", "PlanSpace", "default_space", "boundary_candidates"]
+
+TOPOLOGY_CHOICES = ("single", "sharded", "ring", "hier")
+PRIORITY_CHOICES = ("registration", "smallest")
+
+_DEFERS: dict[str, bool] = {}
+
+
+def _defers(scheme: str) -> bool:
+    """Does the scheme defer transmission (local-steps style)?"""
+    cached = _DEFERS.get(scheme)
+    if cached is None:
+        cached = bool(make_compressor(scheme, seed=0).defers_transmission)
+        _DEFERS[scheme] = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One candidate wire plan (hashable, orderable for deterministic
+    tie-breaks)."""
+
+    scheme: str
+    topology: str
+    num_shards: int
+    racks: int
+    rack_size: int
+    cross_bw_fraction: float
+    transmission_priority: str
+    fuse: bool
+    fuse_lossy: bool
+    bucket_elements: int
+    bucket_boundaries: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "topology": self.topology,
+            "num_shards": self.num_shards,
+            "racks": self.racks,
+            "rack_size": self.rack_size,
+            "cross_bw_fraction": self.cross_bw_fraction,
+            "transmission_priority": self.transmission_priority,
+            "fuse_small_tensors": self.fuse,
+            "fuse_lossy": self.fuse_lossy,
+            "bucket_elements": self.bucket_elements,
+            "bucket_boundaries": list(self.bucket_boundaries),
+        }
+
+
+@dataclass(frozen=True)
+class PlanSpace:
+    """Choice grid over :class:`PlanPoint`, bound to one base config.
+
+    ``base`` supplies everything a point does not override (cluster
+    shape, model, step budget, seeds). The choice tuples bound the
+    search; rejection sampling in :meth:`sample` never proposes an
+    illegal combination (asserted by ``tests/tuner/test_space.py``).
+    """
+
+    base: ExperimentConfig
+    schemes: tuple[str, ...]
+    topologies: tuple[str, ...] = TOPOLOGY_CHOICES
+    shard_choices: tuple[int, ...] = (2, 4)
+    rack_shapes: tuple[tuple[int, int], ...] = ()
+    cross_bw_choices: tuple[float, ...] = (0.05, 0.1, 0.25, 1.0)
+    priority_choices: tuple[str, ...] = PRIORITY_CHOICES
+    bucket_choices: tuple[int, ...] = (256, 1024, 4096, 16384)
+    boundary_choices: tuple[tuple[str, ...], ...] = ((),)
+
+    def __post_init__(self) -> None:
+        known = set(available_schemes())
+        for scheme in self.schemes:
+            if scheme not in known:
+                raise ValueError(f"unknown scheme {scheme!r}")
+        for topology in self.topologies:
+            if topology not in TOPOLOGY_CHOICES:
+                raise ValueError(f"unknown topology {topology!r}")
+        if "hier" in self.topologies and not self.rack_shapes:
+            raise ValueError(
+                "topology 'hier' in the space requires rack_shapes"
+            )
+
+    # -- legality ----------------------------------------------------------
+
+    def legal_reason(self, point: PlanPoint) -> str | None:
+        """Why the point cannot run, or ``None`` when it is legal.
+
+        Mirrors the engine's own constraint set so an illegal point is
+        rejected here — cheaply, before any training — with the same
+        rules ``EngineConfig`` enforces at construction time.
+        """
+        if point.fuse_lossy and not point.fuse:
+            return "fuse_lossy requires fuse"
+        if point.bucket_boundaries and not point.fuse:
+            return "bucket_boundaries require fuse"
+        if point.fuse:
+            reason = fusion_incompatibility(
+                point.topology,
+                racks=point.racks if point.topology == "hier" else None,
+            )
+            if reason is not None:
+                return reason
+        if point.topology == "hier":
+            if point.rack_size < 2:
+                return "a rack ring needs rack_size >= 2"
+            if point.racks * point.rack_size != self.base.num_workers:
+                return (
+                    f"racks x rack_size must equal num_workers="
+                    f"{self.base.num_workers}"
+                )
+        if point.topology in ("ring", "hier") and _defers(point.scheme):
+            return (
+                f"scheme {point.scheme!r} defers transmission; collective "
+                "topologies exchange every step"
+            )
+        if point.topology == "sharded" and point.num_shards < 1:
+            return "sharded topology needs num_shards >= 1"
+        return None
+
+    # -- canonical form ----------------------------------------------------
+
+    def canonical(self, point: PlanPoint) -> PlanPoint:
+        """Reset fields the point's topology/fusion cannot observe.
+
+        Two points differing only in an irrelevant field (shard count on
+        a ring, bucket geometry with fusion off) run identically;
+        canonicalizing them to one representative dedupes the search and
+        maximizes recording reuse in the replay cache.
+        """
+        base = self.base
+        overrides: dict = {}
+        if point.topology != "sharded":
+            overrides["num_shards"] = base.num_shards
+        if point.topology != "hier":
+            overrides["racks"] = base.racks
+            overrides["rack_size"] = base.rack_size
+            overrides["cross_bw_fraction"] = 1.0
+        if not point.fuse:
+            overrides["fuse_lossy"] = False
+            overrides["bucket_elements"] = base.bucket_elements
+            overrides["bucket_boundaries"] = ()
+        return replace(point, **overrides) if overrides else point
+
+    def recording_signature(self, point: PlanPoint):
+        """Projection of the point onto the knobs the *engine* sees.
+
+        Points sharing a signature share one training recording in the
+        replay cache: cross-rack bandwidth and transmission priority are
+        simulation-only (``ExperimentRunner._SIM_ONLY_CANONICAL``), so
+        the parallel scorer groups candidates by this signature to keep
+        each worker process's cache hot.
+        """
+        canon = self.canonical(point)
+        return replace(
+            canon, cross_bw_fraction=1.0, transmission_priority="registration"
+        )
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, *, attempts: int = 200) -> PlanPoint:
+        """One legal canonical point, by rejection sampling."""
+        for _ in range(attempts):
+            topology = self.topologies[rng.integers(len(self.topologies))]
+            if topology == "hier":
+                racks, rack_size = self.rack_shapes[
+                    rng.integers(len(self.rack_shapes))
+                ]
+            else:
+                racks, rack_size = self.base.racks, self.base.rack_size
+            fuse = bool(rng.integers(2))
+            point = PlanPoint(
+                scheme=self.schemes[rng.integers(len(self.schemes))],
+                topology=topology,
+                num_shards=int(
+                    self.shard_choices[rng.integers(len(self.shard_choices))]
+                ),
+                racks=int(racks),
+                rack_size=int(rack_size),
+                cross_bw_fraction=float(
+                    self.cross_bw_choices[
+                        rng.integers(len(self.cross_bw_choices))
+                    ]
+                ),
+                transmission_priority=self.priority_choices[
+                    rng.integers(len(self.priority_choices))
+                ],
+                fuse=fuse,
+                fuse_lossy=bool(rng.integers(2)) if fuse else False,
+                bucket_elements=int(
+                    self.bucket_choices[rng.integers(len(self.bucket_choices))]
+                ),
+                bucket_boundaries=self.boundary_choices[
+                    rng.integers(len(self.boundary_choices))
+                ],
+            )
+            point = self.canonical(point)
+            if self.legal_reason(point) is None:
+                return point
+        raise RuntimeError(
+            f"no legal plan point found in {attempts} sampling attempts — "
+            "is the space over-constrained?"
+        )
+
+    # -- config construction -----------------------------------------------
+
+    def apply(self, point: PlanPoint) -> ExperimentConfig:
+        """The point as a runnable simulated-overlap experiment config."""
+        reason = self.legal_reason(point)
+        if reason is not None:
+            raise ValueError(f"illegal plan point: {reason}")
+        return self.base.scaled(
+            topology=point.topology,
+            num_shards=point.num_shards,
+            racks=point.racks,
+            rack_size=point.rack_size,
+            cross_bw_fraction=point.cross_bw_fraction,
+            transmission_priority=point.transmission_priority,
+            fuse_small_tensors=point.fuse,
+            fuse_lossy=point.fuse_lossy,
+            bucket_elements=point.bucket_elements,
+            bucket_boundaries=point.bucket_boundaries,
+            sim_overlap=True,
+        )
+
+    def default_point(self, scheme: str) -> PlanPoint:
+        """The base config as a plan point (the tuner's comparison anchor)."""
+        base = self.base
+        return self.canonical(
+            PlanPoint(
+                scheme=scheme,
+                topology=base.topology,
+                num_shards=base.num_shards,
+                racks=base.racks,
+                rack_size=base.rack_size,
+                cross_bw_fraction=base.cross_bw_fraction,
+                transmission_priority="registration",
+                fuse=base.fuse_small_tensors,
+                fuse_lossy=base.fuse_lossy,
+                bucket_elements=base.bucket_elements,
+                bucket_boundaries=base.bucket_boundaries,
+            )
+        )
+
+    def point_from_dict(self, plan: dict) -> PlanPoint:
+        """Inverse of :meth:`PlanPoint.as_dict` (artifact loading)."""
+        return PlanPoint(
+            scheme=plan["scheme"],
+            topology=plan["topology"],
+            num_shards=int(plan["num_shards"]),
+            racks=int(plan["racks"]),
+            rack_size=int(plan["rack_size"]),
+            cross_bw_fraction=float(plan["cross_bw_fraction"]),
+            transmission_priority=plan["transmission_priority"],
+            fuse=bool(plan["fuse_small_tensors"]),
+            fuse_lossy=bool(plan["fuse_lossy"]),
+            bucket_elements=int(plan["bucket_elements"]),
+            bucket_boundaries=tuple(plan["bucket_boundaries"]),
+        )
+
+    # -- features ----------------------------------------------------------
+
+    def encode(self, points) -> np.ndarray:
+        """Feature matrix for the regression cost model.
+
+        One-hot scheme/topology/priority columns plus scaled numerics; a
+        leading constant column gives the ridge model an intercept.
+        """
+        points = list(points)
+        scheme_ix = {s: i for i, s in enumerate(self.schemes)}
+        topo_ix = {t: i for i, t in enumerate(self.topologies)}
+        rows = np.zeros(
+            (len(points), 1 + len(scheme_ix) + len(topo_ix) + 8),
+            dtype=np.float64,
+        )
+        for r, p in enumerate(points):
+            rows[r, 0] = 1.0
+            rows[r, 1 + scheme_ix[p.scheme]] = 1.0
+            rows[r, 1 + len(scheme_ix) + topo_ix[p.topology]] = 1.0
+            o = 1 + len(scheme_ix) + len(topo_ix)
+            rows[r, o + 0] = p.num_shards / 4.0
+            rows[r, o + 1] = p.racks / 4.0
+            rows[r, o + 2] = p.rack_size / 4.0
+            rows[r, o + 3] = p.cross_bw_fraction
+            rows[r, o + 4] = 1.0 if p.transmission_priority == "smallest" else 0.0
+            rows[r, o + 5] = 1.0 if p.fuse else 0.0
+            rows[r, o + 6] = 1.0 if p.fuse_lossy else 0.0
+            rows[r, o + 7] = np.log2(float(p.bucket_elements)) / 16.0
+        return rows
+
+
+def boundary_candidates(
+    config: ExperimentConfig, *, max_names: int = 4
+) -> tuple[tuple[str, ...], ...]:
+    """Candidate bucket-boundary sets for one model.
+
+    Boundaries only matter for below-threshold (fusable) parameters;
+    offer the empty set, a few evenly spaced single-name boundaries, and
+    one two-name split so the search can discover whether cutting the
+    packing at a layer edge beats pure capacity-driven packing.
+    """
+    model = config.model_factory()()
+    fusable = [
+        p.name
+        for p in model.parameters()
+        if p.size < config.small_tensor_threshold
+    ]
+    # The first fusable tensor never makes a useful boundary (the packer
+    # starts a fresh bucket there anyway).
+    names = fusable[1:]
+    if not names:
+        return ((),)
+    if len(names) > max_names:
+        idx = np.linspace(0, len(names) - 1, max_names).astype(int)
+        names = [names[i] for i in dict.fromkeys(idx)]
+    candidates: list[tuple[str, ...]] = [()]
+    candidates.extend((name,) for name in names)
+    if len(names) >= 2:
+        candidates.append((names[0], names[-1]))
+    return tuple(candidates)
+
+
+def default_space(
+    base: ExperimentConfig,
+    *,
+    schemes: tuple[str, ...] | None = None,
+) -> PlanSpace:
+    """The standard search space over one base config.
+
+    Rack shapes are every ``racks x rack_size == num_workers`` split with
+    ``rack_size >= 2`` and ``racks >= 2`` (the fusion-legal hier shapes);
+    ``hier`` drops out of the topology choices when no such split exists.
+    """
+    if schemes is None:
+        schemes = (
+            "32-bit float",
+            "8-bit int",
+            "3LC (s=1.00)",
+            "3LC (s=1.75)",
+            "MQE 1-bit int",
+            "25% sparsification",
+        )
+    shapes = tuple(
+        (racks, base.num_workers // racks)
+        for racks in range(2, base.num_workers // 2 + 1)
+        if base.num_workers % racks == 0 and base.num_workers // racks >= 2
+    )
+    topologies = tuple(
+        t for t in TOPOLOGY_CHOICES if t != "hier" or shapes
+    )
+    shard_choices = tuple(
+        s for s in (2, 4) if s <= max(2, base.num_workers)
+    )
+    return PlanSpace(
+        base=base,
+        schemes=schemes,
+        topologies=topologies,
+        shard_choices=shard_choices or (2,),
+        rack_shapes=shapes,
+        boundary_choices=boundary_candidates(base),
+    )
+

@@ -75,6 +75,44 @@ class TestFusionPlan:
         assert bucket.offsets == ((0, 6), (6, 10))
 
 
+class TestBucketBoundaries:
+    """Named boundaries force-close the open bucket (the autotuner knob)."""
+
+    def test_boundary_splits_at_named_tensor(self):
+        shapes = {f"t{i}": (100,) for i in range(4)}
+        plan = build_fusion_plan(
+            shapes, threshold=256, bucket_elements=1024,
+            boundaries=frozenset({"t2"}),
+        )
+        assert [b.names for b in plan.buckets] == [("t0", "t1"), ("t2", "t3")]
+
+    def test_unknown_boundary_names_are_ignored(self):
+        shapes = {"a": (10,), "b": (10,)}
+        plan = build_fusion_plan(
+            shapes, threshold=256, bucket_elements=1024,
+            boundaries=frozenset({"nope", "big"}),
+        )
+        assert [b.names for b in plan.buckets] == [("a", "b")]
+
+    def test_boundary_composes_with_capacity(self):
+        shapes = {f"t{i}": (100,) for i in range(6)}
+        plan = build_fusion_plan(
+            shapes, threshold=256, bucket_elements=250,
+            boundaries=frozenset({"t1"}),
+        )
+        assert [b.names for b in plan.buckets] == [
+            ("t0",), ("t1", "t2"), ("t3", "t4"), ("t5",),
+        ]
+
+    def test_engine_config_requires_fuse_for_boundaries(self):
+        with pytest.raises(ValueError, match="fuse_small_tensors"):
+            EngineConfig(
+                num_workers=2,
+                fuse_small_tensors=False,
+                bucket_boundaries=("t1",),
+            )
+
+
 class TestFusedWireMessage:
     def make_message(self) -> FusedWireMessage:
         flat = np.arange(10, dtype="<f4")

@@ -1,0 +1,91 @@
+"""Parallel scorer: bit-identical to serial, cache-aware chunking.
+
+The pool's contract is that ``jobs`` changes wall-clock only. Scores are
+frozen dataclasses over floats, so "bit-identical" is plain equality —
+any reassociation or cross-process drift fails the comparison exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.config import FAST_CONFIG
+from repro.tuner.evaluator import PlanEvaluator
+from repro.tuner.parallel import ParallelScorer
+from repro.tuner.space import default_space
+
+BASE = FAST_CONFIG.scaled(
+    model_family="mlp",
+    num_workers=4,
+    standard_steps=8,
+    model_seed=7,
+    dataset_seed=7,
+    cluster_seed=7,
+    scheme_seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return default_space(BASE)
+
+
+@pytest.fixture(scope="module")
+def candidates(space):
+    rng = np.random.default_rng(0)
+    return [space.sample(rng) for _ in range(6)]
+
+
+def test_parallel_scores_equal_serial_exactly(space, candidates):
+    serial = PlanEvaluator(space, link="10Mbps")
+    expected = serial.evaluate_batch(candidates, 1.0)
+    with ParallelScorer(space, jobs=2, link="10Mbps") as scorer:
+        got = scorer.evaluate_batch(candidates, 1.0)
+    assert got == expected
+
+
+def test_jobs_one_degrades_to_in_process(space, candidates):
+    scorer = ParallelScorer(space, jobs=1, link="10Mbps")
+    assert scorer._pool is None
+    got = scorer.evaluate_batch(candidates[:2], 1.0)
+    assert scorer._pool is None  # never spawned
+    expected = PlanEvaluator(space, link="10Mbps").evaluate_batch(
+        candidates[:2], 1.0
+    )
+    assert got == expected
+
+
+def test_set_baseline_reaches_worker_processes(space, candidates):
+    lossy = [p for p in candidates if p.scheme != "32-bit float"]
+    point = lossy[0] if lossy else candidates[0]
+    with ParallelScorer(
+        space, jobs=2, link="10Mbps", accuracy_floor_delta=0.0
+    ) as scorer:
+        # An absurd baseline makes every plan infeasible; the flag must
+        # round-trip into the restarted pool's evaluators.
+        scorer.set_baseline(2.0)
+        got = scorer.evaluate_batch([point], 1.0)
+    assert not got[0].feasible
+    assert "accuracy" in got[0].reason
+
+
+def test_chunking_keeps_recording_groups_whole(space, candidates):
+    scorer = ParallelScorer(space, jobs=3, link="10Mbps")
+    indexed = list(candidates) * 2  # duplicate signatures across the batch
+    chunks = scorer._chunk(indexed)
+    seen = {}
+    for chunk_id, chunk in enumerate(chunks):
+        for _, point in chunk:
+            sig = space.recording_signature(point)
+            assert seen.setdefault(sig, chunk_id) == chunk_id, (
+                "recording group split across chunks"
+            )
+    # Every candidate lands exactly once, indices preserved.
+    flat = sorted(index for chunk in chunks for index, _ in chunk)
+    assert flat == list(range(len(indexed)))
+    scorer.close()
+
+
+def test_chunking_is_deterministic(space, candidates):
+    scorer = ParallelScorer(space, jobs=2, link="10Mbps")
+    assert scorer._chunk(candidates) == scorer._chunk(candidates)
+    scorer.close()
